@@ -1,0 +1,35 @@
+// Ablation: i-cache size sweep (Section 3.2's closing observation — "the
+// best solution when the problem fits into the cache is radically different
+// from the best solution when the cache is a scarce resource").
+//
+// Bipartite vs linear layout as the i-cache grows: once the whole path fits,
+// partitioning stops paying.
+#include "harness/experiment.h"
+#include "harness/tables.h"
+
+using namespace l96;
+
+int main() {
+  harness::Table t(
+      "Ablation: bipartite vs linear layout across i-cache sizes (TCP/IP)");
+  t.columns({"i-cache", "bipartite Tp [us]", "linear Tp [us]",
+             "bipartite mCPI", "linear mCPI"});
+
+  for (std::uint32_t kb : {4u, 8u, 16u, 32u, 64u}) {
+    harness::MachineParams params;
+    params.mem.icache_bytes = kb * 1024;
+
+    code::StackConfig bip = code::StackConfig::Clo();
+    code::StackConfig lin = code::StackConfig::Clo();
+    lin.layout = code::LayoutKind::kLinear;
+
+    auto rb = harness::run_config(net::StackKind::kTcpIp, bip, bip, params);
+    auto rl = harness::run_config(net::StackKind::kTcpIp, lin, lin, params);
+    t.row({std::to_string(kb) + " KiB", harness::fmt(rb.client.tp_us),
+           harness::fmt(rl.client.tp_us),
+           harness::fmt(rb.client.steady.mcpi(), 2),
+           harness::fmt(rl.client.steady.mcpi(), 2)});
+  }
+  t.print();
+  return 0;
+}

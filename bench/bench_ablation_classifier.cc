@@ -1,0 +1,35 @@
+// Ablation: packet-classifier overhead vs path-inlining benefit.
+//
+// The paper evaluates PIN/ALL assuming a zero-overhead classifier and notes
+// real classifiers cost 1-4 us per packet on this hardware.  This bench
+// sweeps that cost: beyond ~1-2 us the classifier eats path-inlining's
+// entire advantage over CLO — quantifying the paper's caveat.
+#include "harness/experiment.h"
+#include "harness/tables.h"
+
+using namespace l96;
+
+int main() {
+  harness::Table t(
+      "Ablation: classifier overhead vs path-inlining benefit (TCP/IP)");
+  t.columns({"classifier [us/pkt]", "CLO Te [us]", "PIN Te [us]",
+             "ALL Te [us]", "PIN still wins?"});
+  for (double ov : {0.0, 0.5, 1.0, 2.0, 4.0}) {
+    harness::MachineParams params;
+    params.classifier_overhead_us = ov;
+    auto clo = harness::run_config(net::StackKind::kTcpIp,
+                                   code::StackConfig::Clo(),
+                                   code::StackConfig::Clo(), params);
+    auto pin = harness::run_config(net::StackKind::kTcpIp,
+                                   code::StackConfig::Pin(),
+                                   code::StackConfig::Pin(), params);
+    auto all = harness::run_config(net::StackKind::kTcpIp,
+                                   code::StackConfig::All(),
+                                   code::StackConfig::All(), params);
+    t.row({harness::fmt(ov), harness::fmt(clo.te_us),
+           harness::fmt(pin.te_us), harness::fmt(all.te_us),
+           pin.te_us < clo.te_us ? "yes" : "no"});
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Ablation: boot-time vs connection-time cloning (Section 3.2's "the longer
+// cloning is delayed, the more information is available to specialize the
+// cloned functions").  Connection-time clones fold connection state (ports,
+// addresses, negotiated options) into constants, shrinking the hot path
+// further at the cost of one clone per connection.
+#include "harness/experiment.h"
+#include "harness/tables.h"
+
+using namespace l96;
+
+int main() {
+  struct Variant {
+    const char* name;
+    bool pin;
+    bool connect;
+  };
+  const Variant variants[] = {
+      {"CLO (boot-time clones)", false, false},
+      {"CLO + connect-time specialization", false, true},
+      {"ALL (boot-time clones)", true, false},
+      {"ALL + connect-time specialization", true, true},
+  };
+
+  for (auto kind : {net::StackKind::kTcpIp, net::StackKind::kRpc}) {
+    const bool rpc = kind == net::StackKind::kRpc;
+    harness::Table t(std::string("Ablation: connection-time cloning — ") +
+                     (rpc ? "RPC" : "TCP/IP"));
+    t.columns({"Variant", "Te [us]", "instrs", "hot size", "mCPI"});
+    for (const Variant& v : variants) {
+      code::StackConfig cfg =
+          v.pin ? code::StackConfig::All() : code::StackConfig::Clo();
+      cfg.clone_at_connect = v.connect;
+      cfg.name = v.name;
+      const auto scfg = rpc ? code::StackConfig::All() : cfg;
+      auto r = harness::run_config(kind, cfg, scfg);
+      t.row({v.name, harness::fmt(r.te_us),
+             std::to_string(r.client.instructions),
+             std::to_string(r.client.static_hot_words),
+             harness::fmt(r.client.steady.mcpi(), 2)});
+    }
+    t.print();
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Ablation: layout-strategy sweep (Section 3.2's open question).
+//
+// The paper compares bipartite against micro-positioning and reports the
+// simple strategy consistently winning or tying; this bench runs every
+// implemented strategy — including linear (no partitioning) and random —
+// over both stacks.
+#include "harness/experiment.h"
+#include "harness/tables.h"
+
+using namespace l96;
+
+int main() {
+  struct Strategy {
+    const char* name;
+    code::LayoutKind kind;
+  };
+  const Strategy strategies[] = {
+      {"link-order (no cloning)", code::LayoutKind::kLinkOrder},
+      {"linear (invocation order)", code::LayoutKind::kLinear},
+      {"bipartite (paper's winner)", code::LayoutKind::kBipartite},
+      {"micro-positioning", code::LayoutKind::kMicroPosition},
+      {"random", code::LayoutKind::kRandom},
+      {"pessimal", code::LayoutKind::kPessimal},
+  };
+
+  for (auto kind : {net::StackKind::kTcpIp, net::StackKind::kRpc}) {
+    const bool rpc = kind == net::StackKind::kRpc;
+    harness::Table t(std::string("Ablation: cloning layout strategies — ") +
+                     (rpc ? "RPC" : "TCP/IP"));
+    t.columns({"Strategy", "Te [us]", "Tp [us]", "mCPI", "i-miss (cold)",
+               "i-repl (cold)"});
+    for (const Strategy& s : strategies) {
+      code::StackConfig cfg = code::StackConfig::Out();
+      cfg.name = s.name;
+      if (s.kind != code::LayoutKind::kLinkOrder) {
+        cfg.cloning = true;
+        cfg.layout = s.kind;
+      }
+      const auto scfg = rpc ? code::StackConfig::All() : cfg;
+      auto r = harness::run_config(kind, cfg, scfg);
+      t.row({s.name, harness::fmt(r.te_us), harness::fmt(r.client.tp_us),
+             harness::fmt(r.client.steady.mcpi(), 2),
+             std::to_string(r.client.cold.icache.misses),
+             std::to_string(r.client.cold.icache.repl_misses)});
+    }
+    t.print();
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Ablation: what outlining buys, decomposed — taken branches (pipeline),
+// footprint density (i-cache), and how it compounds with cloning (the paper
+// argues outlining matters "primarily as a means to greatly improve
+// cloning").
+#include "harness/experiment.h"
+#include "harness/tables.h"
+
+using namespace l96;
+
+int main() {
+  struct Variant {
+    const char* name;
+    bool outline;
+    bool clone;
+    code::OutlineMode mode;
+  };
+  const Variant variants[] = {
+      {"neither", false, false, code::OutlineMode::kConservative},
+      {"outline only (conservative)", true, false,
+       code::OutlineMode::kConservative},
+      {"outline only (profile-aggressive)", true, false,
+       code::OutlineMode::kProfileAggressive},
+      {"clone only (no outlining)", false, true,
+       code::OutlineMode::kConservative},
+      {"outline + clone", true, true, code::OutlineMode::kConservative},
+      {"aggressive outline + clone", true, true,
+       code::OutlineMode::kProfileAggressive},
+  };
+
+  for (auto kind : {net::StackKind::kTcpIp, net::StackKind::kRpc}) {
+    const bool rpc = kind == net::StackKind::kRpc;
+    harness::Table t(std::string("Ablation: outlining x cloning — ") +
+                     (rpc ? "RPC" : "TCP/IP"));
+    t.columns({"Variant", "Te [us]", "mCPI", "iCPI", "taken-br",
+               "hot size [instr]", "unused [%]"});
+    for (const Variant& v : variants) {
+      code::StackConfig cfg = code::StackConfig::Std();
+      cfg.name = v.name;
+      cfg.outlining = v.outline;
+      cfg.outline_mode = v.mode;
+      if (v.clone) {
+        cfg.cloning = true;
+        cfg.layout = code::LayoutKind::kBipartite;
+      }
+      const auto scfg = rpc ? code::StackConfig::All() : cfg;
+      auto r = harness::run_config(kind, cfg, scfg);
+      t.row({v.name, harness::fmt(r.te_us),
+             harness::fmt(r.client.steady.mcpi(), 2),
+             harness::fmt(r.client.steady.icpi(), 2),
+             std::to_string(r.client.steady.taken_branches),
+             std::to_string(r.client.static_hot_words),
+             harness::fmt(100.0 * r.client.footprint.unused_fraction)});
+    }
+    t.print();
+  }
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Section 2.2.1 claim: with the lazily-maintained non-empty-bucket list,
+// hash-table traversal cost is proportional to occupancy, not table size —
+// "roughly an order of magnitude faster" at 10% occupancy.
+//
+// Measured with google-benchmark over real Map instances: traversal via the
+// non-empty list vs a naive full-table scan baseline.
+#include <benchmark/benchmark.h>
+
+#include "xkernel/map.h"
+
+using namespace l96::xk;
+
+namespace {
+
+constexpr std::size_t kBuckets = 1024;
+
+MapKey key(std::uint64_t v) { return MapKey{.hi = v * 2654435761u, .lo = v}; }
+
+void populate(Map<int>& m, double occupancy) {
+  const auto n = static_cast<std::uint64_t>(kBuckets * occupancy);
+  for (std::uint64_t i = 0; i < n; ++i) m.bind(key(i), static_cast<int>(i));
+}
+
+void BM_TraversalLazyList(benchmark::State& state) {
+  SimAlloc arena;
+  Map<int> m(arena, kBuckets);
+  populate(m, static_cast<double>(state.range(0)) / 100.0);
+  std::uint64_t sum = 0;
+  for (auto _ : state) {
+    m.for_each([&](const MapKey&, int& v) { sum += static_cast<unsigned>(v); });
+  }
+  benchmark::DoNotOptimize(sum);
+  state.SetLabel("occupancy " + std::to_string(state.range(0)) + "%");
+}
+BENCHMARK(BM_TraversalLazyList)->Arg(1)->Arg(10)->Arg(25)->Arg(50)->Arg(100);
+
+// Baseline: what BSD-style code does without the list — walk every bucket.
+// Modeled by a map whose traversal must touch all buckets: we emulate by
+// iterating bucket indices and resolving representative keys (the paper's
+// "traversing the whole table is relatively inefficient").
+void BM_TraversalFullScanBaseline(benchmark::State& state) {
+  SimAlloc arena;
+  Map<int> m(arena, kBuckets);
+  populate(m, static_cast<double>(state.range(0)) / 100.0);
+  std::uint64_t work = 0;
+  for (auto _ : state) {
+    // Full scan: every bucket inspected regardless of occupancy.
+    for (std::size_t b = 0; b < m.bucket_count(); ++b) {
+      benchmark::DoNotOptimize(b);
+      ++work;
+    }
+    m.for_each([&](const MapKey&, int& v) { work += static_cast<unsigned>(v); });
+  }
+  benchmark::DoNotOptimize(work);
+  state.SetLabel("occupancy " + std::to_string(state.range(0)) + "%");
+}
+BENCHMARK(BM_TraversalFullScanBaseline)->Arg(1)->Arg(10)->Arg(100);
+
+// Insert cost must not regress measurably from list maintenance.
+void BM_Bind(benchmark::State& state) {
+  SimAlloc arena;
+  Map<int> m(arena, kBuckets);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    m.bind(key(i % 4096), static_cast<int>(i));
+    ++i;
+  }
+}
+BENCHMARK(BM_Bind);
+
+// Lookup with the one-entry cache hot (packet-train locality).
+void BM_ResolveCacheHit(benchmark::State& state) {
+  SimAlloc arena;
+  Map<int> m(arena, kBuckets);
+  populate(m, 0.25);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.resolve(key(3)));
+  }
+  state.counters["cache_hit_rate"] =
+      static_cast<double>(m.stats().cache_hits) /
+      static_cast<double>(m.stats().lookups);
+}
+BENCHMARK(BM_ResolveCacheHit);
+
+void BM_ResolveCacheMiss(benchmark::State& state) {
+  SimAlloc arena;
+  Map<int> m(arena, kBuckets);
+  populate(m, 0.25);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.resolve(key(i % 200)));
+    ++i;
+  }
+}
+BENCHMARK(BM_ResolveCacheMiss);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+// Table 3: Comparison of TCP/IP Implementations.
+//
+// The 80386 column is [CJRS89]'s published count and the DEC Unix v3.2c
+// column is the paper's trace measurement — both are reproduced as the
+// paper's constants.  The x-kernel column is measured from our stack using
+// the paper's preferred task-based boundaries: instructions executed
+// between entering IP and entering TCP (ipDemux -> tcpDemux), and between
+// entering TCP and delivery above TCP (tcpDemux -> clientStreamDemux).
+#include <cstdio>
+
+#include "harness/experiment.h"
+#include "harness/tables.h"
+
+using namespace l96;
+
+int main() {
+  harness::Experiment e(net::StackKind::kTcpIp, code::StackConfig::Std(),
+                        code::StackConfig::Std());
+  e.run();
+
+  const std::size_t ip_in = e.find_client_call("ip_demux");
+  const std::size_t tcp_in = e.find_client_call("tcp_demux");
+  const std::size_t deliver = e.find_client_call("tcptest_recv");
+
+  const auto n_ip = e.lower_client_prefix(ip_in).size();
+  const auto n_tcp = e.lower_client_prefix(tcp_in).size();
+  const auto n_del = e.lower_client_prefix(deliver).size();
+
+  const std::size_t ip_to_tcp = n_tcp - n_ip;
+  const std::size_t tcp_to_sock = n_del - n_tcp;
+
+  harness::Table t("Table 3: Comparison of TCP/IP Implementations");
+  t.columns({"Instructions executed...", "80386 [CJRS89]", "DEC Unix v3.2c",
+             "x-kernel (this repo)"});
+  t.row({"between IP input and TCP input", "262 (in ipintr ~57)", "437",
+         std::to_string(ip_to_tcp)});
+  t.row({"between TCP input and socket input", "276 (tcp_input)", "1004",
+         std::to_string(tcp_to_sock)});
+  t.row({"total (both tasks)", "n/a", "1441",
+         std::to_string(ip_to_tcp + tcp_to_sock)});
+  t.print();
+
+  // mCPI context (Section 5): DEC Unix measured at 2.3 vs the optimally
+  // configured x-kernel.
+  auto all = harness::run_config(net::StackKind::kTcpIp,
+                                 code::StackConfig::All(),
+                                 code::StackConfig::All());
+  std::printf("mCPI: DEC Unix (paper) = 2.3; x-kernel ALL (measured) = %.2f; "
+              "x-kernel STD (measured) = %.2f\n",
+              all.client.steady.mcpi(), e.run().client.steady.mcpi());
+  std::printf("Paper note: x-kernel CPI 3.3 vs DEC Unix CPI 4.26 on the same "
+              "task boundaries.\n");
+  return 0;
+}

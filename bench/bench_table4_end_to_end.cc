@@ -1,0 +1,48 @@
+// Table 4: End-to-end Roundtrip Latency — six configurations, both stacks,
+// mean +/- stddev and per-cent slowdown vs ALL.
+#include "harness/experiment.h"
+#include "harness/tables.h"
+
+using namespace l96;
+
+int main() {
+  struct PaperRef {
+    const char* name;
+    double tcp, rpc;
+  };
+  const PaperRef paper[] = {
+      {"BAD", 498.8, 457.1}, {"STD", 351.0, 399.2}, {"OUT", 336.1, 394.6},
+      {"CLO", 325.5, 383.1}, {"PIN", 317.1, 367.3}, {"ALL", 310.8, 365.5},
+  };
+
+  for (auto kind : {net::StackKind::kTcpIp, net::StackKind::kRpc}) {
+    const bool rpc = kind == net::StackKind::kRpc;
+    harness::Table t(std::string("Table 4: End-to-end Roundtrip Latency — ") +
+                     (rpc ? "RPC" : "TCP/IP"));
+    t.columns({"Version", "Te [us]", "D [%]", "paper Te", "paper D%"});
+
+    std::vector<std::pair<std::string, harness::MeanSd>> rows;
+    double best = 0;
+    for (const auto& cfg : harness::paper_configs()) {
+      // RPC experiments pin the server at ALL (Section 4.2); TCP/IP applies
+      // the configuration to both sides.
+      const auto scfg = rpc ? code::StackConfig::All() : cfg;
+      harness::Experiment e(kind, cfg, scfg);
+      const auto samples = e.te_samples(rpc ? 5 : 10);
+      const auto ms = harness::mean_sd(samples);
+      rows.emplace_back(cfg.name, ms);
+      if (cfg.name == "ALL") best = ms.mean;
+    }
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const auto& [name, ms] = rows[i];
+      const double delta = 100.0 * (ms.mean - best) / best;
+      const double pte = rpc ? paper[i].rpc : paper[i].tcp;
+      const double pbest = rpc ? paper[5].rpc : paper[5].tcp;
+      t.row({name, harness::fmt_pm(ms.mean, ms.sd),
+             "+" + harness::fmt(delta), harness::fmt(pte),
+             "+" + harness::fmt(100.0 * (pte - pbest) / pbest)});
+    }
+    t.print();
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Table 5: End-to-end Roundtrip Latency Adjusted for Network Controller —
+// Table 4 minus the 2x105us LANCE controller + wire overhead.
+#include "harness/experiment.h"
+#include "harness/tables.h"
+
+using namespace l96;
+
+int main() {
+  struct PaperRef {
+    const char* name;
+    double tcp, rpc;
+  };
+  const PaperRef paper[] = {
+      {"BAD", 288.8, 247.1}, {"STD", 141.0, 189.2}, {"OUT", 126.1, 184.6},
+      {"CLO", 115.5, 173.1}, {"PIN", 107.1, 157.3}, {"ALL", 100.8, 155.5},
+  };
+
+  for (auto kind : {net::StackKind::kTcpIp, net::StackKind::kRpc}) {
+    const bool rpc = kind == net::StackKind::kRpc;
+    harness::Table t(
+        std::string("Table 5: Adjusted Roundtrip Latency (minus 210us) — ") +
+        (rpc ? "RPC" : "TCP/IP"));
+    t.columns({"Version", "Te' [us]", "D [%]", "paper Te'", "paper D%"});
+
+    std::vector<std::pair<std::string, double>> rows;
+    double best = 0;
+    for (const auto& cfg : harness::paper_configs()) {
+      const auto scfg = rpc ? code::StackConfig::All() : cfg;
+      auto r = harness::run_config(kind, cfg, scfg);
+      rows.emplace_back(cfg.name, r.te_adjusted);
+      if (cfg.name == "ALL") best = r.te_adjusted;
+    }
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const auto& [name, te] = rows[i];
+      const double pte = rpc ? paper[i].rpc : paper[i].tcp;
+      const double pbest = rpc ? paper[5].rpc : paper[5].tcp;
+      t.row({name, harness::fmt(te), "+" + harness::fmt(100.0 * (te - best) / best),
+             harness::fmt(pte),
+             "+" + harness::fmt(100.0 * (pte - pbest) / pbest)});
+    }
+    t.print();
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Table 6: Cache Performance — (Miss, Acc, Repl) for the i-cache, the
+// combined d-cache/write-buffer, and the b-cache, per configuration, from
+// the trace-driven cold-cache simulation (the paper's methodology).
+#include "harness/experiment.h"
+#include "harness/tables.h"
+
+using namespace l96;
+
+int main() {
+  for (auto kind : {net::StackKind::kTcpIp, net::StackKind::kRpc}) {
+    const bool rpc = kind == net::StackKind::kRpc;
+    harness::Table t(std::string("Table 6: Cache Performance — ") +
+                     (rpc ? "RPC" : "TCP/IP") +
+                     " (paper TCP/IP STD: i 586/4750/72, d 492/1845/56, "
+                     "b 800/1286/0)");
+    t.columns({"Version", "i-Miss", "i-Acc", "i-Repl", "d-Miss", "d-Acc",
+               "d-Repl", "b-Miss", "b-Acc", "b-Repl"});
+    for (const auto& cfg : harness::paper_configs()) {
+      const auto scfg = rpc ? code::StackConfig::All() : cfg;
+      auto r = harness::run_config(kind, cfg, scfg);
+      const auto& c = r.client.cold;
+      t.row({cfg.name, std::to_string(c.icache.misses),
+             std::to_string(c.icache.accesses),
+             std::to_string(c.icache.repl_misses),
+             std::to_string(c.dcache_combined.misses),
+             std::to_string(c.dcache_combined.accesses),
+             std::to_string(c.dcache_combined.repl_misses),
+             std::to_string(c.bcache.misses),
+             std::to_string(c.bcache.accesses),
+             std::to_string(c.bcache.repl_misses)});
+    }
+    t.print();
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Table 7: Processing time, trace length, mCPI and iCPI per configuration,
+// from the steady-state replay (warm b-cache, primary caches polluted by
+// untraced code between activations).
+#include "harness/experiment.h"
+#include "harness/tables.h"
+
+using namespace l96;
+
+int main() {
+  for (auto kind : {net::StackKind::kTcpIp, net::StackKind::kRpc}) {
+    const bool rpc = kind == net::StackKind::kRpc;
+    harness::Table t(
+        std::string("Table 7: Processing Time and CPI decomposition — ") +
+        (rpc ? "RPC (paper: ALL mCPI 0.81, BAD/ALL ratio 5.8)"
+             : "TCP/IP (paper: BAD/ALL mCPI ratio 3.9; outlining improves "
+               "iCPI by ~0.1)"));
+    t.columns({"Version", "Tp [us]", "Length", "mCPI", "iCPI", "CPI",
+               "taken-br"});
+    for (const auto& cfg : harness::paper_configs()) {
+      const auto scfg = rpc ? code::StackConfig::All() : cfg;
+      auto r = harness::run_config(kind, cfg, scfg);
+      const auto& s = r.client.steady;
+      t.row({cfg.name, harness::fmt(r.client.tp_us),
+             std::to_string(r.client.instructions), harness::fmt(s.mcpi(), 2),
+             harness::fmt(s.icpi(), 2), harness::fmt(s.cpi(), 2),
+             std::to_string(s.taken_branches)});
+    }
+    t.print();
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Table 8: Comparison of Latency Improvement — for each technique
+// transition: the share of the b-cache access reduction due to the i-cache
+// (I%), the end-to-end and processing-time improvements, and the b-cache
+// access / replacement-miss deltas.
+#include "harness/experiment.h"
+#include "harness/tables.h"
+
+using namespace l96;
+
+namespace {
+
+struct Step {
+  const char* label;
+  const char* from;
+  const char* to;
+};
+
+harness::ConfigResult run_named(net::StackKind kind, const char* name) {
+  for (const auto& cfg : harness::paper_configs()) {
+    if (cfg.name == name) {
+      const auto scfg =
+          kind == net::StackKind::kRpc ? code::StackConfig::All() : cfg;
+      return harness::run_config(kind, cfg, scfg);
+    }
+  }
+  throw std::logic_error("unknown config");
+}
+
+}  // namespace
+
+int main() {
+  const Step steps[] = {
+      {"BAD->CLO", "BAD", "CLO"}, {"STD->OUT", "STD", "OUT"},
+      {"OUT->CLO", "OUT", "CLO"}, {"OUT->PIN", "OUT", "PIN"},
+      {"PIN->ALL", "PIN", "ALL"},
+  };
+
+  for (auto kind : {net::StackKind::kTcpIp, net::StackKind::kRpc}) {
+    const bool rpc = kind == net::StackKind::kRpc;
+    harness::Table t(std::string("Table 8: Latency Improvement Comparison — ") +
+                     (rpc ? "RPC" : "TCP/IP") +
+                     " (I% = share of b-cache access reduction due to the "
+                     "i-cache; paper: >90% for outlining/cloning steps)");
+    t.columns({"Step", "I [%]", "dTe [us]", "dTp [us]", "dNb", "dNm"});
+    for (const Step& s : steps) {
+      auto from = run_named(kind, s.from);
+      auto to = run_named(kind, s.to);
+      const auto& cf = from.client.steady;
+      const auto& ct = to.client.steady;
+      const double d_btotal = static_cast<double>(cf.traffic.total()) -
+                              static_cast<double>(ct.traffic.total());
+      const double d_bifetch = static_cast<double>(cf.traffic.from_ifetch) -
+                               static_cast<double>(ct.traffic.from_ifetch);
+      const double ipct = d_btotal != 0 ? 100.0 * d_bifetch / d_btotal : 0.0;
+      t.row({s.label, harness::fmt(ipct, 0),
+             harness::fmt(from.te_us - to.te_us),
+             harness::fmt(from.client.tp_us - to.client.tp_us),
+             std::to_string(static_cast<long long>(cf.bcache.accesses) -
+                            static_cast<long long>(ct.bcache.accesses)),
+             std::to_string(static_cast<long long>(cf.bcache.repl_misses) -
+                            static_cast<long long>(ct.bcache.repl_misses))});
+    }
+    t.print();
+  }
+  return 0;
+}

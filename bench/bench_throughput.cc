@@ -1,0 +1,35 @@
+// Throughput check (Section 4.1): none of the latency techniques may hurt
+// throughput; the paper observed slight improvements.
+#include "harness/tables.h"
+#include "harness/throughput.h"
+
+using namespace l96;
+
+int main() {
+  {
+    harness::Table t("Throughput: TCP bulk transfer (256 KiB)");
+    t.columns({"Version", "goodput [kB/s]", "frames", "rexmt",
+               "per-roundtrip Tp [us]"});
+    for (const auto& cfg : {code::StackConfig::Std(), code::StackConfig::Out(),
+                            code::StackConfig::Clo(), code::StackConfig::Pin(),
+                            code::StackConfig::All()}) {
+      auto r = harness::measure_tcp_throughput(cfg);
+      t.row({cfg.name, harness::fmt(r.kbytes_per_second),
+             std::to_string(r.frames), std::to_string(r.retransmits),
+             harness::fmt(r.processing_us)});
+    }
+    t.print();
+  }
+  {
+    harness::Table t("Throughput: RPC 32 x 8 KiB calls (BLAST-fragmented)");
+    t.columns({"Version", "goodput [kB/s]", "frames"});
+    for (const auto& cfg : {code::StackConfig::Std(),
+                            code::StackConfig::All()}) {
+      auto r = harness::measure_rpc_throughput(cfg);
+      t.row({cfg.name, harness::fmt(r.kbytes_per_second),
+             std::to_string(r.frames)});
+    }
+    t.print();
+  }
+  return 0;
+}

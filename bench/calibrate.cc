@@ -1,0 +1,60 @@
+// Calibration utility: prints the detailed per-configuration metrics used
+// to tune the code model's instruction counts against the paper's Tables
+// 6, 7 and 9.  Not itself a paper table.
+#include <cstdio>
+
+#include "harness/experiment.h"
+
+using namespace l96;
+
+static void run_stack(net::StackKind kind, const char* name) {
+  std::printf("---- %s ----\n", name);
+  std::printf("%-5s %6s %6s | i:%6s %6s %5s | d:%6s %6s | b:%6s %6s %5s | "
+              "%7s %5s %5s %5s | hot %6s tot %6s unused %4s\n",
+              "cfg", "instr", "crit", "miss", "acc", "repl", "miss", "acc",
+              "miss", "acc", "repl", "Tp_us", "CPI", "iCPI", "mCPI",
+              "wrds", "wrds", "%");
+  for (const auto& cfg : harness::paper_configs()) {
+    const auto scfg = kind == net::StackKind::kRpc ? code::StackConfig::All()
+                                                   : cfg;
+    auto r = harness::run_config(kind, cfg, scfg);
+    const auto& c = r.client;
+    std::printf("%-5s %6llu %6llu | %8llu %6llu %5llu | %8llu %6llu | "
+                "%8llu %6llu %5llu | %7.1f %5.2f %5.2f %5.2f | %6llu %6llu "
+                "%4.0f  Te=%.1f adj=%.1f\n",
+                cfg.name.c_str(), (unsigned long long)c.instructions,
+                (unsigned long long)c.critical_instructions,
+                (unsigned long long)c.cold.icache.misses,
+                (unsigned long long)c.cold.icache.accesses,
+                (unsigned long long)c.cold.icache.repl_misses,
+                (unsigned long long)c.cold.dcache_combined.misses,
+                (unsigned long long)c.cold.dcache_combined.accesses,
+                (unsigned long long)c.cold.bcache.misses,
+                (unsigned long long)c.cold.bcache.accesses,
+                (unsigned long long)c.cold.bcache.repl_misses,
+                c.tp_us, c.steady.cpi(), c.steady.icpi(), c.steady.mcpi(),
+                (unsigned long long)c.static_hot_words,
+                (unsigned long long)c.static_total_words,
+                100.0 * c.footprint.unused_fraction, r.te_us, r.te_adjusted);
+    std::printf(
+        "      steady: i-miss %llu (repl %llu) d-miss %llu b-miss %llu "
+        "(repl %llu) | stalls i=%llu d=%llu w=%llu | taken %llu | "
+        "fp-blocks %llu\n",
+        (unsigned long long)c.steady.icache.misses,
+        (unsigned long long)c.steady.icache.repl_misses,
+        (unsigned long long)c.steady.dcache_combined.misses,
+        (unsigned long long)c.steady.bcache.misses,
+        (unsigned long long)c.steady.bcache.repl_misses,
+        (unsigned long long)c.steady.stalls.ifetch_stall_cycles,
+        (unsigned long long)c.steady.stalls.load_stall_cycles,
+        (unsigned long long)c.steady.stalls.store_stall_cycles,
+        (unsigned long long)c.steady.taken_branches,
+        (unsigned long long)c.footprint.blocks_fetched);
+  }
+}
+
+int main() {
+  run_stack(net::StackKind::kTcpIp, "TCP/IP");
+  run_stack(net::StackKind::kRpc, "RPC");
+  return 0;
+}

@@ -1,0 +1,56 @@
+#include "code/analysis.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace l96::code {
+
+FootprintStats footprint_stats(const sim::MachineTrace& trace,
+                               const CodeImage& image,
+                               std::uint32_t block_bytes) {
+  std::unordered_set<sim::Addr> blocks;
+  std::unordered_set<sim::Addr> words;
+  for (const sim::MachineInstr& in : trace) {
+    blocks.insert(in.pc / block_bytes);
+    words.insert(in.pc / 4);
+  }
+  FootprintStats s;
+  s.blocks_fetched = blocks.size();
+  s.words_executed = words.size();
+  const std::uint64_t capacity = s.blocks_fetched * (block_bytes / 4);
+  s.unused_fraction =
+      capacity == 0
+          ? 0.0
+          : 1.0 - static_cast<double>(s.words_executed) /
+                      static_cast<double>(capacity);
+  s.static_path_words = image.hot_words();
+  return s;
+}
+
+std::string footprint_map(const sim::MachineTrace& trace,
+                          std::uint32_t icache_bytes,
+                          std::uint32_t block_bytes,
+                          std::uint32_t columns) {
+  const std::uint32_t sets = icache_bytes / block_bytes;
+  std::unordered_map<std::uint32_t, std::unordered_set<sim::Addr>> per_set;
+  for (const sim::MachineInstr& in : trace) {
+    const sim::Addr block = in.pc / block_bytes;
+    per_set[static_cast<std::uint32_t>(block % sets)].insert(block);
+  }
+  std::string out;
+  out.reserve(sets + sets / columns + 2);
+  for (std::uint32_t s = 0; s < sets; ++s) {
+    auto it = per_set.find(s);
+    if (it == per_set.end()) {
+      out.push_back('.');
+    } else if (it->second.size() == 1) {
+      out.push_back('+');
+    } else {
+      out.push_back('#');
+    }
+    if ((s + 1) % columns == 0) out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace l96::code

@@ -1,0 +1,42 @@
+#include "code/classifier.h"
+
+namespace l96::code {
+
+void PacketClassifier::add_path(std::string name, int path_id,
+                                std::vector<ClassifierRule> rules) {
+  paths_.push_back({std::move(name), path_id, std::move(rules)});
+}
+
+bool PacketClassifier::rule_matches(const ClassifierRule& r,
+                                    std::span<const std::uint8_t> frame) {
+  if (static_cast<std::size_t>(r.offset) + r.size > frame.size()) return false;
+  std::uint32_t v = 0;
+  for (std::uint8_t i = 0; i < r.size; ++i) {
+    v = (v << 8) | frame[r.offset + i];
+  }
+  return (v & r.mask) == (r.value & r.mask);
+}
+
+std::optional<int> PacketClassifier::classify(
+    std::span<const std::uint8_t> frame) const {
+  for (const PathEntry& p : paths_) {
+    bool ok = true;
+    for (const ClassifierRule& r : p.rules) {
+      if (!rule_matches(r, frame)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return p.id;
+  }
+  return std::nullopt;
+}
+
+const std::string* PacketClassifier::path_name(int path_id) const {
+  for (const PathEntry& p : paths_) {
+    if (p.id == path_id) return &p.name;
+  }
+  return nullptr;
+}
+
+}  // namespace l96::code

@@ -1,0 +1,59 @@
+// Lowering: expand a recorded PathTrace into a machine-level instruction
+// trace under a concrete CodeImage.
+//
+// This is the reproduction's "execution" of compiled code: every kBlock
+// event becomes that block's instructions at its placed addresses; kCall /
+// kReturn events become call sequences, prologues and epilogues; explicit
+// kLoad/kStore events become memory instructions at the recorded simulated
+// data addresses; generic stack traffic is synthesized against the
+// simulated stack frame.  Control-flow discontinuities become taken
+// branches, so outlining (adjacent mainline blocks) and path-inlining
+// (no call overhead, composite blocks in execution order) naturally reduce
+// both the instruction count and the taken-branch count, exactly the
+// effects the paper measures.
+#pragma once
+
+#include <cstdint>
+
+#include "code/image.h"
+#include "code/model.h"
+#include "code/trace.h"
+#include "sim/instr.h"
+
+namespace l96::code {
+
+struct LowerParams {
+  sim::Addr stack_top = 0x9008'0000;
+  /// Emit the GOT load for call sequences that need one (adds d-cache
+  /// traffic for indirect calls, as on the real Alpha).
+  bool got_loads = true;
+  /// Implicit per-block frame traffic beyond the declared references:
+  /// compiled protocol code is roughly 38% memory operations (spills,
+  /// field accesses the descriptors do not itemize).  One extra frame load
+  /// every `implicit_load_every` slots and one store every
+  /// `implicit_store_every` slots.  0 disables.
+  std::uint32_t implicit_load_every = 3;
+  std::uint32_t implicit_store_every = 9;
+  /// Per-function static data (globals, protocol statistics, tables):
+  /// implicit loads alternate between the stack frame and a 256-byte
+  /// globals region per function, so the d-cache sees realistic spread.
+  sim::Addr globals_base = 0xB004'0000;
+  std::uint32_t globals_span_bytes = 256;
+};
+
+class Lowering {
+ public:
+  Lowering(const CodeRegistry& reg, const CodeImage& img,
+           const StackConfig& cfg, LowerParams params = {})
+      : reg_(reg), img_(img), cfg_(cfg), params_(params) {}
+
+  sim::MachineTrace lower(const PathTrace& trace) const;
+
+ private:
+  const CodeRegistry& reg_;
+  const CodeImage& img_;
+  const StackConfig& cfg_;
+  LowerParams params_;
+};
+
+}  // namespace l96::code

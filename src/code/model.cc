@@ -1,0 +1,51 @@
+#include "code/model.h"
+
+#include <stdexcept>
+
+namespace l96::code {
+
+std::uint32_t Function::mainline_instructions() const noexcept {
+  std::uint32_t n = 0;
+  for (const auto& b : blocks) {
+    if (!outline_candidate(b.cls)) n += b.instructions;
+  }
+  return n;
+}
+
+std::uint32_t Function::outlined_instructions() const noexcept {
+  std::uint32_t n = 0;
+  for (const auto& b : blocks) {
+    if (outline_candidate(b.cls)) n += b.instructions;
+  }
+  return n;
+}
+
+std::uint32_t Function::total_instructions() const noexcept {
+  return mainline_instructions() + outlined_instructions();
+}
+
+FnId CodeRegistry::add(Function fn) {
+  if (by_name_.contains(fn.name)) {
+    throw std::invalid_argument("duplicate function name: " + fn.name);
+  }
+  const FnId id = static_cast<FnId>(fns_.size());
+  fn.id = id;
+  by_name_.emplace(fn.name, id);
+  fns_.push_back(std::move(fn));
+  return id;
+}
+
+FnId CodeRegistry::find(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? kInvalidFn : it->second;
+}
+
+FnId CodeRegistry::require(std::string_view name) const {
+  const FnId id = find(name);
+  if (id == kInvalidFn) {
+    throw std::out_of_range("unknown function: " + std::string(name));
+  }
+  return id;
+}
+
+}  // namespace l96::code

@@ -1,0 +1,118 @@
+// The code model: an explicit description of every traced function as a
+// list of basic blocks with instruction counts and block classes.
+//
+// This is the reproduction's stand-in for compiled Alpha machine code.  The
+// techniques under study — outlining, cloning, path-inlining — are address-
+// assignment and code-shape transforms, so they operate on this model; the
+// protocol implementations emit (function, block) events while running real
+// C++ code, and the lowering pass expands those events into an instruction-
+// level trace under a chosen code image.
+//
+// Block classes mirror the paper's outlining candidates (Section 3.1):
+// error handling, initialization code, and unrolled loops are the blocks a
+// PREDICT_FALSE annotation would mark; everything else is mainline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace l96::code {
+
+using FnId = std::uint32_t;
+using BlockId = std::uint32_t;
+inline constexpr FnId kInvalidFn = ~FnId{0};
+
+/// Outlining classification of a basic block.
+enum class BlockClass : std::uint8_t {
+  kMainline,   ///< on the expected path
+  kError,      ///< expensive error handling (PREDICT_FALSE)
+  kInit,       ///< one-time initialization (PREDICT_FALSE)
+  kColdLoop,   ///< unrolled-loop body not entered for small messages
+};
+
+constexpr bool outline_candidate(BlockClass c) noexcept {
+  return c != BlockClass::kMainline;
+}
+
+/// Function classification for the bipartite layout (Section 3.2): path
+/// functions run once per path invocation; library functions are called
+/// repeatedly and should stay cached across calls.
+enum class FnKind : std::uint8_t { kPath, kLibrary };
+
+struct BasicBlock {
+  std::string label;
+  BlockClass cls = BlockClass::kMainline;
+  /// Instructions in the block in the base compilation.
+  std::uint16_t instructions = 0;
+  /// Generic stack traffic lowered against the simulated stack frame.
+  std::uint8_t stack_reads = 0;
+  std::uint8_t stack_writes = 0;
+  /// Integer multiplies (long fixed latency; the Alpha has no divide —
+  /// division appears as a called library routine, not a block attribute).
+  std::uint8_t imuls = 0;
+  /// Call sites in this block (reserves image space for call sequences).
+  std::uint8_t call_sites = 0;
+};
+
+struct Function {
+  FnId id = kInvalidFn;
+  std::string name;
+  FnKind kind = FnKind::kPath;
+  /// Register-save frame setup / teardown instruction counts.  Leaf
+  /// functions get smaller frames.  Cloning specialization may skip
+  /// `prologue_skippable` of the prologue instructions.
+  std::uint8_t prologue_instrs = 6;
+  std::uint8_t epilogue_instrs = 4;
+  std::uint8_t prologue_skippable = 2;
+  /// Stack frame bytes (simulated d-cache footprint of locals/saves).
+  std::uint16_t frame_bytes = 64;
+  /// Per-mille dynamic instruction discount applied to mainline blocks when
+  /// this function is absorbed into a path composite (context available to
+  /// the optimizer: removed redundant loads, constant-folded arguments).
+  std::uint16_t pin_discount_permille = 0;
+  /// Additional per-mille discount available when cloning is delayed until
+  /// connection establishment (Section 3.2: "most connection state will
+  /// remain constant and can be used to partially evaluate the cloned
+  /// function") — ports, addresses, negotiated options fold to constants.
+  std::uint16_t connect_discount_permille = 0;
+  std::vector<BasicBlock> blocks;
+
+  std::uint32_t mainline_instructions() const noexcept;
+  std::uint32_t outlined_instructions() const noexcept;
+  std::uint32_t total_instructions() const noexcept;
+};
+
+/// Registry of all functions in one stack build.  FnIds are dense indices.
+class CodeRegistry {
+ public:
+  /// Register a function; returns its id.  Names must be unique.
+  FnId add(Function fn);
+
+  const Function& fn(FnId id) const { return fns_.at(id); }
+  Function& fn(FnId id) { return fns_.at(id); }
+
+  /// Lookup by name; returns kInvalidFn if absent.
+  FnId find(std::string_view name) const;
+  /// Lookup by name; throws if absent.
+  FnId require(std::string_view name) const;
+
+  std::size_t size() const noexcept { return fns_.size(); }
+  const std::vector<Function>& functions() const noexcept { return fns_; }
+
+ private:
+  std::vector<Function> fns_;
+  std::unordered_map<std::string, FnId> by_name_;
+};
+
+/// A declared latency-critical path for path-inlining: the ordered set of
+/// functions collapsed into one composite (Section 3.3).  Membership, not
+/// order, drives lowering; order determines the composite's code layout.
+struct PathSpec {
+  std::string name;
+  std::vector<FnId> members;
+};
+
+}  // namespace l96::code

@@ -1,0 +1,97 @@
+// Path traces: the event stream the running protocol code emits.
+//
+// While the protocol stack processes a packet functionally, instrumentation
+// hooks record which function was called, which basic blocks executed, and
+// which protocol data structures were touched (with deterministic simulated
+// addresses from xkernel::SimAlloc).  The lowering pass later expands this
+// stream into a machine-level instruction trace under a given code image.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "code/model.h"
+
+namespace l96::code {
+
+enum class EventKind : std::uint8_t {
+  kCall,    ///< enter function `fn`
+  kReturn,  ///< leave current function
+  kBlock,   ///< execute basic block `block` of the current function
+  kLoad,    ///< explicit data load at simulated address `addr`
+  kStore,   ///< explicit data store at simulated address `addr`
+  kMarker,  ///< out-of-band marker (`addr` carries the marker code)
+};
+
+/// Marker codes (Event::addr for kMarker events).
+enum Marker : std::uint64_t {
+  /// The packet classifier did not match the inlined path: until
+  /// kSlowPathEnd, lowering must use the standalone (cold-segment)
+  /// function placements instead of the path composites.
+  kSlowPathBegin = 1,
+  kSlowPathEnd = 2,
+};
+
+struct Event {
+  EventKind kind;
+  FnId fn = kInvalidFn;       // kCall, kBlock
+  BlockId block = 0;          // kBlock
+  std::uint64_t addr = 0;     // kLoad / kStore
+  std::uint16_t bytes = 0;    // kLoad / kStore access width
+};
+
+struct PathTrace {
+  std::vector<Event> events;
+
+  void clear() { events.clear(); }
+  bool empty() const noexcept { return events.empty(); }
+};
+
+/// Recorder the protocol code writes into.  Recording can be switched off
+/// (e.g. on the server side, or while running pure functional tests) at
+/// negligible cost.
+class Recorder {
+ public:
+  void enable(PathTrace* sink) noexcept { sink_ = sink; }
+  void disable() noexcept { sink_ = nullptr; }
+  bool enabled() const noexcept { return sink_ != nullptr; }
+
+  void call(FnId fn) {
+    if (sink_) sink_->events.push_back({EventKind::kCall, fn, 0, 0, 0});
+  }
+  void ret() {
+    if (sink_) sink_->events.push_back({EventKind::kReturn, kInvalidFn, 0, 0, 0});
+  }
+  void block(FnId fn, BlockId b) {
+    if (sink_) sink_->events.push_back({EventKind::kBlock, fn, b, 0, 0});
+  }
+  void load(std::uint64_t addr, std::uint16_t bytes = 8) {
+    if (sink_)
+      sink_->events.push_back({EventKind::kLoad, kInvalidFn, 0, addr, bytes});
+  }
+  void store(std::uint64_t addr, std::uint16_t bytes = 8) {
+    if (sink_)
+      sink_->events.push_back({EventKind::kStore, kInvalidFn, 0, addr, bytes});
+  }
+  void marker(std::uint64_t code) {
+    if (sink_)
+      sink_->events.push_back({EventKind::kMarker, kInvalidFn, 0, code, 0});
+  }
+
+ private:
+  PathTrace* sink_ = nullptr;
+};
+
+/// RAII guard emitting kCall on construction and kReturn on destruction.
+class TracedCall {
+ public:
+  TracedCall(Recorder& rec, FnId fn) : rec_(rec) { rec_.call(fn); }
+  ~TracedCall() { rec_.ret(); }
+  TracedCall(const TracedCall&) = delete;
+  TracedCall& operator=(const TracedCall&) = delete;
+
+ private:
+  Recorder& rec_;
+};
+
+}  // namespace l96::code

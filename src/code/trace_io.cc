@@ -1,0 +1,120 @@
+#include "code/trace_io.h"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace l96::code {
+
+void write_path_trace(std::ostream& os, const PathTrace& trace,
+                      const CodeRegistry* reg) {
+  os << "# latency96 path trace, " << trace.events.size() << " events\n";
+  if (reg != nullptr) {
+    os << "# functions:\n";
+    for (const Function& f : reg->functions()) {
+      os << "#   " << f.id << " " << f.name << "\n";
+    }
+  }
+  for (const Event& ev : trace.events) {
+    switch (ev.kind) {
+      case EventKind::kCall:
+        os << "C " << ev.fn << "\n";
+        break;
+      case EventKind::kReturn:
+        os << "R\n";
+        break;
+      case EventKind::kBlock:
+        os << "B " << ev.fn << " " << ev.block << "\n";
+        break;
+      case EventKind::kLoad:
+        os << "L " << std::hex << ev.addr << std::dec << " " << ev.bytes
+           << "\n";
+        break;
+      case EventKind::kStore:
+        os << "S " << std::hex << ev.addr << std::dec << " " << ev.bytes
+           << "\n";
+        break;
+      case EventKind::kMarker:
+        os << "M " << ev.addr << "\n";
+        break;
+    }
+  }
+}
+
+PathTrace read_path_trace(std::istream& is) {
+  PathTrace t;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    char tag = 0;
+    ls >> tag;
+    Event ev{};
+    switch (tag) {
+      case 'C': {
+        ev.kind = EventKind::kCall;
+        ls >> ev.fn;
+        break;
+      }
+      case 'R':
+        ev.kind = EventKind::kReturn;
+        ev.fn = kInvalidFn;
+        break;
+      case 'B':
+        ev.kind = EventKind::kBlock;
+        ls >> ev.fn >> ev.block;
+        break;
+      case 'L':
+      case 'S':
+        ev.kind = tag == 'L' ? EventKind::kLoad : EventKind::kStore;
+        ev.fn = kInvalidFn;
+        ls >> std::hex >> ev.addr >> std::dec >> ev.bytes;
+        break;
+      case 'M':
+        ev.kind = EventKind::kMarker;
+        ev.fn = kInvalidFn;
+        ls >> ev.addr;
+        break;
+      default:
+        throw std::runtime_error("trace parse error at line " +
+                                 std::to_string(lineno) + ": '" + line + "'");
+    }
+    if (ls.fail()) {
+      throw std::runtime_error("trace parse error at line " +
+                               std::to_string(lineno) + ": '" + line + "'");
+    }
+    t.events.push_back(ev);
+  }
+  return t;
+}
+
+std::string path_trace_to_string(const PathTrace& trace,
+                                 const CodeRegistry* reg) {
+  std::ostringstream ss;
+  write_path_trace(ss, trace, reg);
+  return ss.str();
+}
+
+PathTrace path_trace_from_string(const std::string& text) {
+  std::istringstream ss(text);
+  return read_path_trace(ss);
+}
+
+void write_machine_trace(std::ostream& os, const sim::MachineTrace& trace) {
+  os << "# pc cls ea taken (" << trace.size() << " instructions)\n";
+  static const char* names[] = {"ialu", "load", "store", "cbr",
+                                "jmp",  "call", "ret",   "imul",
+                                "fp",   "nop"};
+  for (const sim::MachineInstr& in : trace) {
+    os << std::hex << in.pc << std::dec << " "
+       << names[static_cast<int>(in.cls)];
+    if (sim::is_memory(in.cls)) os << " " << std::hex << in.ea << std::dec;
+    if (sim::is_control(in.cls) && in.taken) os << " taken";
+    os << "\n";
+  }
+}
+
+}  // namespace l96::code

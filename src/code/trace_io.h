@@ -1,0 +1,42 @@
+// Trace serialization.
+//
+// The paper's instruction traces were published via anonymous FTP; this
+// module provides the equivalent: a line-oriented text format for captured
+// PathTraces (portable, diffable, loadable for offline analysis) and a
+// summary dump for lowered machine traces.
+//
+// PathTrace format, one event per line:
+//   C <fn>          call
+//   R               return
+//   B <fn> <block>  basic block
+//   L <addr> <n>    load  (hex address, byte count)
+//   S <addr> <n>    store
+//   M <code>        marker
+// Lines starting with '#' are comments.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "code/model.h"
+#include "code/trace.h"
+#include "sim/instr.h"
+
+namespace l96::code {
+
+/// Write `trace` in the text format; `reg` adds function names as comments.
+void write_path_trace(std::ostream& os, const PathTrace& trace,
+                      const CodeRegistry* reg = nullptr);
+
+/// Parse the text format.  Throws std::runtime_error on malformed input.
+PathTrace read_path_trace(std::istream& is);
+
+/// Convenience: serialize to / parse from a string.
+std::string path_trace_to_string(const PathTrace& trace,
+                                 const CodeRegistry* reg = nullptr);
+PathTrace path_trace_from_string(const std::string& text);
+
+/// Dump a lowered machine trace (pc, class, ea) — one instruction per line.
+void write_machine_trace(std::ostream& os, const sim::MachineTrace& trace);
+
+}  // namespace l96::code

@@ -1,0 +1,200 @@
+#include "harness/experiment.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "protocols/stack_code.h"
+#include "xkernel/simalloc.h"
+
+namespace l96::harness {
+
+Experiment::Experiment(net::StackKind kind, code::StackConfig client_cfg,
+                       code::StackConfig server_cfg, MachineParams params)
+    : kind_(kind),
+      client_cfg_(std::move(client_cfg)),
+      server_cfg_(std::move(server_cfg)),
+      params_(params) {
+  world_ = std::make_unique<net::World>(kind_, client_cfg_, server_cfg_);
+}
+
+void Experiment::capture() {
+  if (captured_) return;
+  world_->start(~std::uint64_t{0});
+
+  const std::uint64_t warm = 64;
+  if (!world_->run_until_roundtrips(warm)) {
+    throw std::runtime_error("world did not reach warm-up roundtrips");
+  }
+  world_->client().arm_capture(&client_trace_);
+  if (!world_->run_until_roundtrips(warm + 1)) {
+    throw std::runtime_error("client capture roundtrip did not complete");
+  }
+  client_split_ = world_->client().tx_split();
+
+  world_->server().arm_capture(&server_trace_);
+  if (!world_->run_until_roundtrips(warm + 2)) {
+    throw std::runtime_error("server capture roundtrip did not complete");
+  }
+  server_split_ = world_->server().tx_split();
+  captured_ = true;
+}
+
+code::CodeImage Experiment::build_image(const code::StackConfig& cfg,
+                                        code::CodeRegistry& reg,
+                                        const code::PathTrace& profile) const {
+  code::ImageBuilder b(reg, cfg);
+  b.set_profile(profile);
+  b.set_conflict_data_base(xk::SimAlloc::kArenaBase);
+  b.set_cache_geometry(params_.mem.icache_bytes, params_.mem.block_bytes,
+                       params_.mem.bcache_bytes);
+  if (cfg.path_inlining) {
+    if (kind_ == net::StackKind::kTcpIp) {
+      b.declare_path(proto::tcpip_output_path(reg));
+      b.declare_path(proto::tcpip_input_path(reg));
+    } else {
+      b.declare_path(proto::rpc_output_path(reg));
+      b.declare_path(proto::rpc_input_path(reg));
+    }
+  }
+  return b.build();
+}
+
+SideMeasurement Experiment::measure_side(const code::StackConfig& cfg,
+                                         code::CodeRegistry& reg,
+                                         const code::PathTrace& trace,
+                                         std::size_t split,
+                                         std::uint64_t seed_offset) const {
+  SideMeasurement m;
+  m.config_name = cfg.name;
+
+  const code::CodeImage image = build_image(cfg, reg, trace);
+  m.static_hot_words = image.hot_words();
+  m.static_total_words = image.total_words();
+
+  code::Lowering lower(reg, image, cfg);
+  const sim::MachineTrace full = lower.lower(trace);
+  m.instructions = full.size();
+
+  code::PathTrace critical_trace;
+  critical_trace.events.assign(trace.events.begin(),
+                               trace.events.begin() +
+                                   static_cast<std::ptrdiff_t>(
+                                       std::min(split, trace.events.size())));
+  const sim::MachineTrace critical = lower.lower(critical_trace);
+  m.critical_instructions = critical.size();
+
+  // Cold replay: the paper's trace-driven cache simulation (Table 6).
+  {
+    sim::Machine machine(params_.mem, params_.cpu);
+    sim::Machine::Options opts;
+    opts.cold_start = true;
+    opts.warmup_passes = 0;
+    m.cold = machine.run(full, opts);
+  }
+  // Steady replay: processing time and CPI (Table 7).
+  sim::Machine::Options steady;
+  steady.cold_start = true;
+  steady.warmup_passes = params_.warmup_passes;
+  steady.scrub_fraction = params_.scrub_fraction;
+  steady.scrub_fraction_d = params_.scrub_fraction_d;
+  steady.scrub_seed = params_.scrub_seed + seed_offset;
+  {
+    sim::Machine machine(params_.mem, params_.cpu);
+    m.steady = machine.run(full, steady);
+    m.tp_us = m.steady.processing_us(params_.cpu.frequency_hz);
+  }
+  {
+    sim::Machine machine(params_.mem, params_.cpu);
+    m.critical = machine.run(critical, steady);
+    m.critical_us = m.critical.processing_us(params_.cpu.frequency_hz);
+  }
+
+  m.footprint = code::footprint_stats(full, image, params_.mem.block_bytes);
+  return m;
+}
+
+ConfigResult Experiment::run(std::uint64_t) {
+  capture();
+
+  ConfigResult r;
+  r.client = measure_side(client_cfg_, world_->client().registry(),
+                          client_trace_, client_split_, 0);
+  r.server = measure_side(server_cfg_, world_->server().registry(),
+                          server_trace_, server_split_, 1);
+
+  const double controller =
+      2.0 * world_->wire().params().one_way_us(proto::Lance::kMinFrame);
+  const double classify =
+      (client_cfg_.path_inlining ? params_.classifier_overhead_us : 0.0) +
+      (server_cfg_.path_inlining ? params_.classifier_overhead_us : 0.0);
+  r.te_us = controller + classify + r.client.critical_us +
+            r.server.critical_us;
+  r.te_adjusted = classify + r.client.critical_us + r.server.critical_us;
+  return r;
+}
+
+std::vector<double> Experiment::te_samples(std::uint64_t n_samples,
+                                           std::uint64_t) {
+  capture();
+  std::vector<double> out;
+  const double controller =
+      2.0 * world_->wire().params().one_way_us(proto::Lance::kMinFrame);
+  for (std::uint64_t i = 0; i < n_samples; ++i) {
+    auto c = measure_side(client_cfg_, world_->client().registry(),
+                          client_trace_, client_split_, 100 + i * 7);
+    auto s = measure_side(server_cfg_, world_->server().registry(),
+                          server_trace_, server_split_, 200 + i * 13);
+    out.push_back(controller + c.critical_us + s.critical_us);
+  }
+  return out;
+}
+
+sim::MachineTrace Experiment::lower_client(
+    const code::StackConfig& cfg_override) const {
+  auto& self = const_cast<Experiment&>(*this);
+  self.capture();
+  auto& reg = self.world_->client().registry();
+  const code::CodeImage image =
+      build_image(cfg_override, reg, client_trace_);
+  code::Lowering lower(reg, image, cfg_override);
+  return lower.lower(client_trace_);
+}
+
+sim::MachineTrace Experiment::lower_client_prefix(std::size_t count) const {
+  auto& self = const_cast<Experiment&>(*this);
+  self.capture();
+  auto& reg = self.world_->client().registry();
+  const code::CodeImage image = build_image(client_cfg_, reg, client_trace_);
+  code::PathTrace prefix;
+  prefix.events.assign(
+      client_trace_.events.begin(),
+      client_trace_.events.begin() +
+          static_cast<std::ptrdiff_t>(
+              std::min(count, client_trace_.events.size())));
+  return code::Lowering(reg, image, client_cfg_).lower(prefix);
+}
+
+std::size_t Experiment::find_client_call(std::string_view fn_name) const {
+  auto& self = const_cast<Experiment&>(*this);
+  self.capture();
+  const code::FnId id = self.world_->client().registry().require(fn_name);
+  for (std::size_t i = 0; i < client_trace_.events.size(); ++i) {
+    const auto& ev = client_trace_.events[i];
+    if (ev.kind == code::EventKind::kCall && ev.fn == id) return i;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+ConfigResult run_config(net::StackKind kind, const code::StackConfig& ccfg,
+                        const code::StackConfig& scfg, MachineParams params) {
+  Experiment e(kind, ccfg, scfg, params);
+  return e.run();
+}
+
+std::vector<code::StackConfig> paper_configs() {
+  return {code::StackConfig::Bad(), code::StackConfig::Std(),
+          code::StackConfig::Out(), code::StackConfig::Clo(),
+          code::StackConfig::Pin(), code::StackConfig::All()};
+}
+
+}  // namespace l96::harness

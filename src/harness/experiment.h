@@ -1,0 +1,141 @@
+// Experiment driver: runs a configured two-host world, captures one
+// steady-state roundtrip's protocol processing per side, lowers it under
+// the configuration's code image, and replays it through the machine model
+// — producing every number Tables 2 and 4-9 report.
+//
+// Methodology (documented in EXPERIMENTS.md):
+//  * Warm-up: enough roundtrips for TCP's congestion window to open fully,
+//    so the captured roundtrip is the steady-state latency path.
+//  * Capture: one receive-interrupt activation on each host = one
+//    roundtrip's full protocol processing (input path, the upcall that
+//    sends the next message, and the post-transmit work that overlaps the
+//    frame's flight).  The transmit point splits critical-path work from
+//    overlapped work.
+//  * Cold replay (Table 6): the trace once through cold caches — the
+//    paper's trace-driven cache simulation.
+//  * Steady replay (Table 7): warm-up passes with untraced-code cache
+//    scrubbing between activations, then one measured pass — the paper's
+//    processing-time measurement on live hardware.
+//  * End-to-end (Tables 4/5): two controller+wire traversals (the paper's
+//    measured 105 us each) plus each side's critical-path processing time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "code/analysis.h"
+#include "code/config.h"
+#include "code/image.h"
+#include "code/lower.h"
+#include "net/world.h"
+#include "sim/machine.h"
+
+namespace l96::harness {
+
+struct MachineParams {
+  sim::MemorySystem::Config mem{};
+  sim::Cpu::Config cpu{};
+  /// Steady-state replay: warm-up passes with primary-cache scrubbing in
+  /// between (untraced interrupt/context-switch code evicting lines).
+  std::uint32_t warmup_passes = 3;
+  double scrub_fraction = 1.0;
+  double scrub_fraction_d = 0.55;
+  /// Per-packet cost of the packet classifier guarding path-inlined inbound
+  /// code.  The paper measures 1-4 us for contemporary classifiers but
+  /// evaluates PIN/ALL with a zero-overhead classifier; set this to study
+  /// the tradeoff (bench_ablation_classifier).
+  double classifier_overhead_us = 0.0;
+  std::uint64_t scrub_seed = 0x9E3779B97F4A7C15ULL;
+
+  static MachineParams defaults() { return MachineParams{}; }
+};
+
+/// Everything measured for one side (client or server) of one config.
+struct SideMeasurement {
+  std::string config_name;
+  std::uint64_t instructions = 0;        ///< dynamic trace length
+  std::uint64_t critical_instructions = 0;
+  sim::RunResult cold;                   ///< Table 6 replay
+  sim::RunResult steady;                 ///< Table 7 replay
+  sim::RunResult critical;               ///< steady replay of critical prefix
+  code::FootprintStats footprint;        ///< Table 9 inputs
+  double tp_us = 0;                      ///< steady processing time
+  double critical_us = 0;                ///< pre-transmit processing time
+  std::uint64_t static_hot_words = 0;    ///< image hot-segment size
+  std::uint64_t static_total_words = 0;
+};
+
+struct ConfigResult {
+  SideMeasurement client;
+  SideMeasurement server;
+  double te_us = 0;       ///< end-to-end roundtrip (Table 4)
+  double te_adjusted = 0; ///< minus controller overhead (Table 5)
+};
+
+class Experiment {
+ public:
+  Experiment(net::StackKind kind, code::StackConfig client_cfg,
+             code::StackConfig server_cfg,
+             MachineParams params = MachineParams::defaults());
+
+  /// Run the world, capture, lower, replay; fills a ConfigResult.
+  ConfigResult run(std::uint64_t warmup_roundtrips = 64);
+
+  /// Per-sample end-to-end latency with varied scrub seeds (for the
+  /// mean +/- stddev the paper reports).
+  std::vector<double> te_samples(std::uint64_t n_samples,
+                                 std::uint64_t warmup_roundtrips = 64);
+
+  /// The captured client path trace (profile for layout, Table 3 analysis).
+  const code::PathTrace& client_trace() const noexcept { return client_trace_; }
+  const code::PathTrace& server_trace() const noexcept { return server_trace_; }
+  std::size_t client_tx_split() const noexcept { return client_split_; }
+  net::World& world() noexcept { return *world_; }
+
+  /// Lower the client trace under this config's image (exposed for the
+  /// footprint-map figure and ablation benches).
+  sim::MachineTrace lower_client(const code::StackConfig& cfg_override) const;
+  sim::MachineTrace lower_client() const { return lower_client(client_cfg_); }
+
+  /// Lower only the first `count` events of the client trace (used to count
+  /// instructions between protocol boundaries, Table 3).
+  sim::MachineTrace lower_client_prefix(std::size_t count) const;
+
+  /// Index of the first kCall event naming `fn_name` in the client trace,
+  /// or npos.
+  std::size_t find_client_call(std::string_view fn_name) const;
+
+ private:
+  void capture();
+  code::CodeImage build_image(const code::StackConfig& cfg,
+                              code::CodeRegistry& reg,
+                              const code::PathTrace& profile) const;
+  SideMeasurement measure_side(const code::StackConfig& cfg,
+                               code::CodeRegistry& reg,
+                               const code::PathTrace& trace,
+                               std::size_t split,
+                               std::uint64_t seed_offset) const;
+
+  net::StackKind kind_;
+  code::StackConfig client_cfg_;
+  code::StackConfig server_cfg_;
+  MachineParams params_;
+
+  std::unique_ptr<net::World> world_;
+  code::PathTrace client_trace_;
+  code::PathTrace server_trace_;
+  std::size_t client_split_ = 0;
+  std::size_t server_split_ = 0;
+  bool captured_ = false;
+};
+
+/// Convenience: run one configuration end to end.
+ConfigResult run_config(net::StackKind kind, const code::StackConfig& ccfg,
+                        const code::StackConfig& scfg,
+                        MachineParams params = MachineParams::defaults());
+
+/// The six paper configurations in Table 4's order.
+std::vector<code::StackConfig> paper_configs();
+
+}  // namespace l96::harness

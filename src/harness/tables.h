@@ -1,0 +1,90 @@
+// Fixed-width table rendering for the bench binaries that regenerate the
+// paper's tables.
+#pragma once
+
+#include <cmath>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace l96::harness {
+
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  Table& columns(std::vector<std::string> headers) {
+    headers_ = std::move(headers);
+    return *this;
+  }
+
+  Table& row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      widths[i] = headers_[i].size();
+    }
+    for (const auto& r : rows_) {
+      for (std::size_t i = 0; i < r.size() && i < widths.size(); ++i) {
+        widths[i] = std::max(widths[i], r[i].size());
+      }
+    }
+    os << "== " << title_ << " ==\n";
+    auto emit = [&](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < widths.size(); ++i) {
+        const std::string& c = i < cells.size() ? cells[i] : std::string();
+        os << (i == 0 ? "" : "  ") << std::setw(static_cast<int>(widths[i]))
+           << (i == 0 ? std::left : std::right) << c;
+        os.unsetf(std::ios::adjustfield);
+      }
+      os << "\n";
+    };
+    emit(headers_);
+    std::size_t total = 0;
+    for (auto w : widths) total += w + 2;
+    os << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+    for (const auto& r : rows_) emit(r);
+    os << "\n";
+  }
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int prec = 1) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(prec) << v;
+  return ss.str();
+}
+
+inline std::string fmt_pm(double mean, double sd, int prec = 1) {
+  return fmt(mean, prec) + "±" + fmt(sd, 2);
+}
+
+struct MeanSd {
+  double mean = 0;
+  double sd = 0;
+};
+
+inline MeanSd mean_sd(const std::vector<double>& xs) {
+  MeanSd m;
+  if (xs.empty()) return m;
+  for (double x : xs) m.mean += x;
+  m.mean /= static_cast<double>(xs.size());
+  if (xs.size() > 1) {
+    double s = 0;
+    for (double x : xs) s += (x - m.mean) * (x - m.mean);
+    m.sd = std::sqrt(s / static_cast<double>(xs.size() - 1));
+  }
+  return m;
+}
+
+}  // namespace l96::harness

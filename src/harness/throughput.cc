@@ -1,0 +1,115 @@
+#include "harness/throughput.h"
+
+#include <vector>
+
+namespace l96::harness {
+
+namespace {
+
+// A sink counting received bytes.
+class CountingSink final : public proto::TcpUpper {
+ public:
+  void tcp_receive(proto::TcpConn&, xk::Message& m) override {
+    received += m.length();
+  }
+  std::uint64_t received = 0;
+};
+
+class StreamSource final : public proto::TcpUpper {
+ public:
+  explicit StreamSource(std::uint64_t total) : total_(total) {}
+  void tcp_established(proto::TcpConn& c) override {
+    std::vector<std::uint8_t> chunk(4096, 0x3C);
+    std::uint64_t sent = 0;
+    while (sent < total_) {
+      const std::size_t n =
+          static_cast<std::size_t>(std::min<std::uint64_t>(4096, total_ - sent));
+      c.send({chunk.data(), n});
+      sent += n;
+    }
+  }
+  void tcp_receive(proto::TcpConn&, xk::Message&) override {}
+
+ private:
+  std::uint64_t total_;
+};
+
+}  // namespace
+
+ThroughputResult measure_tcp_throughput(const code::StackConfig& cfg,
+                                        std::uint64_t bytes) {
+  net::World world(net::StackKind::kTcpIp, cfg, cfg);
+  CountingSink sink;
+  StreamSource source(bytes);
+  world.server().tcp()->listen(9000, &sink);
+  auto* conn = world.client().tcp()->connect(world.server().address().ip,
+                                             9001, 9000, &source);
+
+  const std::uint64_t deadline = 600'000'000;  // 10 minutes simulated
+  while (sink.received < bytes && world.events().pending() > 0 &&
+         world.events().now() < deadline) {
+    world.events().advance_to_next();
+  }
+
+  // Per-packet processing cost of this configuration, from the latency
+  // experiment's steady replay.
+  Experiment e(net::StackKind::kTcpIp, cfg, cfg);
+  auto lat = e.run();
+
+  ThroughputResult r;
+  r.bytes = sink.received;
+  r.wire_seconds = world.events().now() / 1e6;
+  r.processing_us = lat.client.tp_us;
+  r.frames = world.wire().frames_carried();
+  r.retransmits = conn->retransmits();
+  // Effective time = wire time + processing per data-bearing frame on both
+  // hosts (which overlaps only partially with the wire).
+  const double proc_seconds =
+      (lat.client.tp_us + lat.server.tp_us) * 1e-6 * r.frames / 2.0;
+  r.kbytes_per_second =
+      r.bytes / 1000.0 / (r.wire_seconds + proc_seconds);
+  return r;
+}
+
+ThroughputResult measure_rpc_throughput(const code::StackConfig& cfg,
+                                        std::uint64_t calls,
+                                        std::uint64_t bytes) {
+  net::World world(net::StackKind::kRpc, cfg, code::StackConfig::All());
+  std::uint64_t echoed = 0;
+  world.server().mselect()->register_service(20, [&](xk::Message& req) {
+    xk::Message r(world.server().arena(), 0, 1);
+    r.data()[0] = static_cast<std::uint8_t>(req.length() & 0xFF);
+    return r;
+  });
+
+  std::uint64_t done = 0;
+  std::function<void()> issue = [&] {
+    if (done >= calls) return;
+    xk::Message req(world.client().arena(), 128, bytes);
+    world.client().mselect()->call(20, req, [&](xk::Message&) {
+      echoed += bytes;
+      ++done;
+      issue();
+    });
+  };
+  issue();
+  const std::uint64_t deadline = 600'000'000;
+  while (done < calls && world.events().pending() > 0 &&
+         world.events().now() < deadline) {
+    world.events().advance_to_next();
+  }
+
+  Experiment e(net::StackKind::kRpc, cfg, code::StackConfig::All());
+  auto lat = e.run();
+
+  ThroughputResult r;
+  r.bytes = echoed;
+  r.wire_seconds = world.events().now() / 1e6;
+  r.processing_us = lat.client.tp_us;
+  r.frames = world.wire().frames_carried();
+  const double proc_seconds = lat.client.tp_us * 1e-6 * r.frames / 2.0;
+  r.kbytes_per_second = r.bytes / 1000.0 / (r.wire_seconds + proc_seconds);
+  return r;
+}
+
+}  // namespace l96::harness

@@ -1,0 +1,38 @@
+// Throughput measurement (Section 4.1: "We verified that none of the
+// techniques negatively affected throughput, and in fact, they slightly
+// improved throughput performance").
+//
+// TCP: a bulk transfer through the sliding window; the wire serialization
+// dominates, with per-packet processing time added on top from the steady-
+// state machine replay of the configuration under test.  RPC: back-to-back
+// large calls through BLAST fragmentation.
+#pragma once
+
+#include <cstdint>
+
+#include "code/config.h"
+#include "harness/experiment.h"
+#include "net/world.h"
+
+namespace l96::harness {
+
+struct ThroughputResult {
+  std::uint64_t bytes = 0;
+  double wire_seconds = 0;        ///< simulated wire time
+  double processing_us = 0;       ///< per-roundtrip processing (steady)
+  double kbytes_per_second = 0;   ///< effective goodput
+  std::uint64_t frames = 0;
+  std::uint64_t retransmits = 0;
+};
+
+/// Transfer `bytes` through a TCP bulk stream under `cfg`, then add the
+/// configuration's measured per-packet processing cost to the wire time.
+ThroughputResult measure_tcp_throughput(const code::StackConfig& cfg,
+                                        std::uint64_t bytes = 256 * 1024);
+
+/// Issue `calls` RPC calls of `bytes` each (BLAST-fragmented).
+ThroughputResult measure_rpc_throughput(const code::StackConfig& cfg,
+                                        std::uint64_t calls = 32,
+                                        std::uint64_t bytes = 8 * 1024);
+
+}  // namespace l96::harness

@@ -1,0 +1,122 @@
+#include "net/host.h"
+
+#include "protocols/stack_code.h"
+
+namespace l96::net {
+
+namespace {
+
+// Classifier rules for the inbound fast path (offsets into the raw frame).
+// TCP/IP: ethertype IPv4, version/IHL 0x45, not fragmented, protocol TCP.
+// RPC: ethertype BLAST, single-fragment data message, not a NACK.
+code::PacketClassifier make_classifier(StackKind kind) {
+  code::PacketClassifier c;
+  if (kind == StackKind::kTcpIp) {
+    c.add_path("tcpip_in", 1,
+               {{.offset = 12, .size = 2, .mask = 0xFFFF, .value = 0x0800},
+                {.offset = 14, .size = 1, .mask = 0xFF, .value = 0x45},
+                {.offset = 20, .size = 2, .mask = 0x3FFF, .value = 0x0000},
+                {.offset = 23, .size = 1, .mask = 0xFF, .value = 0x06}});
+  } else {
+    c.add_path("rpc_in", 2,
+               {{.offset = 12, .size = 2, .mask = 0xFFFF, .value = 0x88B5},
+                // single fragment (nfrags == 1), flags without the NACK bit
+                {.offset = 20, .size = 2, .mask = 0xFFFF, .value = 0x0001},
+                {.offset = 26, .size = 2, .mask = 0x0001, .value = 0x0000}});
+  }
+  return c;
+}
+
+}  // namespace
+
+Host::Host(std::string name, StackKind kind, const code::StackConfig& cfg,
+           HostAddress self, HostAddress peer, bool is_client,
+           xk::EventManager& events, Wire& wire, int wire_port)
+    : name_(std::move(name)),
+      kind_(kind),
+      cfg_(cfg),
+      self_(self),
+      peer_(peer),
+      is_client_(is_client),
+      classifier_(make_classifier(kind)) {
+  proto::register_common_code(registry_, cfg_);
+  if (kind_ == StackKind::kTcpIp) {
+    proto::register_tcpip_code(registry_, cfg_);
+  } else {
+    proto::register_rpc_code(registry_, cfg_);
+  }
+
+  ctx_ = std::make_unique<xk::ProtoCtx>(
+      xk::ProtoCtx{arena_, events, recorder_, registry_, cfg_});
+
+  lance_ = std::make_unique<proto::Lance>(
+      *ctx_, [&wire, wire_port](std::vector<std::uint8_t> frame) {
+        wire.transmit(wire_port, std::move(frame));
+      });
+  eth_ = std::make_unique<proto::Eth>(*ctx_, *lance_, self_.mac);
+
+  if (kind_ == StackKind::kTcpIp) {
+    vnet_ = std::make_unique<proto::VNet>(*ctx_);
+    vnet_->add_route(peer_.ip, 24, eth_.get(), peer_.mac);
+    ip_ = std::make_unique<proto::Ip>(*ctx_, *vnet_, self_.ip);
+    eth_->attach(proto::kEtherTypeIp, ip_.get());
+    tcp_ = std::make_unique<proto::Tcp>(*ctx_, *ip_);
+    tcptest_ = std::make_unique<proto::TcpTest>(*ctx_, *tcp_, is_client_);
+  } else {
+    blast_ = std::make_unique<proto::Blast>(*ctx_, *eth_, peer_.mac);
+    bid_ = std::make_unique<proto::Bid>(*ctx_, *blast_, self_.boot_id);
+    chan_ = std::make_unique<proto::Chan>(*ctx_, *bid_);
+    bid_->on_peer_reboot([this] { chan_->flush(); });
+    vchan_ = std::make_unique<proto::VChan>(*ctx_, *chan_);
+    chan_->set_server(vchan_.get());
+    mselect_ = std::make_unique<proto::MSelect>(*ctx_, *vchan_);
+    xrpctest_ = std::make_unique<proto::XRpcTest>(*ctx_, *mselect_, is_client_);
+  }
+}
+
+void Host::arm_capture(code::PathTrace* sink) {
+  capture_sink_ = sink;
+  capture_done_ = false;
+  tx_split_ = 0;
+}
+
+void Host::deliver(std::vector<std::uint8_t> frame) {
+  const bool capturing = capture_sink_ != nullptr;
+  if (capturing) {
+    capture_sink_->clear();
+    recorder_.enable(capture_sink_);
+  }
+  // Section 3.3: with path-inlining the optimized inbound code handles only
+  // packets that really follow the assumed path; everything else must take
+  // the standalone slow-path code.
+  bool slow = false;
+  if (cfg_.path_inlining) {
+    if (classifier_.classify(frame).has_value()) {
+      ++classifier_hits_;
+    } else {
+      ++classifier_misses_;
+      slow = true;
+      recorder_.marker(code::Marker::kSlowPathBegin);
+    }
+  }
+  lance_->rx_frame(frame);
+  if (slow) recorder_.marker(code::Marker::kSlowPathEnd);
+  if (capturing) {
+    recorder_.disable();
+    // Locate the last transmission within the activation: the events after
+    // the outbound lance_send's "kick" block overlap the frame's flight.
+    tx_split_ = capture_sink_->events.size();
+    const code::FnId lance_send = registry_.require("lance_send");
+    for (std::size_t i = 0; i < capture_sink_->events.size(); ++i) {
+      const code::Event& ev = capture_sink_->events[i];
+      if (ev.kind == code::EventKind::kBlock && ev.fn == lance_send &&
+          ev.block == proto::blk::kLanceSendKick) {
+        tx_split_ = i + 1;
+      }
+    }
+    capture_sink_ = nullptr;
+    capture_done_ = true;
+  }
+}
+
+}  // namespace l96::net

@@ -1,0 +1,137 @@
+// A simulated host: one complete protocol stack (TCP/IP or RPC) over a
+// LANCE driver, with its own simulated-address arena, code registry, and
+// trace recorder.
+//
+// Capture model: on the client, one steady-state roundtrip's protocol
+// processing is exactly one receive-interrupt activation — the reply's
+// inbound processing, the upcall that sends the next request (the full
+// outbound chain), and the post-transmit work (descriptor completion,
+// message refresh) that overlaps the frame's flight time.  arm_capture()
+// records the next such activation; tx_split() reports where in the event
+// stream the frame left for the wire, separating critical-path work from
+// overlapped work.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "code/classifier.h"
+#include "code/config.h"
+#include "code/model.h"
+#include "code/trace.h"
+#include "net/wire.h"
+#include "protocols/eth.h"
+#include "protocols/ip.h"
+#include "protocols/lance.h"
+#include "protocols/rpc/bid.h"
+#include "protocols/rpc/blast.h"
+#include "protocols/rpc/chan.h"
+#include "protocols/rpc/mselect.h"
+#include "protocols/rpc/vchan.h"
+#include "protocols/rpc/xrpctest.h"
+#include "protocols/tcp.h"
+#include "protocols/tcptest.h"
+#include "protocols/vnet.h"
+#include "xkernel/protocol.h"
+
+namespace l96::net {
+
+enum class StackKind { kTcpIp, kRpc };
+
+struct HostAddress {
+  std::uint32_t ip = 0;
+  proto::MacAddr mac{};
+  std::uint32_t boot_id = 1;
+};
+
+class Host {
+ public:
+  Host(std::string name, StackKind kind, const code::StackConfig& cfg,
+       HostAddress self, HostAddress peer, bool is_client,
+       xk::EventManager& events, Wire& wire, int wire_port);
+
+  /// Frame delivery from the wire (the receive interrupt).
+  void deliver(std::vector<std::uint8_t> frame);
+
+  /// Record the next receive activation into `sink`.
+  void arm_capture(code::PathTrace* sink);
+  /// Event index at which the (last) transmitted frame left for the wire
+  /// during the captured activation.
+  std::size_t tx_split() const noexcept { return tx_split_; }
+  bool capture_complete() const noexcept { return capture_done_; }
+
+  /// Packet-classifier statistics (meaningful when path-inlining is on).
+  const code::PacketClassifier& classifier() const noexcept {
+    return classifier_;
+  }
+  std::uint64_t classifier_hits() const noexcept { return classifier_hits_; }
+  std::uint64_t classifier_misses() const noexcept {
+    return classifier_misses_;
+  }
+
+  // --- components -----------------------------------------------------------
+  const std::string& name() const noexcept { return name_; }
+  StackKind kind() const noexcept { return kind_; }
+  const code::StackConfig& config() const noexcept { return cfg_; }
+  code::CodeRegistry& registry() noexcept { return registry_; }
+  code::Recorder& recorder() noexcept { return recorder_; }
+  xk::SimAlloc& arena() noexcept { return arena_; }
+  xk::ProtoCtx& ctx() noexcept { return *ctx_; }
+
+  proto::Lance& lance() noexcept { return *lance_; }
+  proto::Eth& eth() noexcept { return *eth_; }
+  // TCP/IP stack (null on RPC hosts)
+  proto::VNet* vnet() noexcept { return vnet_.get(); }
+  proto::Ip* ip() noexcept { return ip_.get(); }
+  proto::Tcp* tcp() noexcept { return tcp_.get(); }
+  proto::TcpTest* tcptest() noexcept { return tcptest_.get(); }
+  // RPC stack (null on TCP/IP hosts)
+  proto::Blast* blast() noexcept { return blast_.get(); }
+  proto::Bid* bid() noexcept { return bid_.get(); }
+  proto::Chan* chan() noexcept { return chan_.get(); }
+  proto::VChan* vchan() noexcept { return vchan_.get(); }
+  proto::MSelect* mselect() noexcept { return mselect_.get(); }
+  proto::XRpcTest* xrpctest() noexcept { return xrpctest_.get(); }
+
+  const HostAddress& address() const noexcept { return self_; }
+  const HostAddress& peer() const noexcept { return peer_; }
+  bool is_client() const noexcept { return is_client_; }
+
+ private:
+  std::string name_;
+  StackKind kind_;
+  code::StackConfig cfg_;
+  HostAddress self_;
+  HostAddress peer_;
+  bool is_client_;
+
+  xk::SimAlloc arena_;
+  code::Recorder recorder_;
+  code::CodeRegistry registry_;
+  std::unique_ptr<xk::ProtoCtx> ctx_;
+
+  std::unique_ptr<proto::Lance> lance_;
+  std::unique_ptr<proto::Eth> eth_;
+  std::unique_ptr<proto::VNet> vnet_;
+  std::unique_ptr<proto::Ip> ip_;
+  std::unique_ptr<proto::Tcp> tcp_;
+  std::unique_ptr<proto::TcpTest> tcptest_;
+  std::unique_ptr<proto::Blast> blast_;
+  std::unique_ptr<proto::Bid> bid_;
+  std::unique_ptr<proto::Chan> chan_;
+  std::unique_ptr<proto::VChan> vchan_;
+  std::unique_ptr<proto::MSelect> mselect_;
+  std::unique_ptr<proto::XRpcTest> xrpctest_;
+
+  code::PathTrace* capture_sink_ = nullptr;
+  std::size_t tx_split_ = 0;
+  bool capture_done_ = false;
+
+  // Path-inlining guard (Section 3.3): inbound frames are classified; a
+  // mismatch routes the activation through the standalone slow-path code.
+  code::PacketClassifier classifier_;
+  std::uint64_t classifier_hits_ = 0;
+  std::uint64_t classifier_misses_ = 0;
+};
+
+}  // namespace l96::net

@@ -1,0 +1,44 @@
+#include "net/wire.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace l96::net {
+
+void Wire::connect(int port, DeliverFn deliver) {
+  if (port != 0 && port != 1) throw std::out_of_range("wire has two ports");
+  endpoints_[port] = std::move(deliver);
+}
+
+void Wire::transmit(int port, std::vector<std::uint8_t> frame) {
+  if (port != 0 && port != 1) throw std::out_of_range("wire has two ports");
+  ++frames_;
+
+  if (drop_ > 0) {
+    --drop_;
+    ++dropped_;
+    return;
+  }
+  if (corrupt_ > 0) {
+    --corrupt_;
+    if (!frame.empty()) frame[frame.size() / 2] ^= 0xFF;
+  }
+
+  const int dst = 1 - port;
+  // Half-duplex Ethernet: a frame must wait for the medium.  Serialization
+  // occupies the wire for frame_time; the controller overhead then runs at
+  // the receiver, off the medium.
+  const auto frame_us =
+      static_cast<std::uint64_t>(params_.frame_time_us(frame.size()));
+  const auto ctrl_us =
+      static_cast<std::uint64_t>(params_.controller_overhead_us);
+  const std::uint64_t depart =
+      std::max(events_.now(), busy_until_us_) + frame_us;
+  busy_until_us_ = depart;
+  events_.schedule_at(depart + ctrl_us,
+                      [this, dst, f = std::move(frame)]() mutable {
+                        if (endpoints_[dst]) endpoints_[dst](std::move(f));
+                      });
+}
+
+}  // namespace l96::net

@@ -1,0 +1,70 @@
+#include "net/world.h"
+
+namespace l96::net {
+
+namespace {
+constexpr HostAddress kClientAddr{
+    .ip = 0x0A000001,  // 10.0.0.1
+    .mac = {0x08, 0x00, 0x2B, 0x00, 0x00, 0x01},
+    .boot_id = 0x1001,
+};
+constexpr HostAddress kServerAddr{
+    .ip = 0x0A000002,  // 10.0.0.2
+    .mac = {0x08, 0x00, 0x2B, 0x00, 0x00, 0x02},
+    .boot_id = 0x2001,
+};
+constexpr std::uint16_t kClientPort = 5000;
+constexpr std::uint16_t kServerPort = 5001;
+}  // namespace
+
+World::World(StackKind kind, const code::StackConfig& client_cfg,
+             const code::StackConfig& server_cfg, WireParams wire_params)
+    : kind_(kind), wire_(events_, wire_params) {
+  client_ = std::make_unique<Host>("client", kind, client_cfg, kClientAddr,
+                                   kServerAddr, /*is_client=*/true, events_,
+                                   wire_, /*wire_port=*/0);
+  server_ = std::make_unique<Host>("server", kind, server_cfg, kServerAddr,
+                                   kClientAddr, /*is_client=*/false, events_,
+                                   wire_, /*wire_port=*/1);
+  wire_.connect(0, [this](std::vector<std::uint8_t> f) {
+    client_->deliver(std::move(f));
+  });
+  wire_.connect(1, [this](std::vector<std::uint8_t> f) {
+    server_->deliver(std::move(f));
+  });
+}
+
+void World::start(std::uint64_t target_roundtrips) {
+  if (kind_ == StackKind::kTcpIp) {
+    server_->tcptest()->serve(kServerPort);
+    client_->tcptest()->start(kServerAddr.ip, kClientPort, kServerPort,
+                              target_roundtrips);
+  } else {
+    server_->xrpctest()->serve();
+    client_->xrpctest()->run(target_roundtrips);
+  }
+}
+
+std::uint64_t World::client_roundtrips() const {
+  return kind_ == StackKind::kTcpIp ? client_->tcptest()->roundtrips()
+                                    : client_->xrpctest()->roundtrips();
+}
+
+bool World::run_until(const std::function<bool()>& pred,
+                      std::uint64_t max_us) {
+  const std::uint64_t deadline =
+      max_us == 0 ? ~std::uint64_t{0} : events_.now() + max_us;
+  while (!pred()) {
+    if (events_.pending() == 0) return pred();
+    if (events_.now() >= deadline) return false;
+    events_.advance_to_next();
+  }
+  return true;
+}
+
+bool World::run_until_roundtrips(std::uint64_t n, std::uint64_t max_us) {
+  return run_until([this, n] { return client_roundtrips() >= n; },
+                   max_us == 0 ? n * 100'000 + 10'000'000 : max_us);
+}
+
+}  // namespace l96::net

@@ -1,0 +1,50 @@
+// World: two hosts on an isolated Ethernet with one shared virtual clock —
+// the paper's experimental platform (two DEC 3000/600s, Section 4.1).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "net/host.h"
+#include "net/wire.h"
+#include "xkernel/event.h"
+
+namespace l96::net {
+
+class World {
+ public:
+  /// Build a world running `kind` with per-side configurations.  (For the
+  /// RPC experiments the paper always runs the best configuration on the
+  /// server so the reference point stays fixed.)
+  World(StackKind kind, const code::StackConfig& client_cfg,
+        const code::StackConfig& server_cfg,
+        WireParams wire_params = WireParams());
+
+  /// Open the connection / register services and start the first request;
+  /// `target_roundtrips` bounds the client's ping-pong.
+  void start(std::uint64_t target_roundtrips);
+
+  /// Advance virtual time until `pred()` or `max_us` elapsed; returns
+  /// whether the predicate became true.
+  bool run_until(const std::function<bool()>& pred, std::uint64_t max_us);
+
+  /// Run until the client has completed `n` roundtrips (absolute count).
+  bool run_until_roundtrips(std::uint64_t n, std::uint64_t max_us = 0);
+
+  std::uint64_t client_roundtrips() const;
+
+  Host& client() noexcept { return *client_; }
+  Host& server() noexcept { return *server_; }
+  Wire& wire() noexcept { return wire_; }
+  xk::EventManager& events() noexcept { return events_; }
+  StackKind kind() const noexcept { return kind_; }
+
+ private:
+  StackKind kind_;
+  xk::EventManager events_;
+  Wire wire_;
+  std::unique_ptr<Host> client_;
+  std::unique_ptr<Host> server_;
+};
+
+}  // namespace l96::net

@@ -1,0 +1,84 @@
+// Fluent builder for code-model function descriptors.
+//
+// Every protocol module pairs its runtime implementation with a descriptor
+// registration function (register_*_code) that declares, per function, the
+// basic blocks a compiler would have produced: label, instruction count,
+// outlining class, generic stack traffic, multiplies and call sites.
+// Instruction counts are calibrated constants (see DESIGN.md §2) — several
+// depend on the StackConfig's Section-2 toggles, mirroring how the paper's
+// source-level changes shrank the compiled code.
+#pragma once
+
+#include <utility>
+
+#include "code/config.h"
+#include "code/model.h"
+
+namespace l96::proto {
+
+struct BlockOpts {
+  std::uint8_t stack_reads = 0;
+  std::uint8_t stack_writes = 0;
+  std::uint8_t imuls = 0;
+  std::uint8_t calls = 0;
+};
+
+class FnBuilder {
+ public:
+  FnBuilder(std::string name, code::FnKind kind) {
+    fn_.name = std::move(name);
+    fn_.kind = kind;
+  }
+
+  FnBuilder& prologue(std::uint8_t instrs, std::uint8_t skippable = 2) {
+    fn_.prologue_instrs = instrs;
+    fn_.prologue_skippable = skippable;
+    return *this;
+  }
+  FnBuilder& epilogue(std::uint8_t instrs) {
+    fn_.epilogue_instrs = instrs;
+    return *this;
+  }
+  FnBuilder& leaf() {
+    fn_.prologue_instrs = 2;
+    fn_.epilogue_instrs = 1;
+    fn_.prologue_skippable = 2;
+    fn_.frame_bytes = 16;
+    return *this;
+  }
+  FnBuilder& frame(std::uint16_t bytes) {
+    fn_.frame_bytes = bytes;
+    return *this;
+  }
+  FnBuilder& pin_discount(std::uint16_t permille) {
+    fn_.pin_discount_permille = permille;
+    return *this;
+  }
+  FnBuilder& connect_discount(std::uint16_t permille) {
+    fn_.connect_discount_permille = permille;
+    return *this;
+  }
+
+  /// Append a basic block; returns its BlockId.
+  code::BlockId block(std::string label, std::uint16_t instructions,
+                      code::BlockClass cls = code::BlockClass::kMainline,
+                      BlockOpts opts = BlockOpts()) {
+    code::BasicBlock b;
+    b.label = std::move(label);
+    b.cls = cls;
+    b.instructions = instructions;
+    b.stack_reads = opts.stack_reads;
+    b.stack_writes = opts.stack_writes;
+    b.imuls = opts.imuls;
+    b.call_sites = opts.calls;
+    fn_.blocks.push_back(std::move(b));
+    return static_cast<code::BlockId>(fn_.blocks.size() - 1);
+  }
+
+  code::FnId add_to(code::CodeRegistry& reg) { return reg.add(std::move(fn_)); }
+
+ private:
+  code::Function fn_;
+};
+
+}  // namespace l96::proto

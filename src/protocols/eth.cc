@@ -1,0 +1,90 @@
+#include "protocols/eth.h"
+
+#include "protocols/stack_code.h"
+#include "protocols/trace_util.h"
+#include "protocols/wire_format.h"
+
+namespace l96::proto {
+
+namespace {
+xk::MapKey type_key(std::uint16_t ethertype) {
+  return xk::MapKey{.hi = 0xE7E2, .lo = ethertype};
+}
+}  // namespace
+
+Eth::Eth(xk::ProtoCtx& ctx, Lance& driver, MacAddr self)
+    : Protocol("eth", ctx),
+      driver_(driver),
+      self_(self),
+      uppers_(ctx.arena, 16),
+      fn_send_(fn("eth_send")),
+      fn_demux_(fn("eth_demux")),
+      fn_msg_push_(fn("msg_push")),
+      fn_msg_pop_(fn("msg_pop")),
+      fn_map_resolve_(fn("map_resolve")) {
+  wire_below(&driver);
+  driver.attach(this);
+}
+
+void Eth::attach(std::uint16_t ethertype, Protocol* upper) {
+  uppers_.bind(type_key(ethertype), upper);
+}
+
+void Eth::send(const MacAddr& dst, std::uint16_t ethertype, xk::Message& m) {
+  auto& rec = ctx_.rec;
+  code::TracedCall tc(rec, fn_send_);
+  rec.block(fn_send_, blk::kEthSendHdr);
+
+  std::array<std::uint8_t, kEthHeaderBytes> hdr{};
+  std::copy(dst.begin(), dst.end(), hdr.begin());
+  std::copy(self_.begin(), self_.end(), hdr.begin() + 6);
+  put_be16(hdr, 12, ethertype);
+  {
+    code::TracedCall tp(rec, fn_msg_push_);
+    rec.block(fn_msg_push_, blk::kMsgPushMain);
+    m.push(hdr);
+    touch_buffer(rec, m.sim_addr(), hdr.size(), /*write=*/true);
+  }
+  driver_.send(m);
+}
+
+void Eth::demux(xk::Message& m) {
+  auto& rec = ctx_.rec;
+  code::TracedCall tc(rec, fn_demux_);
+  rec.block(fn_demux_, blk::kEthDemuxParse);
+
+  if (m.length() < kEthHeaderBytes) {
+    rec.block(fn_demux_, blk::kEthDemuxBadType);
+    ++bad_type_;
+    return;
+  }
+  std::array<std::uint8_t, kEthHeaderBytes> hdr{};
+  {
+    code::TracedCall tp(rec, fn_msg_pop_);
+    rec.block(fn_msg_pop_, blk::kMsgPopMain);
+    touch_buffer(rec, m.sim_addr(), hdr.size(), /*write=*/false);
+    m.pop(hdr);
+  }
+
+  MacAddr dst{};
+  std::copy(hdr.begin(), hdr.begin() + 6, dst.begin());
+  const bool broadcast =
+      std::all_of(dst.begin(), dst.end(), [](auto b) { return b == 0xFF; });
+  if (!broadcast && dst != self_) {
+    rec.block(fn_demux_, blk::kEthDemuxBadType);
+    ++bad_addr_;
+    return;
+  }
+
+  rec.block(fn_demux_, blk::kEthDemuxDispatch);
+  const std::uint16_t type = get_be16(hdr, 12);
+  auto upper = traced_map_lookup(ctx_, uppers_, type_key(type), fn_map_resolve_);
+  if (!upper.has_value()) {
+    rec.block(fn_demux_, blk::kEthDemuxBadType);
+    ++bad_type_;
+    return;
+  }
+  (*upper)->demux(m);
+}
+
+}  // namespace l96::proto

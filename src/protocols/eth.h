@@ -1,0 +1,56 @@
+// ETH: the device-independent half of the Ethernet driver.
+//
+// Builds/strips the 14-byte Ethernet header and demultiplexes inbound
+// frames by ethertype through an x-kernel map (whose one-entry cache test
+// may be conditionally inlined, Section 2.2.3).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "protocols/lance.h"
+#include "xkernel/map.h"
+#include "xkernel/protocol.h"
+
+namespace l96::proto {
+
+using MacAddr = std::array<std::uint8_t, 6>;
+
+inline constexpr std::uint16_t kEtherTypeIp = 0x0800;
+inline constexpr std::uint16_t kEtherTypeBlast = 0x88B5;
+inline constexpr std::size_t kEthHeaderBytes = 14;
+
+class Eth final : public xk::Protocol {
+ public:
+  Eth(xk::ProtoCtx& ctx, Lance& driver, MacAddr self);
+
+  /// Register an upper protocol for an ethertype.
+  void attach(std::uint16_t ethertype, Protocol* upper);
+
+  /// Send `m` to `dst` with the given ethertype.
+  void send(const MacAddr& dst, std::uint16_t ethertype, xk::Message& m);
+
+  /// Inbound frame from the LANCE driver.
+  void demux(xk::Message& m) override;
+
+  const MacAddr& address() const noexcept { return self_; }
+
+  std::uint64_t bad_type_frames() const noexcept { return bad_type_; }
+  std::uint64_t bad_addr_frames() const noexcept { return bad_addr_; }
+  const xk::Map<Protocol*>& type_map() const noexcept { return uppers_; }
+
+ private:
+  Lance& driver_;
+  MacAddr self_;
+  xk::Map<Protocol*> uppers_;
+  std::uint64_t bad_type_ = 0;
+  std::uint64_t bad_addr_ = 0;
+
+  code::FnId fn_send_;
+  code::FnId fn_demux_;
+  code::FnId fn_msg_push_;
+  code::FnId fn_msg_pop_;
+  code::FnId fn_map_resolve_;
+};
+
+}  // namespace l96::proto

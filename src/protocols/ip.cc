@@ -1,0 +1,197 @@
+#include "protocols/ip.h"
+
+#include "protocols/stack_code.h"
+#include "protocols/trace_util.h"
+#include "protocols/wire_format.h"
+
+namespace l96::proto {
+
+namespace {
+xk::MapKey proto_key(std::uint8_t proto) {
+  return xk::MapKey{.hi = 0x1B00, .lo = proto};
+}
+
+constexpr std::uint16_t kFlagMoreFragments = 0x2000;
+constexpr std::uint16_t kFragOffsetMask = 0x1FFF;
+}  // namespace
+
+Ip::Ip(xk::ProtoCtx& ctx, VNet& vnet, std::uint32_t self_addr,
+       std::uint16_t mtu)
+    : Protocol("ip", ctx),
+      vnet_(vnet),
+      self_(self_addr),
+      mtu_(mtu),
+      uppers_(ctx.arena, 16),
+      fn_output_(fn("ip_output")),
+      fn_demux_(fn("ip_demux")),
+      fn_msg_push_(fn("msg_push")),
+      fn_msg_pop_(fn("msg_pop")),
+      fn_map_resolve_(fn("map_resolve")) {
+  wire_below(&vnet);
+}
+
+void Ip::attach(std::uint8_t proto, IpUpper* upper) {
+  uppers_.bind(proto_key(proto), upper);
+}
+
+void Ip::send_one(std::uint32_t dst, std::uint8_t proto, xk::Message& m,
+                  std::uint16_t frag_off_units, bool more_frags) {
+  auto& rec = ctx_.rec;
+  rec.block(fn_output_, blk::kIpOutHdr);
+
+  std::array<std::uint8_t, kIpHeaderBytes> hdr{};
+  hdr[0] = 0x45;  // version 4, IHL 5
+  put_be16(hdr, 2,
+           static_cast<std::uint16_t>(kIpHeaderBytes + m.length()));
+  put_be16(hdr, 4, next_id_);
+  put_be16(hdr, 6,
+           static_cast<std::uint16_t>(
+               (more_frags ? kFlagMoreFragments : 0) |
+               (frag_off_units & kFragOffsetMask)));
+  hdr[8] = 32;  // TTL
+  hdr[9] = proto;
+  put_be32(hdr, 12, self_);
+  put_be32(hdr, 16, dst);
+
+  rec.block(fn_output_, blk::kIpOutCksum);
+  put_be16(hdr, 10, inet_checksum(hdr));
+
+  {
+    code::TracedCall tp(rec, fn_msg_push_);
+    rec.block(fn_msg_push_, blk::kMsgPushMain);
+    m.push(hdr);
+    touch_buffer(rec, m.sim_addr(), hdr.size(), /*write=*/true);
+  }
+
+  rec.block(fn_output_, blk::kIpOutSend);
+  vnet_.send(dst, m);
+}
+
+void Ip::send(std::uint32_t dst, std::uint8_t proto, xk::Message& m) {
+  auto& rec = ctx_.rec;
+  code::TracedCall tc(rec, fn_output_);
+  rec.block(fn_output_, blk::kIpOutRoute);
+
+  const std::size_t max_payload = (mtu_ - kIpHeaderBytes) / 8 * 8;
+  if (m.length() <= mtu_ - kIpHeaderBytes) {
+    send_one(dst, proto, m, 0, false);
+    ++next_id_;
+    return;
+  }
+
+  // Fragmentation: rare on the latency path (cold block).
+  rec.block(fn_output_, blk::kIpOutFragment);
+  std::size_t off = 0;
+  const std::size_t total = m.length();
+  while (off < total) {
+    const std::size_t n = std::min(max_payload, total - off);
+    xk::Message frag(ctx_.arena, 64, n);
+    m.peek({frag.data(), n}, off);
+    const bool more = off + n < total;
+    send_one(dst, proto, frag, static_cast<std::uint16_t>(off / 8), more);
+    ++fragments_sent_;
+    off += n;
+  }
+  ++next_id_;
+}
+
+void Ip::deliver(const IpInfo& info, xk::Message& m) {
+  auto& rec = ctx_.rec;
+  rec.block(fn_demux_, blk::kIpDemuxDispatch);
+  auto upper =
+      traced_map_lookup(ctx_, uppers_, proto_key(info.proto), fn_map_resolve_);
+  if (!upper.has_value()) {
+    ++no_proto_;
+    return;
+  }
+  (*upper)->ip_deliver(info, m);
+}
+
+void Ip::demux(xk::Message& m) {
+  auto& rec = ctx_.rec;
+  code::TracedCall tc(rec, fn_demux_);
+  rec.block(fn_demux_, blk::kIpDemuxParse);
+
+  if (m.length() < kIpHeaderBytes) {
+    rec.block(fn_demux_, blk::kIpDemuxBadSum);
+    ++bad_cksum_;
+    return;
+  }
+  std::array<std::uint8_t, kIpHeaderBytes> hdr{};
+  {
+    code::TracedCall tp(rec, fn_msg_pop_);
+    rec.block(fn_msg_pop_, blk::kMsgPopMain);
+    touch_buffer(rec, m.sim_addr(), hdr.size(), /*write=*/false);
+    m.pop(hdr);
+  }
+
+  if ((hdr[0] >> 4) != 4 || (hdr[0] & 0x0F) != 5) {
+    // Options / bad version: the outlined slow path.
+    rec.block(fn_demux_, blk::kIpDemuxOptions);
+    ++bad_cksum_;
+    return;
+  }
+
+  rec.block(fn_demux_, blk::kIpDemuxVerify);
+  if (inet_checksum(hdr) != 0) {
+    rec.block(fn_demux_, blk::kIpDemuxBadSum);
+    ++bad_cksum_;
+    return;
+  }
+
+  IpInfo info;
+  info.src = get_be32(hdr, 12);
+  info.dst = get_be32(hdr, 16);
+  info.proto = hdr[9];
+  const std::uint16_t total_len = get_be16(hdr, 2);
+  if (total_len < kIpHeaderBytes ||
+      total_len - kIpHeaderBytes > m.length()) {
+    rec.block(fn_demux_, blk::kIpDemuxBadSum);
+    ++bad_cksum_;
+    return;
+  }
+  // The driver pads short frames to the Ethernet minimum; strip the pad.
+  if (m.length() > static_cast<std::size_t>(total_len - kIpHeaderBytes)) {
+    m.trim_back(m.length() - (total_len - kIpHeaderBytes));
+  }
+  info.payload_len = static_cast<std::uint16_t>(m.length());
+
+  const std::uint16_t frag_field = get_be16(hdr, 6);
+  const bool more = (frag_field & kFlagMoreFragments) != 0;
+  const std::uint16_t off_units = frag_field & kFragOffsetMask;
+
+  if (!more && off_units == 0) {
+    deliver(info, m);
+    return;
+  }
+
+  // Reassembly: the outlined cold path.
+  rec.block(fn_demux_, blk::kIpDemuxReass);
+  const ReassemblyKey key{info.src, get_be16(hdr, 4)};
+  ReassemblyState& st = reass_[key];
+  st.proto = info.proto;
+  st.frags[off_units] =
+      std::vector<std::uint8_t>(m.view().begin(), m.view().end());
+  if (!more) {
+    st.have_last = true;
+    st.total_len =
+        static_cast<std::uint16_t>(off_units * 8 + m.length());
+  }
+  if (!st.have_last) return;
+
+  // Complete?
+  std::size_t have = 0;
+  for (const auto& [off, bytes] : st.frags) have += bytes.size();
+  if (have < st.total_len) return;
+
+  xk::Message whole(ctx_.arena, 64, st.total_len);
+  for (const auto& [off, bytes] : st.frags) {
+    std::copy(bytes.begin(), bytes.end(), whole.data() + off * 8);
+  }
+  info.payload_len = st.total_len;
+  reass_.erase(key);
+  ++reassemblies_;
+  deliver(info, whole);
+}
+
+}  // namespace l96::proto

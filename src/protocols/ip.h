@@ -1,0 +1,95 @@
+// IP: the Internet Protocol (RFC 791 subset).
+//
+// Outbound: builds the 20-byte header (no options), computes the header
+// checksum, fragments datagrams larger than the MTU, and hands packets to
+// VNET for routing.  Inbound: validates length/checksum/TTL, reassembles
+// fragments, and demultiplexes by protocol number through an x-kernel map.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "protocols/vnet.h"
+#include "xkernel/map.h"
+#include "xkernel/protocol.h"
+
+namespace l96::proto {
+
+inline constexpr std::size_t kIpHeaderBytes = 20;
+inline constexpr std::uint8_t kIpProtoTcp = 6;
+
+/// Metadata IP passes to the transport on inbound delivery.
+struct IpInfo {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint8_t proto = 0;
+  std::uint16_t payload_len = 0;
+};
+
+/// Upper layers of IP receive typed deliveries (they need the addresses for
+/// pseudo-header checksums and demux keys).
+class IpUpper {
+ public:
+  virtual ~IpUpper() = default;
+  virtual void ip_deliver(const IpInfo& info, xk::Message& m) = 0;
+};
+
+class Ip final : public xk::Protocol {
+ public:
+  Ip(xk::ProtoCtx& ctx, VNet& vnet, std::uint32_t self_addr,
+     std::uint16_t mtu = 1500);
+
+  void attach(std::uint8_t proto, IpUpper* upper);
+
+  /// Send `m` to `dst` as protocol `proto`; fragments when needed.
+  void send(std::uint32_t dst, std::uint8_t proto, xk::Message& m);
+
+  /// Inbound datagram from ETH.
+  void demux(xk::Message& m) override;
+
+  std::uint32_t address() const noexcept { return self_; }
+
+  std::uint64_t bad_checksum_drops() const noexcept { return bad_cksum_; }
+  std::uint64_t no_proto_drops() const noexcept { return no_proto_; }
+  std::uint64_t fragments_sent() const noexcept { return fragments_sent_; }
+  std::uint64_t reassemblies() const noexcept { return reassemblies_; }
+
+ private:
+  struct ReassemblyKey {
+    std::uint32_t src;
+    std::uint16_t id;
+    friend auto operator<=>(const ReassemblyKey&,
+                            const ReassemblyKey&) = default;
+  };
+  struct ReassemblyState {
+    std::map<std::uint16_t, std::vector<std::uint8_t>> frags;  // offset->bytes
+    bool have_last = false;
+    std::uint16_t total_len = 0;
+    std::uint8_t proto = 0;
+  };
+
+  void send_one(std::uint32_t dst, std::uint8_t proto, xk::Message& m,
+                std::uint16_t frag_off_units, bool more_frags);
+  void deliver(const IpInfo& info, xk::Message& m);
+
+  VNet& vnet_;
+  std::uint32_t self_;
+  std::uint16_t mtu_;
+  std::uint16_t next_id_ = 1;
+  xk::Map<IpUpper*> uppers_;
+  std::map<ReassemblyKey, ReassemblyState> reass_;
+
+  std::uint64_t bad_cksum_ = 0;
+  std::uint64_t no_proto_ = 0;
+  std::uint64_t fragments_sent_ = 0;
+  std::uint64_t reassemblies_ = 0;
+
+  code::FnId fn_output_;
+  code::FnId fn_demux_;
+  code::FnId fn_msg_push_;
+  code::FnId fn_msg_pop_;
+  code::FnId fn_map_resolve_;
+};
+
+}  // namespace l96::proto

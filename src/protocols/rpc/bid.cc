@@ -1,0 +1,60 @@
+#include "protocols/rpc/bid.h"
+
+#include "protocols/stack_code.h"
+#include "protocols/trace_util.h"
+#include "protocols/wire_format.h"
+
+namespace l96::proto {
+
+Bid::Bid(xk::ProtoCtx& ctx, Blast& blast, std::uint32_t boot_id)
+    : Protocol("bid", ctx),
+      blast_(blast),
+      boot_id_(boot_id),
+      fn_push_(fn("bid_push")),
+      fn_demux_(fn("bid_demux")),
+      fn_msg_push_(fn("msg_push")),
+      fn_msg_pop_(fn("msg_pop")) {
+  wire_below(&blast);
+  blast.attach(this);
+}
+
+void Bid::send(xk::Message& m) {
+  auto& rec = ctx_.rec;
+  code::TracedCall tc(rec, fn_push_);
+  rec.block(fn_push_, blk::kBidPushMain);
+  std::array<std::uint8_t, kHeaderBytes> hdr{};
+  put_be32(hdr, 0, boot_id_);
+  {
+    code::TracedCall tp(rec, fn_msg_push_);
+    rec.block(fn_msg_push_, blk::kMsgPushMain);
+    m.push(hdr);
+    touch_buffer(rec, m.sim_addr(), hdr.size(), /*write=*/true);
+  }
+  blast_.send(m);
+}
+
+void Bid::demux(xk::Message& m) {
+  auto& rec = ctx_.rec;
+  code::TracedCall tc(rec, fn_demux_);
+  rec.block(fn_demux_, blk::kBidDemuxMain);
+
+  if (m.length() < kHeaderBytes) return;
+  std::array<std::uint8_t, kHeaderBytes> hdr{};
+  {
+    code::TracedCall tp(rec, fn_msg_pop_);
+    rec.block(fn_msg_pop_, blk::kMsgPopMain);
+    touch_buffer(rec, m.sim_addr(), hdr.size(), /*write=*/false);
+    m.pop(hdr);
+  }
+  const std::uint32_t peer = get_be32(hdr, 0);
+  if (peer_boot_id_ != 0 && peer != peer_boot_id_) {
+    // Peer rebooted: flush stale channel state above (the outlined path).
+    rec.block(fn_demux_, blk::kBidDemuxReboot);
+    ++reboots_;
+    if (reboot_cb_) reboot_cb_();
+  }
+  peer_boot_id_ = peer;
+  if (upper_ != nullptr) upper_->demux(m);
+}
+
+}  // namespace l96::proto

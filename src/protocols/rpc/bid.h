@@ -1,0 +1,48 @@
+// BID: boot-id stamping.
+//
+// Every outgoing message is stamped with the sender's boot id; the receiver
+// compares it against the last id seen from the peer.  A change means the
+// peer rebooted: channel state above is no longer valid and is flushed
+// before the message is delivered.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "protocols/rpc/blast.h"
+#include "xkernel/protocol.h"
+
+namespace l96::proto {
+
+class Bid final : public xk::Protocol {
+ public:
+  static constexpr std::size_t kHeaderBytes = 4;
+
+  Bid(xk::ProtoCtx& ctx, Blast& blast, std::uint32_t boot_id);
+
+  void attach(Protocol* upper) { upper_ = upper; }
+  /// Invoked when a peer reboot is detected (before delivery resumes).
+  void on_peer_reboot(std::function<void()> cb) { reboot_cb_ = std::move(cb); }
+
+  void send(xk::Message& m);
+  void demux(xk::Message& m) override;
+
+  std::uint32_t boot_id() const noexcept { return boot_id_; }
+  std::uint32_t peer_boot_id() const noexcept { return peer_boot_id_; }
+  std::uint64_t reboots_detected() const noexcept { return reboots_; }
+
+ private:
+  Blast& blast_;
+  Protocol* upper_ = nullptr;
+  std::function<void()> reboot_cb_;
+  std::uint32_t boot_id_;
+  std::uint32_t peer_boot_id_ = 0;
+  std::uint64_t reboots_ = 0;
+
+  code::FnId fn_push_;
+  code::FnId fn_demux_;
+  code::FnId fn_msg_push_;
+  code::FnId fn_msg_pop_;
+};
+
+}  // namespace l96::proto

@@ -1,0 +1,208 @@
+#include "protocols/rpc/blast.h"
+
+#include <algorithm>
+
+#include "protocols/stack_code.h"
+#include "protocols/trace_util.h"
+#include "protocols/wire_format.h"
+
+namespace l96::proto {
+
+Blast::Blast(xk::ProtoCtx& ctx, Eth& eth, MacAddr peer,
+             std::uint16_t frag_payload, std::uint64_t reass_timeout_us)
+    : Protocol("blast", ctx),
+      eth_(eth),
+      peer_(peer),
+      frag_payload_(frag_payload),
+      reass_timeout_us_(reass_timeout_us),
+      fn_push_(fn("blast_push")),
+      fn_demux_(fn("blast_demux")),
+      fn_msg_push_(fn("msg_push")),
+      fn_msg_pop_(fn("msg_pop")) {
+  wire_below(&eth);
+  eth.attach(kEtherTypeBlast, this);
+}
+
+void Blast::send_fragment(std::uint32_t msg_id, std::uint16_t ix,
+                          std::uint16_t nfrags, std::uint32_t total_len,
+                          std::span<const std::uint8_t> payload) {
+  auto& rec = ctx_.rec;
+  xk::Message m(ctx_.arena, 64, payload.size());
+  if (!payload.empty()) {
+    std::copy(payload.begin(), payload.end(), m.data());
+    touch_buffer(rec, m.sim_addr(), payload.size(), /*write=*/true);
+  }
+  std::array<std::uint8_t, kHeaderBytes> hdr{};
+  put_be32(hdr, 0, msg_id);
+  put_be16(hdr, 4, ix);
+  put_be16(hdr, 6, nfrags);
+  put_be32(hdr, 8, total_len);
+  put_be16(hdr, 12, 0);  // flags
+  {
+    code::TracedCall tp(rec, fn_msg_push_);
+    rec.block(fn_msg_push_, blk::kMsgPushMain);
+    m.push(hdr);
+    touch_buffer(rec, m.sim_addr(), hdr.size(), /*write=*/true);
+  }
+  ++frags_sent_;
+  eth_.send(peer_, kEtherTypeBlast, m);
+}
+
+void Blast::send(xk::Message& m) {
+  auto& rec = ctx_.rec;
+  code::TracedCall tc(rec, fn_push_);
+
+  const std::uint32_t msg_id = next_msg_id_++;
+  const std::uint32_t total =
+      static_cast<std::uint32_t>(m.length());
+
+  if (total <= frag_payload_) {
+    rec.block(fn_push_, blk::kBlastPushSingle);
+    sent_[msg_id] = SentMessage{
+        {std::vector<std::uint8_t>(m.view().begin(), m.view().end())}, total};
+    send_fragment(msg_id, 0, 1, total, m.view());
+  } else {
+    // Fragmentation: the cold path.
+    rec.block(fn_push_, blk::kBlastPushMulti);
+    const std::uint16_t nfrags = static_cast<std::uint16_t>(
+        (total + frag_payload_ - 1) / frag_payload_);
+    SentMessage sm;
+    sm.total_len = total;
+    for (std::uint16_t i = 0; i < nfrags; ++i) {
+      const std::size_t off = std::size_t{i} * frag_payload_;
+      const std::size_t n =
+          std::min<std::size_t>(frag_payload_, total - off);
+      sm.frags.emplace_back(m.view().begin() + off,
+                            m.view().begin() + off + n);
+    }
+    for (std::uint16_t i = 0; i < nfrags; ++i) {
+      send_fragment(msg_id, i, nfrags, total, sm.frags[i]);
+    }
+    sent_[msg_id] = std::move(sm);
+  }
+  // Retain only a window of sent messages for NACK service.
+  while (sent_.size() > kSentRetained) sent_.erase(sent_.begin());
+}
+
+void Blast::handle_nack(std::uint32_t msg_id,
+                        std::span<const std::uint8_t> missing) {
+  ++nacks_received_;
+  auto it = sent_.find(msg_id);
+  if (it == sent_.end()) return;
+  const SentMessage& sm = it->second;
+  for (std::size_t i = 0; i + 1 < missing.size(); i += 2) {
+    const std::uint16_t ix = get_be16(missing, i);
+    if (ix < sm.frags.size()) {
+      send_fragment(msg_id, ix,
+                    static_cast<std::uint16_t>(sm.frags.size()),
+                    sm.total_len, sm.frags[ix]);
+    }
+  }
+}
+
+void Blast::reass_timeout(std::uint32_t msg_id) {
+  auto it = reass_.find(msg_id);
+  if (it == reass_.end()) return;
+  Reassembly& r = it->second;
+  r.timeout_event = 0;
+
+  // Give up after repeated unanswered NACKs: the sender has moved on (a
+  // higher-layer retransmission will carry a fresh message id).
+  if (++r.nack_tries > kMaxNackTries) {
+    ++reassemblies_abandoned_;
+    reass_.erase(it);
+    return;
+  }
+
+  // NACK the missing fragments.
+  std::vector<std::uint8_t> missing;
+  for (std::uint16_t i = 0; i < r.nfrags; ++i) {
+    if (!r.frags.contains(i)) {
+      missing.push_back(static_cast<std::uint8_t>(i >> 8));
+      missing.push_back(static_cast<std::uint8_t>(i));
+    }
+  }
+  if (missing.empty()) return;
+
+  xk::Message m(ctx_.arena, 64, missing.size());
+  std::copy(missing.begin(), missing.end(), m.data());
+  std::array<std::uint8_t, kHeaderBytes> hdr{};
+  put_be32(hdr, 0, msg_id);
+  put_be16(hdr, 6, r.nfrags);
+  put_be16(hdr, 12, kFlagNack);
+  m.push(hdr);
+  ++nacks_sent_;
+  eth_.send(peer_, kEtherTypeBlast, m);
+
+  r.timeout_event = ctx_.events.schedule_in(
+      reass_timeout_us_, [this, msg_id] { reass_timeout(msg_id); });
+}
+
+void Blast::complete(std::uint32_t msg_id, Reassembly& r) {
+  xk::Message whole(ctx_.arena, 64, r.total_len);
+  std::size_t off = 0;
+  for (auto& [ix, bytes] : r.frags) {
+    std::copy(bytes.begin(), bytes.end(), whole.data() + off);
+    off += bytes.size();
+  }
+  if (r.timeout_event != 0) ctx_.events.cancel(r.timeout_event);
+  reass_.erase(msg_id);
+  ++reassembled_;
+  if (upper_ != nullptr) upper_->demux(whole);
+}
+
+void Blast::demux(xk::Message& m) {
+  auto& rec = ctx_.rec;
+  code::TracedCall tc(rec, fn_demux_);
+  rec.block(fn_demux_, blk::kBlastDemuxParse);
+
+  if (m.length() < kHeaderBytes) return;
+  std::array<std::uint8_t, kHeaderBytes> hdr{};
+  {
+    code::TracedCall tp(rec, fn_msg_pop_);
+    rec.block(fn_msg_pop_, blk::kMsgPopMain);
+    touch_buffer(rec, m.sim_addr(), hdr.size(), /*write=*/false);
+    m.pop(hdr);
+  }
+  const std::uint32_t msg_id = get_be32(hdr, 0);
+  const std::uint16_t ix = get_be16(hdr, 4);
+  const std::uint16_t nfrags = get_be16(hdr, 6);
+  const std::uint32_t total_len = get_be32(hdr, 8);
+  const std::uint16_t flags = get_be16(hdr, 12);
+
+  if ((flags & kFlagNack) != 0) {
+    rec.block(fn_demux_, blk::kBlastDemuxNack);
+    handle_nack(msg_id, m.view());
+    return;
+  }
+
+  if (nfrags <= 1) {
+    // Single-fragment message: strip the Ethernet minimum-frame padding and
+    // deliver directly.
+    rec.block(fn_demux_, blk::kBlastDemuxSingle);
+    if (m.length() > total_len) m.trim_back(m.length() - total_len);
+    if (upper_ != nullptr) upper_->demux(m);
+    return;
+  }
+
+  // Multi-fragment reassembly: the cold path.
+  rec.block(fn_demux_, blk::kBlastDemuxReass);
+  Reassembly& r = reass_[msg_id];
+  r.nfrags = nfrags;
+  r.total_len = total_len;
+  std::size_t expected =
+      (ix + 1u < nfrags) ? frag_payload_ : total_len - std::size_t{ix} * frag_payload_;
+  if (m.length() > expected) m.trim_back(m.length() - expected);
+  r.frags[ix] =
+      std::vector<std::uint8_t>(m.view().begin(), m.view().end());
+  if (r.frags.size() == nfrags) {
+    complete(msg_id, r);
+    return;
+  }
+  if (r.timeout_event == 0) {
+    r.timeout_event = ctx_.events.schedule_in(
+        reass_timeout_us_, [this, msg_id] { reass_timeout(msg_id); });
+  }
+}
+
+}  // namespace l96::proto

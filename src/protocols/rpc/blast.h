@@ -1,0 +1,91 @@
+// BLAST: fragmentation/reassembly with selective retransmission (NACKs).
+//
+// BLAST moves arbitrarily large messages over the Ethernet MTU: the sender
+// splits a message into fragments and transmits them back-to-back; the
+// receiver reassembles and — if fragments are missing when its timeout
+// fires — sends a NACK listing the missing indices, triggering selective
+// retransmission.  Small messages (the latency case) travel as a single
+// fragment and take none of the cold paths.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "protocols/eth.h"
+#include "xkernel/protocol.h"
+
+namespace l96::proto {
+
+class Blast final : public xk::Protocol {
+ public:
+  static constexpr std::size_t kHeaderBytes = 16;
+  static constexpr std::uint16_t kFlagNack = 0x0001;
+
+  Blast(xk::ProtoCtx& ctx, Eth& eth, MacAddr peer,
+        std::uint16_t frag_payload = 1024,
+        std::uint64_t reass_timeout_us = 50'000);
+
+  void attach(Protocol* upper) { upper_ = upper; }
+
+  /// Send a message (fragmenting as needed).
+  void send(xk::Message& m);
+
+  /// Inbound fragment or NACK from ETH.
+  void demux(xk::Message& m) override;
+
+  std::uint64_t fragments_sent() const noexcept { return frags_sent_; }
+  std::uint64_t messages_reassembled() const noexcept { return reassembled_; }
+  std::uint64_t nacks_sent() const noexcept { return nacks_sent_; }
+  std::uint64_t nacks_received() const noexcept { return nacks_received_; }
+  std::uint64_t reassemblies_abandoned() const noexcept {
+    return reassemblies_abandoned_;
+  }
+
+ private:
+  struct Reassembly {
+    std::map<std::uint16_t, std::vector<std::uint8_t>> frags;
+    std::uint16_t nfrags = 0;
+    std::uint32_t total_len = 0;
+    std::uint64_t timeout_event = 0;
+    int nack_tries = 0;
+  };
+  struct SentMessage {
+    std::vector<std::vector<std::uint8_t>> frags;  // payload per fragment
+    std::uint32_t total_len = 0;
+  };
+
+  void send_fragment(std::uint32_t msg_id, std::uint16_t ix,
+                     std::uint16_t nfrags, std::uint32_t total_len,
+                     std::span<const std::uint8_t> payload);
+  void handle_nack(std::uint32_t msg_id,
+                   std::span<const std::uint8_t> missing);
+  void reass_timeout(std::uint32_t msg_id);
+  void complete(std::uint32_t msg_id, Reassembly& r);
+
+  Eth& eth_;
+  MacAddr peer_;
+  std::uint16_t frag_payload_;
+  std::uint64_t reass_timeout_us_;
+  Protocol* upper_ = nullptr;
+
+  std::uint32_t next_msg_id_ = 1;
+  std::map<std::uint32_t, Reassembly> reass_;
+  std::map<std::uint32_t, SentMessage> sent_;  // kept for NACK service
+  static constexpr std::size_t kSentRetained = 8;
+  static constexpr int kMaxNackTries = 8;
+
+  std::uint64_t frags_sent_ = 0;
+  std::uint64_t reassembled_ = 0;
+  std::uint64_t nacks_sent_ = 0;
+  std::uint64_t nacks_received_ = 0;
+  std::uint64_t reassemblies_abandoned_ = 0;
+
+  code::FnId fn_push_;
+  code::FnId fn_demux_;
+  code::FnId fn_msg_push_;
+  code::FnId fn_msg_pop_;
+};
+
+}  // namespace l96::proto

@@ -1,0 +1,222 @@
+#include "protocols/rpc/chan.h"
+
+#include "protocols/stack_code.h"
+#include "protocols/trace_util.h"
+#include "protocols/wire_format.h"
+
+namespace l96::proto {
+
+Chan::Chan(xk::ProtoCtx& ctx, Bid& bid, std::size_t nchans,
+           std::uint64_t rto_us, int max_tries)
+    : Protocol("chan", ctx),
+      bid_(bid),
+      chans_(nchans),
+      rto_us_(rto_us),
+      max_tries_(max_tries),
+      fn_call_(fn("chan_call")),
+      fn_demux_(fn("chan_demux")),
+      fn_server_(fn("chan_server")),
+      fn_msg_push_(fn("msg_push")),
+      fn_msg_pop_(fn("msg_pop")),
+      fn_sem_p_(fn("sem_p")),
+      fn_sem_v_(fn("sem_v")),
+      fn_cswitch_(fn("cswitch")),
+      fn_stack_attach_(fn("stack_attach")),
+      fn_evt_sched_(fn("evt_schedule")),
+      fn_evt_cancel_(fn("evt_cancel")) {
+  wire_below(&bid);
+  bid.attach(this);
+  for (auto& cs : chans_) cs.sim = ctx.arena.alloc(96, 32);
+}
+
+void Chan::send_msg(std::uint16_t ch, std::uint32_t seq, std::uint8_t type,
+                    std::span<const std::uint8_t> payload) {
+  auto& rec = ctx_.rec;
+  xk::Message m(ctx_.arena, 96, payload.size());
+  if (!payload.empty()) {
+    std::copy(payload.begin(), payload.end(), m.data());
+    touch_buffer(rec, m.sim_addr(), payload.size(), /*write=*/true);
+  }
+  std::array<std::uint8_t, kHeaderBytes> hdr{};
+  put_be16(hdr, 0, ch);
+  put_be32(hdr, 2, seq);
+  hdr[6] = type;
+  {
+    code::TracedCall tp(rec, fn_msg_push_);
+    rec.block(fn_msg_push_, blk::kMsgPushMain);
+    m.push(hdr);
+    touch_buffer(rec, m.sim_addr(), hdr.size(), /*write=*/true);
+  }
+  bid_.send(m);
+}
+
+void Chan::call(std::uint16_t ch, xk::Message& req, ReplyFn k) {
+  auto& rec = ctx_.rec;
+  code::TracedCall tc(rec, fn_call_);
+  ChanState& cs = chans_.at(ch);
+  if (cs.busy) throw std::logic_error("channel busy");
+
+  rec.block(fn_call_, blk::kChanCallSeq);
+  rec.store(cs.sim + 0);
+  cs.seq += 1;
+  cs.busy = true;
+  cs.k = std::move(k);
+  cs.tries = 1;
+  cs.pending_request.assign(req.view().begin(), req.view().end());
+
+  rec.block(fn_call_, blk::kChanCallHdr);
+  rec.store(cs.sim + 8);
+  rec.block(fn_call_, blk::kChanCallSend);
+  send_msg(ch, cs.seq, kTypeRequest, cs.pending_request);
+
+  rec.block(fn_call_, blk::kChanCallTimeout);
+  {
+    code::TracedCall te(rec, fn_evt_sched_);
+    rec.block(fn_evt_sched_, blk::kEvtSchedMain);
+  }
+  cs.timeout_event =
+      ctx_.events.schedule_in(rto_us_, [this, ch] { call_timeout(ch); });
+
+  // Block awaiting the reply: the continuation is parked; the stack detaches.
+  rec.block(fn_call_, blk::kChanCallBlock);
+  {
+    code::TracedCall ts(rec, fn_sem_p_);
+    rec.block(fn_sem_p_, blk::kSemPMain);
+    rec.block(fn_sem_p_, blk::kSemPBlock);
+  }
+}
+
+void Chan::call_timeout(std::uint16_t ch) {
+  ChanState& cs = chans_.at(ch);
+  if (!cs.busy) return;
+  cs.timeout_event = 0;
+
+  auto& rec = ctx_.rec;
+  code::TracedCall tc(rec, fn_demux_);
+  rec.block(fn_demux_, blk::kChanDemuxRexmt);
+
+  if (cs.tries >= max_tries_) {
+    // Give up: fail the call with an empty reply.
+    ++failed_calls_;
+    cs.busy = false;
+    ReplyFn k = std::move(cs.k);
+    cs.k = nullptr;
+    xk::Message empty(ctx_.arena, 0, 0);
+    if (k) k(empty);
+    return;
+  }
+  ++cs.tries;
+  ++rexmts_;
+  send_msg(ch, cs.seq, kTypeRequest, cs.pending_request);
+  cs.timeout_event =
+      ctx_.events.schedule_in(rto_us_ << (cs.tries - 1),
+                              [this, ch] { call_timeout(ch); });
+}
+
+void Chan::handle_request(ChanState& cs, std::uint16_t ch, std::uint32_t seq,
+                          xk::Message& m) {
+  auto& rec = ctx_.rec;
+  code::TracedCall ts(rec, fn_server_);
+
+  if (seq == cs.last_seq && cs.have_reply) {
+    // Duplicate of the last request: at-most-once — resend the cached
+    // reply without re-executing.
+    rec.block(fn_server_, blk::kChanSrvDupReq);
+    ++dup_requests_;
+    send_msg(ch, seq, kTypeReply, cs.reply_cache);
+    return;
+  }
+  if (seq < cs.last_seq) {
+    ++old_msgs_;
+    return;  // older than anything interesting
+  }
+
+  rec.block(fn_server_, blk::kChanSrvDispatch);
+  rec.load(cs.sim + 16);
+  xk::Message reply = server_ != nullptr
+                          ? server_->rpc_request(m)
+                          : xk::Message(ctx_.arena, 0, 0);
+
+  rec.block(fn_server_, blk::kChanSrvReply);
+  cs.last_seq = seq;
+  cs.have_reply = true;
+  cs.reply_cache.assign(reply.view().begin(), reply.view().end());
+  send_msg(ch, seq, kTypeReply, cs.reply_cache);
+}
+
+void Chan::handle_reply(ChanState& cs, std::uint16_t ch, std::uint32_t seq,
+                        xk::Message& m) {
+  auto& rec = ctx_.rec;
+  (void)ch;
+  if (!cs.busy || seq != cs.seq) {
+    rec.block(fn_demux_, seq < cs.seq ? blk::kChanDemuxOld
+                                      : blk::kChanDemuxDup);
+    ++old_msgs_;
+    return;
+  }
+
+  rec.block(fn_demux_, blk::kChanDemuxDeliver);
+  if (cs.timeout_event != 0) {
+    code::TracedCall te(rec, fn_evt_cancel_);
+    rec.block(fn_evt_cancel_, blk::kEvtCancelMain);
+    ctx_.events.cancel(cs.timeout_event);
+    cs.timeout_event = 0;
+  }
+  cs.busy = false;
+  ReplyFn k = std::move(cs.k);
+  cs.k = nullptr;
+
+  // Wake the blocked caller: semaphore V, context switch, stack re-attach.
+  {
+    code::TracedCall tv(rec, fn_sem_v_);
+    rec.block(fn_sem_v_, blk::kSemVMain);
+    rec.block(fn_sem_v_, blk::kSemVWake);
+  }
+  {
+    code::TracedCall tw(rec, fn_cswitch_);
+    rec.block(fn_cswitch_, blk::kCSwitchMain);
+  }
+  {
+    code::TracedCall ta(rec, fn_stack_attach_);
+    rec.block(fn_stack_attach_, blk::kStackAttachMain);
+  }
+  if (k) k(m);
+}
+
+void Chan::demux(xk::Message& m) {
+  auto& rec = ctx_.rec;
+  code::TracedCall tc(rec, fn_demux_);
+  rec.block(fn_demux_, blk::kChanDemuxMatch);
+
+  if (m.length() < kHeaderBytes) return;
+  std::array<std::uint8_t, kHeaderBytes> hdr{};
+  {
+    code::TracedCall tp(rec, fn_msg_pop_);
+    rec.block(fn_msg_pop_, blk::kMsgPopMain);
+    touch_buffer(rec, m.sim_addr(), hdr.size(), /*write=*/false);
+    m.pop(hdr);
+  }
+  const std::uint16_t ch = get_be16(hdr, 0);
+  const std::uint32_t seq = get_be32(hdr, 2);
+  const std::uint8_t type = hdr[6];
+  if (ch >= chans_.size()) return;
+  ChanState& cs = chans_[ch];
+  rec.load(cs.sim + 0);
+
+  if (type == kTypeRequest) {
+    handle_request(cs, ch, seq, m);
+  } else if (type == kTypeReply) {
+    handle_reply(cs, ch, seq, m);
+  }
+}
+
+void Chan::flush() {
+  for (auto& cs : chans_) {
+    if (cs.timeout_event != 0) ctx_.events.cancel(cs.timeout_event);
+    const xk::SimAddr sim = cs.sim;
+    cs = ChanState{};
+    cs.sim = sim;
+  }
+}
+
+}  // namespace l96::proto

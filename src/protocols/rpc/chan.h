@@ -1,0 +1,107 @@
+// CHAN: at-most-once RPC channels.
+//
+// A channel carries one outstanding call at a time.  The client stamps each
+// request with a sequence number, retransmits on timeout, and matches the
+// reply; the server executes each request at most once, caching the last
+// reply per channel so duplicate requests are answered without re-executing
+// the procedure.  The calling thread blocks in CHAN awaiting the reply
+// (Section 2.1) — expressed here as a continuation parked on a semaphore,
+// resumed by the reply interrupt through the thread machinery.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "protocols/rpc/bid.h"
+#include "xkernel/process.h"
+#include "xkernel/protocol.h"
+
+namespace l96::proto {
+
+/// Server-side synchronous upcall: executes a request, returns the reply.
+class RpcUpper {
+ public:
+  virtual ~RpcUpper() = default;
+  virtual xk::Message rpc_request(xk::Message& req) = 0;
+};
+
+class Chan final : public xk::Protocol {
+ public:
+  static constexpr std::size_t kHeaderBytes = 8;
+  static constexpr std::uint8_t kTypeRequest = 1;
+  static constexpr std::uint8_t kTypeReply = 2;
+
+  using ReplyFn = std::function<void(xk::Message&)>;
+
+  Chan(xk::ProtoCtx& ctx, Bid& bid, std::size_t nchans = 8,
+       std::uint64_t rto_us = 100'000, int max_tries = 8);
+
+  /// Client: issue a call on channel `ch`; `k` runs when the reply arrives.
+  void call(std::uint16_t ch, xk::Message& req, ReplyFn k);
+  bool busy(std::uint16_t ch) const { return chans_.at(ch).busy; }
+  std::size_t nchans() const noexcept { return chans_.size(); }
+
+  /// Server: the upcall chain executing requests.
+  void set_server(RpcUpper* upper) { server_ = upper; }
+
+  void demux(xk::Message& m) override;
+
+  /// Drop all channel state (peer reboot).
+  void flush();
+
+  std::uint64_t dup_requests() const noexcept { return dup_requests_; }
+  std::uint64_t old_messages() const noexcept { return old_msgs_; }
+  std::uint64_t client_retransmits() const noexcept { return rexmts_; }
+  std::uint64_t failed_calls() const noexcept { return failed_calls_; }
+
+ private:
+  struct ChanState {
+    // client side
+    std::uint32_t seq = 0;
+    bool busy = false;
+    ReplyFn k;
+    std::vector<std::uint8_t> pending_request;  // for retransmission
+    std::uint64_t timeout_event = 0;
+    int tries = 0;
+    // server side
+    std::uint32_t last_seq = 0;
+    bool have_reply = false;
+    std::vector<std::uint8_t> reply_cache;
+    xk::SimAddr sim = 0;
+  };
+
+  void send_msg(std::uint16_t ch, std::uint32_t seq, std::uint8_t type,
+                std::span<const std::uint8_t> payload);
+  void handle_request(ChanState& cs, std::uint16_t ch, std::uint32_t seq,
+                      xk::Message& m);
+  void handle_reply(ChanState& cs, std::uint16_t ch, std::uint32_t seq,
+                    xk::Message& m);
+  void call_timeout(std::uint16_t ch);
+
+  Bid& bid_;
+  RpcUpper* server_ = nullptr;
+  std::vector<ChanState> chans_;
+  std::uint64_t rto_us_;
+  int max_tries_;
+  xk::Semaphore reply_sem_;
+
+  std::uint64_t dup_requests_ = 0;
+  std::uint64_t old_msgs_ = 0;
+  std::uint64_t rexmts_ = 0;
+  std::uint64_t failed_calls_ = 0;
+
+  code::FnId fn_call_;
+  code::FnId fn_demux_;
+  code::FnId fn_server_;
+  code::FnId fn_msg_push_;
+  code::FnId fn_msg_pop_;
+  code::FnId fn_sem_p_;
+  code::FnId fn_sem_v_;
+  code::FnId fn_cswitch_;
+  code::FnId fn_stack_attach_;
+  code::FnId fn_evt_sched_;
+  code::FnId fn_evt_cancel_;
+};
+
+}  // namespace l96::proto

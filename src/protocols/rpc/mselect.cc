@@ -1,0 +1,76 @@
+#include "protocols/rpc/mselect.h"
+
+#include "protocols/stack_code.h"
+#include "protocols/trace_util.h"
+#include "protocols/wire_format.h"
+
+namespace l96::proto {
+
+namespace {
+xk::MapKey proc_key(std::uint16_t proc) {
+  return xk::MapKey{.hi = 0x35E1, .lo = proc};
+}
+}  // namespace
+
+MSelect::MSelect(xk::ProtoCtx& ctx, VChan& vchan)
+    : Protocol("mselect", ctx),
+      vchan_(vchan),
+      services_(ctx.arena, 16),
+      fn_call_(fn("mselect_call")),
+      fn_demux_(fn("mselect_demux")),
+      fn_msg_push_(fn("msg_push")),
+      fn_msg_pop_(fn("msg_pop")),
+      fn_map_resolve_(fn("map_resolve")) {
+  wire_below(&vchan);
+  vchan.set_server(this);
+}
+
+void MSelect::register_service(std::uint16_t proc, Handler h) {
+  owned_.push_back(std::make_unique<Handler>(std::move(h)));
+  services_.bind(proc_key(proc), owned_.back().get());
+}
+
+void MSelect::call(std::uint16_t proc, xk::Message& req, ReplyFn k) {
+  auto& rec = ctx_.rec;
+  code::TracedCall tc(rec, fn_call_);
+  rec.block(fn_call_, blk::kMSelCallMain);
+
+  std::array<std::uint8_t, kHeaderBytes> hdr{};
+  put_be16(hdr, 0, proc);
+  {
+    code::TracedCall tp(rec, fn_msg_push_);
+    rec.block(fn_msg_push_, blk::kMsgPushMain);
+    req.push(hdr);
+    touch_buffer(rec, req.sim_addr(), hdr.size(), /*write=*/true);
+  }
+  vchan_.call(req, std::move(k));
+}
+
+xk::Message MSelect::rpc_request(xk::Message& req) {
+  auto& rec = ctx_.rec;
+  code::TracedCall tc(rec, fn_demux_);
+  rec.block(fn_demux_, blk::kMSelDemuxMain);
+
+  if (req.length() < kHeaderBytes) {
+    rec.block(fn_demux_, blk::kMSelDemuxNoSvc);
+    ++bad_proc_;
+    return xk::Message(ctx_.arena, 0, 0);
+  }
+  std::array<std::uint8_t, kHeaderBytes> hdr{};
+  {
+    code::TracedCall tp(rec, fn_msg_pop_);
+    rec.block(fn_msg_pop_, blk::kMsgPopMain);
+    req.pop(hdr);
+  }
+  const std::uint16_t proc = get_be16(hdr, 0);
+  auto h =
+      traced_map_lookup(ctx_, services_, proc_key(proc), fn_map_resolve_);
+  if (!h.has_value()) {
+    rec.block(fn_demux_, blk::kMSelDemuxNoSvc);
+    ++bad_proc_;
+    return xk::Message(ctx_.arena, 0, 0);
+  }
+  return (**h)(req);
+}
+
+}  // namespace l96::proto

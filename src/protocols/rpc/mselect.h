@@ -1,0 +1,48 @@
+// MSELECT: procedure selection.
+//
+// Client side prepends the procedure number and calls through VCHAN; server
+// side dispatches to the registered service handler and returns its reply.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "protocols/rpc/vchan.h"
+#include "xkernel/map.h"
+
+namespace l96::proto {
+
+class MSelect final : public xk::Protocol, public RpcUpper {
+ public:
+  static constexpr std::size_t kHeaderBytes = 4;
+
+  using Handler = std::function<xk::Message(xk::Message& req)>;
+  using ReplyFn = Chan::ReplyFn;
+
+  MSelect(xk::ProtoCtx& ctx, VChan& vchan);
+
+  /// Server: register a procedure.
+  void register_service(std::uint16_t proc, Handler h);
+
+  /// Client: call remote procedure `proc`.
+  void call(std::uint16_t proc, xk::Message& req, ReplyFn k);
+
+  xk::Message rpc_request(xk::Message& req) override;
+  void demux(xk::Message&) override {}
+
+  std::uint64_t bad_proc_calls() const noexcept { return bad_proc_; }
+
+ private:
+  VChan& vchan_;
+  xk::Map<Handler*> services_;
+  std::vector<std::unique_ptr<Handler>> owned_;
+  std::uint64_t bad_proc_ = 0;
+
+  code::FnId fn_call_;
+  code::FnId fn_demux_;
+  code::FnId fn_msg_push_;
+  code::FnId fn_msg_pop_;
+  code::FnId fn_map_resolve_;
+};
+
+}  // namespace l96::proto

@@ -1,0 +1,72 @@
+#include "protocols/rpc/vchan.h"
+
+#include "protocols/stack_code.h"
+
+namespace l96::proto {
+
+VChan::VChan(xk::ProtoCtx& ctx, Chan& chan)
+    : Protocol("vchan", ctx),
+      chan_(chan),
+      fn_call_(fn("vchan_call")),
+      fn_demux_(fn("vchan_demux")),
+      fn_sem_p_(fn("sem_p")) {
+  wire_below(&chan);
+}
+
+void VChan::issue(std::uint16_t ch, std::span<const std::uint8_t> req,
+                  ReplyFn k) {
+  xk::Message m(ctx_.arena, 96, req.size());
+  if (!req.empty()) std::copy(req.begin(), req.end(), m.data());
+  chan_.call(ch, m,
+             [this, ch, user_k = std::move(k)](xk::Message& reply) mutable {
+               // The reply path runs through VCHAN on its way up.
+               auto& rec = ctx_.rec;
+               code::TracedCall tc(rec, fn_demux_);
+               rec.block(fn_demux_, blk::kVchanDemuxMain);
+               ReplyFn k2 = std::move(user_k);
+               channel_freed(ch);
+               if (k2) k2(reply);
+             });
+}
+
+void VChan::channel_freed(std::uint16_t ch) {
+  if (waiting_.empty()) return;
+  PendingCall pc = std::move(waiting_.front());
+  waiting_.pop_front();
+  issue(ch, pc.request, std::move(pc.k));
+}
+
+void VChan::call(xk::Message& req, ReplyFn k) {
+  auto& rec = ctx_.rec;
+  code::TracedCall tc(rec, fn_call_);
+  rec.block(fn_call_, blk::kVchanCallAlloc);
+  ++calls_;
+
+  for (std::uint16_t ch = 0; ch < chan_.nchans(); ++ch) {
+    if (!chan_.busy(ch)) {
+      issue(ch, req.view(), std::move(k));
+      return;
+    }
+  }
+  // All channels busy: park the call (the outlined wait path).
+  rec.block(fn_call_, blk::kVchanCallWait);
+  {
+    code::TracedCall ts(rec, fn_sem_p_);
+    rec.block(fn_sem_p_, blk::kSemPMain);
+    rec.block(fn_sem_p_, blk::kSemPBlock);
+  }
+  ++waits_;
+  waiting_.push_back(PendingCall{
+      std::vector<std::uint8_t>(req.view().begin(), req.view().end()),
+      std::move(k)});
+}
+
+xk::Message VChan::rpc_request(xk::Message& req) {
+  auto& rec = ctx_.rec;
+  code::TracedCall tc(rec, fn_demux_);
+  rec.block(fn_demux_, blk::kVchanDemuxMain);
+  if (server_ != nullptr) return server_->rpc_request(req);
+  return xk::Message(ctx_.arena, 0, 0);
+}
+
+}  // namespace l96::proto

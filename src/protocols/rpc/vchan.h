@@ -1,0 +1,54 @@
+// VCHAN: virtual channel management.
+//
+// Multiplexes concurrent calls onto CHAN's fixed set of channels: each call
+// allocates a free channel, callers wait (continuation parked on a
+// semaphore) when all channels are busy, and channels are recycled as
+// replies complete.  Server side it is a pass-through in the upcall chain.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "protocols/rpc/chan.h"
+
+namespace l96::proto {
+
+class VChan final : public xk::Protocol, public RpcUpper {
+ public:
+  VChan(xk::ProtoCtx& ctx, Chan& chan);
+
+  using ReplyFn = Chan::ReplyFn;
+
+  /// Client: allocate a channel and call; waits when none is free.
+  void call(xk::Message& req, ReplyFn k);
+
+  /// Server: next stage of the upcall chain.
+  void set_server(RpcUpper* upper) { server_ = upper; }
+  xk::Message rpc_request(xk::Message& req) override;
+
+  void demux(xk::Message&) override {}  // replies come via continuations
+
+  std::uint64_t calls() const noexcept { return calls_; }
+  std::uint64_t waits() const noexcept { return waits_; }
+
+ private:
+  struct PendingCall {
+    std::vector<std::uint8_t> request;
+    ReplyFn k;
+  };
+
+  void issue(std::uint16_t ch, std::span<const std::uint8_t> req, ReplyFn k);
+  void channel_freed(std::uint16_t ch);
+
+  Chan& chan_;
+  RpcUpper* server_ = nullptr;
+  std::deque<PendingCall> waiting_;
+  std::uint64_t calls_ = 0;
+  std::uint64_t waits_ = 0;
+
+  code::FnId fn_call_;
+  code::FnId fn_demux_;
+  code::FnId fn_sem_p_;
+};
+
+}  // namespace l96::proto

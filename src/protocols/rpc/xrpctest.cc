@@ -1,0 +1,46 @@
+#include "protocols/rpc/xrpctest.h"
+
+#include "protocols/stack_code.h"
+
+namespace l96::proto {
+
+XRpcTest::XRpcTest(xk::ProtoCtx& ctx, MSelect& mselect, bool is_client)
+    : Protocol(is_client ? "xrpctest_client" : "xrpctest_server", ctx),
+      mselect_(mselect),
+      is_client_(is_client),
+      fn_call_(fn("xrpctest_call")),
+      fn_reply_(fn("xrpctest_reply")) {
+  wire_below(&mselect);
+}
+
+void XRpcTest::serve() {
+  mselect_.register_service(kEchoProc, [this](xk::Message&) {
+    // Zero-sized reply.
+    return xk::Message(ctx_.arena, 0, 0);
+  });
+}
+
+void XRpcTest::issue_call() {
+  auto& rec = ctx_.rec;
+  code::TracedCall tc(rec, fn_call_);
+  rec.block(fn_call_, blk::kXRpcCallMain);
+  xk::Message req(ctx_.arena, 96, 0);  // zero-sized request
+  mselect_.call(kEchoProc, req, [this](xk::Message&) {
+    auto& r2 = ctx_.rec;
+    {
+      code::TracedCall tr(r2, fn_reply_);
+      r2.block(fn_reply_, blk::kXRpcReplyMain);
+    }
+    ++roundtrips_;
+    if (!done()) issue_call();
+  });
+}
+
+void XRpcTest::run(std::uint64_t n) {
+  if (!is_client_) throw std::logic_error("run() is for the client side");
+  target_ = n;
+  roundtrips_ = 0;
+  if (n > 0) issue_call();
+}
+
+}  // namespace l96::proto

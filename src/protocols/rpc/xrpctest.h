@@ -1,0 +1,40 @@
+// XRPCTEST: the ping-pong test at the top of the RPC stack (Figure 1).
+// The client sends zero-sized RPC requests; the server responds with a
+// zero-sized reply (Section 2.1).
+#pragma once
+
+#include <cstdint>
+
+#include "protocols/rpc/mselect.h"
+
+namespace l96::proto {
+
+class XRpcTest final : public xk::Protocol {
+ public:
+  static constexpr std::uint16_t kEchoProc = 1;
+
+  XRpcTest(xk::ProtoCtx& ctx, MSelect& mselect, bool is_client);
+
+  /// Server: register the echo service.
+  void serve();
+  /// Client: run `n` call/reply roundtrips (continuation-chained).
+  void run(std::uint64_t n);
+
+  void demux(xk::Message&) override {}
+
+  std::uint64_t roundtrips() const noexcept { return roundtrips_; }
+  bool done() const noexcept { return target_ != 0 && roundtrips_ >= target_; }
+
+ private:
+  void issue_call();
+
+  MSelect& mselect_;
+  bool is_client_;
+  std::uint64_t roundtrips_ = 0;
+  std::uint64_t target_ = 0;
+
+  code::FnId fn_call_;
+  code::FnId fn_reply_;
+};
+
+}  // namespace l96::proto

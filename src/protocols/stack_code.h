@@ -1,0 +1,192 @@
+// Code-model descriptors for every traced function in both stacks.
+//
+// Block-id enums here MUST match the registration order in stack_code.cc
+// (asserted there).  Enum order mirrors *source order* in the imagined C
+// code: error-handling blocks are interleaved with the mainline, exactly
+// the layout a compiler produces without outlining (Section 3.1's "basic
+// blocks are generated simply in the order of the corresponding source
+// code lines").  With outlining enabled, the image builder moves every
+// kError/kInit/kColdLoop block out of line.
+//
+// Runtime protocol code refers to blocks through these enums; instruction
+// counts live only in stack_code.cc.
+#pragma once
+
+#include "code/config.h"
+#include "code/model.h"
+
+namespace l96::proto {
+
+namespace blk {
+
+// --- library -----------------------------------------------------------
+enum Bcopy : code::BlockId { kBcopyMain = 0 };
+enum InCksum : code::BlockId {
+  kCksumSetup = 0,
+  kCksumUnrolled,  // cold: unrolled loop, entered only for large payloads
+  kCksumSmall,     // residual byte loop (the latency case)
+  kCksumFold,
+};
+enum Divq : code::BlockId { kDivqMain = 0, kDivqFullLoop };
+enum MapResolve : code::BlockId {
+  kMapCacheProbe = 0,
+  kMapHash,
+  kMapMiss,   // error: key not bound
+  kMapChain,
+};
+enum Malloc : code::BlockId { kMallocFreelist = 0, kMallocRefill };
+enum Free : code::BlockId { kFreeMain = 0 };
+enum EvtSchedule : code::BlockId { kEvtSchedMain = 0 };
+enum EvtCancel : code::BlockId { kEvtCancelMain = 0 };
+enum MsgPush : code::BlockId { kMsgPushMain = 0 };
+enum MsgPop : code::BlockId { kMsgPopMain = 0 };
+enum MsgRefresh : code::BlockId {
+  kRefreshCheck = 0,
+  kRefreshDestroy,    // error: slow path free()
+  kRefreshShortcut,
+  kRefreshConstruct,  // error: slow path malloc()
+};
+enum PoolGet : code::BlockId { kPoolGetMain = 0 };
+enum PoolPut : code::BlockId { kPoolPutMain = 0 };
+enum SemP : code::BlockId { kSemPMain = 0, kSemPBlock };
+enum SemV : code::BlockId { kSemVMain = 0, kSemVWake };
+enum CSwitch : code::BlockId { kCSwitchMain = 0 };
+enum StackAttach : code::BlockId { kStackAttachMain = 0 };
+
+// --- LANCE / ETH --------------------------------------------------------
+enum LanceSend : code::BlockId {
+  kLanceSendGetDesc = 0,
+  kLanceSendRingFull,  // error
+  kLanceSendSetup,     // descriptor update (USC vs copy sized)
+  kLanceSendKick,
+  kLanceSendComplete,  // completion-status descriptor update
+};
+enum LanceIntr : code::BlockId {
+  kLanceIntrStatus = 0,  // descriptor status read (USC vs copy sized)
+  kLanceIntrRxErr,       // error
+  kLanceIntrGetBuf,
+  kLanceIntrDeliver,
+  kLanceIntrGiveBack,    // descriptor returned to chip
+};
+enum EthSend : code::BlockId { kEthSendHdr = 0, kEthSendBadAddr };
+enum EthDemux : code::BlockId {
+  kEthDemuxParse = 0,
+  kEthDemuxBadType,  // error
+  kEthDemuxDispatch,
+};
+
+// --- TCP/IP stack ----------------------------------------------------------
+enum TcpTestSend : code::BlockId { kTtSendMain = 0 };
+enum TcpTestRecv : code::BlockId { kTtRecvMain = 0 };
+enum TcpUsrSend : code::BlockId { kUsrSendMain = 0 };
+enum TcpOutput : code::BlockId {
+  kOutPreamble = 0,
+  kOutNoBuffer,      // error
+  kOutWinCheck,
+  kOutSillyWindow,   // error
+  kOutWinCalc,       // 35% mul/div vs 33% shift/add sized
+  kOutBuildHdr,
+  kOutPersist,       // error
+  kOutCksum,
+  kOutSendDown,
+  kOutSetRexmt,
+};
+enum IpOutput : code::BlockId {
+  kIpOutRoute = 0,
+  kIpOutOptsErr,     // error
+  kIpOutHdr,
+  kIpOutFragment,    // cold loop
+  kIpOutCksum,
+  kIpOutSend,
+};
+enum VnetOutput : code::BlockId { kVnetOutMain = 0 };
+enum IpDemux : code::BlockId {
+  kIpDemuxParse = 0,
+  kIpDemuxBadSum,    // error
+  kIpDemuxVerify,
+  kIpDemuxOptions,   // error
+  kIpDemuxDispatch,
+  kIpDemuxReass,     // cold loop
+};
+enum TcpDemux : code::BlockId {
+  kTcpDemuxKey = 0,
+  kTcpDemuxNoConn,     // error
+  kTcpDemuxCacheTest,  // inlined one-entry cache test (conditional inlining)
+  kTcpDemuxFound,
+};
+enum TcpInput : code::BlockId {
+  kInValidate = 0,
+  kInBadCksum,       // error
+  kInHdrPred,        // header prediction (hurts bi-directional traffic)
+  kInRst,            // error
+  kInAckProc,
+  kInRexmtEntry,     // error
+  kInCwndUpdate,     // mul/div vs fully-open fast test sized
+  kInWindowProbe,    // error
+  kInSeqProc,
+  kInOutOfOrder,     // error
+  kInDataDeliver,
+  kInFin,            // error
+  kInAckDecision,
+  kInSlowState,      // error: non-ESTABLISHED state processing
+};
+enum TcpTimer : code::BlockId { kTimerMain = 0, kTimerRexmt };
+
+// --- RPC stack -------------------------------------------------------------
+enum XRpcCall : code::BlockId { kXRpcCallMain = 0 };
+enum XRpcReply : code::BlockId { kXRpcReplyMain = 0 };
+enum MSelectCall : code::BlockId { kMSelCallMain = 0, kMSelCallBadProc };
+enum MSelectDemux : code::BlockId { kMSelDemuxMain = 0, kMSelDemuxNoSvc };
+enum VchanCall : code::BlockId { kVchanCallAlloc = 0, kVchanCallWait };
+enum VchanDemux : code::BlockId { kVchanDemuxMain = 0 };
+enum ChanCall : code::BlockId {
+  kChanCallSeq = 0,
+  kChanCallHdr,
+  kChanCallSend,
+  kChanCallTimeout,
+  kChanCallBlock,
+};
+enum ChanDemux : code::BlockId {
+  kChanDemuxMatch = 0,
+  kChanDemuxDup,      // error
+  kChanDemuxDeliver,
+  kChanDemuxOld,      // error
+  kChanDemuxRexmt,    // error
+};
+enum ChanServer : code::BlockId {
+  kChanSrvDispatch = 0,
+  kChanSrvDupReq,  // error
+  kChanSrvReply,
+};
+enum BidPush : code::BlockId { kBidPushMain = 0 };
+enum BidDemux : code::BlockId { kBidDemuxMain = 0, kBidDemuxReboot };
+enum BlastPush : code::BlockId {
+  kBlastPushSingle = 0,
+  kBlastPushMulti,   // cold loop: fragmentation
+};
+enum BlastDemux : code::BlockId {
+  kBlastDemuxParse = 0,
+  kBlastDemuxNack,   // error
+  kBlastDemuxSingle,
+  kBlastDemuxReass,  // cold loop
+};
+
+}  // namespace blk
+
+// ---------------------------------------------------------------------------
+// Registration
+// ---------------------------------------------------------------------------
+
+void register_common_code(code::CodeRegistry& reg,
+                          const code::StackConfig& cfg);
+void register_tcpip_code(code::CodeRegistry& reg,
+                         const code::StackConfig& cfg);
+void register_rpc_code(code::CodeRegistry& reg, const code::StackConfig& cfg);
+
+/// Path specs for path-inlining (members must already be registered).
+code::PathSpec tcpip_output_path(const code::CodeRegistry& reg);
+code::PathSpec tcpip_input_path(const code::CodeRegistry& reg);
+code::PathSpec rpc_output_path(const code::CodeRegistry& reg);
+code::PathSpec rpc_input_path(const code::CodeRegistry& reg);
+
+}  // namespace l96::proto

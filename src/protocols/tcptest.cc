@@ -1,0 +1,64 @@
+#include "protocols/tcptest.h"
+
+#include <vector>
+
+#include "protocols/stack_code.h"
+
+namespace l96::proto {
+
+TcpTest::TcpTest(xk::ProtoCtx& ctx, Tcp& tcp, bool is_client,
+                 std::size_t msg_bytes)
+    : Protocol(is_client ? "tcptest_client" : "tcptest_server", ctx),
+      tcp_(tcp),
+      is_client_(is_client),
+      msg_bytes_(msg_bytes),
+      fn_send_(fn("tcptest_send")),
+      fn_recv_(fn("tcptest_recv")) {
+  wire_below(&tcp);
+}
+
+void TcpTest::start(std::uint32_t peer_ip, std::uint16_t lport,
+                    std::uint16_t rport, std::uint64_t target_roundtrips) {
+  target_ = target_roundtrips;
+  conn_ = tcp_.connect(peer_ip, lport, rport, this);
+}
+
+void TcpTest::serve(std::uint16_t port) { tcp_.listen(port, this); }
+
+void TcpTest::send_ping(TcpConn& c) {
+  auto& rec = ctx_.rec;
+  code::TracedCall tc(rec, fn_send_);
+  rec.block(fn_send_, blk::kTtSendMain);
+  std::vector<std::uint8_t> payload(msg_bytes_, 0x42);
+  c.send(payload);
+}
+
+void TcpTest::tcp_established(TcpConn& c) {
+  conn_ = &c;
+  if (is_client_) send_ping(c);
+}
+
+void TcpTest::tcp_receive(TcpConn& c, xk::Message& payload) {
+  auto& rec = ctx_.rec;
+  {
+    code::TracedCall tc(rec, fn_recv_);
+    rec.block(fn_recv_, blk::kTtRecvMain);
+  }
+  (void)payload;
+  if (is_client_) {
+    ++roundtrips_;
+    if (!done()) send_ping(c);
+  } else {
+    // Echo the same number of bytes back.
+    std::vector<std::uint8_t> echo(payload.length(), 0x42);
+    code::TracedCall tc(rec, fn_send_);
+    rec.block(fn_send_, blk::kTtSendMain);
+    c.send(echo);
+  }
+}
+
+void TcpTest::tcp_closed(TcpConn& c) {
+  if (conn_ == &c) conn_ = nullptr;
+}
+
+}  // namespace l96::proto

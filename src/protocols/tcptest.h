@@ -1,0 +1,52 @@
+// TCPTEST: the ping-pong latency test program at the top of the TCP/IP
+// stack (Figure 1).  The client sends a 1-byte message (TCP sends nothing
+// for an empty write, so "no payload" is approximated by one byte, exactly
+// as in Section 4.2); the server echoes it; the client counts roundtrips.
+#pragma once
+
+#include <cstdint>
+
+#include "protocols/tcp.h"
+#include "xkernel/protocol.h"
+
+namespace l96::proto {
+
+class TcpTest final : public xk::Protocol, public TcpUpper {
+ public:
+  TcpTest(xk::ProtoCtx& ctx, Tcp& tcp, bool is_client,
+          std::size_t msg_bytes = 1);
+
+  /// Client: open the connection and start ping-ponging once established.
+  void start(std::uint32_t peer_ip, std::uint16_t lport, std::uint16_t rport,
+             std::uint64_t target_roundtrips);
+  /// Server: accept and echo.
+  void serve(std::uint16_t port);
+
+  void demux(xk::Message&) override {}  // top of the stack
+
+  // TcpUpper
+  void tcp_established(TcpConn& c) override;
+  void tcp_receive(TcpConn& c, xk::Message& payload) override;
+  void tcp_closed(TcpConn& c) override;
+
+  std::uint64_t roundtrips() const noexcept { return roundtrips_; }
+  bool done() const noexcept {
+    return target_ != 0 && roundtrips_ >= target_;
+  }
+  TcpConn* connection() noexcept { return conn_; }
+
+ private:
+  void send_ping(TcpConn& c);
+
+  Tcp& tcp_;
+  bool is_client_;
+  std::size_t msg_bytes_;
+  std::uint64_t roundtrips_ = 0;
+  std::uint64_t target_ = 0;
+  TcpConn* conn_ = nullptr;
+
+  code::FnId fn_send_;
+  code::FnId fn_recv_;
+};
+
+}  // namespace l96::proto

@@ -1,0 +1,34 @@
+#include "protocols/usc.h"
+
+namespace l96::proto {
+
+std::uint16_t usc_read_field(const SparseRegion& mem, std::size_t desc_off,
+                             DescField f) {
+  return mem.read16(desc_off + static_cast<std::size_t>(f));
+}
+
+void usc_write_field(SparseRegion& mem, std::size_t desc_off, DescField f,
+                     std::uint16_t v) {
+  mem.write16(desc_off + static_cast<std::size_t>(f), v);
+}
+
+LanceDescriptor desc_copy_in(const SparseRegion& mem, std::size_t desc_off) {
+  LanceDescriptor d;
+  d.flags = mem.read16(desc_off + 0);
+  d.buffer = mem.read16(desc_off + 2);
+  d.length = mem.read16(desc_off + 4);
+  d.status = mem.read16(desc_off + 6);
+  d.misc = mem.read16(desc_off + 8);
+  return d;
+}
+
+void desc_copy_out(SparseRegion& mem, std::size_t desc_off,
+                   const LanceDescriptor& d) {
+  mem.write16(desc_off + 0, d.flags);
+  mem.write16(desc_off + 2, d.buffer);
+  mem.write16(desc_off + 4, d.length);
+  mem.write16(desc_off + 6, d.status);
+  mem.write16(desc_off + 8, d.misc);
+}
+
+}  // namespace l96::proto

@@ -1,0 +1,87 @@
+// Sparse shared memory and USC-style descriptor access (Section 2.2.4).
+//
+// The LANCE chip has a 16-bit bus behind a 32-bit TURBOchannel, so its
+// shared memory appears sparse to the host: every 16 bits of device memory
+// are followed by a 16-bit gap.  Descriptors are 10 bytes long (five 16-bit
+// words) and therefore occupy 20 bytes of host address space.
+//
+// Traditional drivers copy a descriptor into dense memory, modify it, and
+// copy it back (20 bytes moved per update).  The Universal Stub Compiler
+// approach generates accessors that read and write individual descriptor
+// fields directly in sparse memory.  Both access disciplines are
+// implemented; the StackConfig selects which one the driver uses, and each
+// performs its real (simulated-address) memory traffic.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "xkernel/simalloc.h"
+
+namespace l96::proto {
+
+/// Device shared memory with the LANCE 16-bit-word/16-bit-gap geometry.
+class SparseRegion {
+ public:
+  SparseRegion(xk::SimAlloc& arena, std::size_t dense_bytes)
+      : words_((dense_bytes + 1) / 2),
+        sim_base_(arena.alloc(2 * dense_bytes, 32)) {}
+
+  /// Host (simulated) address of the dense byte offset `off` — each 16-bit
+  /// word sits at double its dense offset.
+  xk::SimAddr sparse_addr(std::size_t dense_off) const noexcept {
+    return sim_base_ + (dense_off / 2) * 4 + (dense_off % 2);
+  }
+
+  std::uint16_t read16(std::size_t dense_off) const {
+    return words_.at(dense_off / 2);
+  }
+  void write16(std::size_t dense_off, std::uint16_t v) {
+    words_.at(dense_off / 2) = v;
+  }
+
+  std::size_t dense_bytes() const noexcept { return words_.size() * 2; }
+
+ private:
+  std::vector<std::uint16_t> words_;
+  xk::SimAddr sim_base_;
+};
+
+/// A LANCE ring descriptor: five 16-bit fields, 10 dense bytes.
+struct LanceDescriptor {
+  std::uint16_t flags = 0;      ///< OWN | STP | ENP | ERR bits
+  std::uint16_t buffer = 0;     ///< frame-buffer index in shared memory
+  std::uint16_t length = 0;     ///< frame length in bytes
+  std::uint16_t status = 0;     ///< completion status
+  std::uint16_t misc = 0;       ///< chip bookkeeping
+
+  static constexpr std::size_t kDenseBytes = 10;
+  static constexpr std::uint16_t kOwn = 0x8000;
+  static constexpr std::uint16_t kErr = 0x4000;
+};
+
+/// Field identifiers for the USC-generated accessors.
+enum class DescField : std::size_t {
+  kFlags = 0,
+  kBuffer = 2,
+  kLength = 4,
+  kStatus = 6,
+  kMisc = 8,
+};
+
+/// USC-style direct access: one sparse read/write per field, no copying.
+std::uint16_t usc_read_field(const SparseRegion& mem, std::size_t desc_off,
+                             DescField f);
+void usc_write_field(SparseRegion& mem, std::size_t desc_off, DescField f,
+                     std::uint16_t v);
+
+/// Traditional access: copy the whole descriptor out of / into sparse
+/// memory.  Returns the simulated addresses touched via `touched` so the
+/// caller can trace the 2x20-byte traffic.
+LanceDescriptor desc_copy_in(const SparseRegion& mem, std::size_t desc_off);
+void desc_copy_out(SparseRegion& mem, std::size_t desc_off,
+                   const LanceDescriptor& d);
+
+}  // namespace l96::proto

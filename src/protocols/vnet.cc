@@ -1,0 +1,31 @@
+#include "protocols/vnet.h"
+
+#include "protocols/stack_code.h"
+
+namespace l96::proto {
+
+VNet::VNet(xk::ProtoCtx& ctx)
+    : Protocol("vnet", ctx), fn_output_(fn("vnet_output")) {}
+
+void VNet::add_route(std::uint32_t prefix, int masklen, Eth* eth,
+                     MacAddr next_hop) {
+  const std::uint32_t mask =
+      masklen == 0 ? 0 : ~std::uint32_t{0} << (32 - masklen);
+  routes_.push_back({prefix & mask, mask, eth, next_hop});
+  wire_below(eth);
+}
+
+void VNet::send(std::uint32_t dst_ip, xk::Message& m) {
+  auto& rec = ctx_.rec;
+  code::TracedCall tc(rec, fn_output_);
+  rec.block(fn_output_, blk::kVnetOutMain);
+  for (const Route& r : routes_) {
+    if ((dst_ip & r.mask) == r.prefix) {
+      r.eth->send(r.next_hop, kEtherTypeIp, m);
+      return;
+    }
+  }
+  ++no_route_;
+}
+
+}  // namespace l96::proto

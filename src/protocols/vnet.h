@@ -1,0 +1,42 @@
+// VNET: a virtual protocol that routes outgoing messages to the right
+// network adaptor (Section 2.1).  In BSD this logic is folded into IP; the
+// x-kernel factors it out.  Inbound traffic never passes through VNET.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "protocols/eth.h"
+#include "xkernel/protocol.h"
+
+namespace l96::proto {
+
+class VNet final : public xk::Protocol {
+ public:
+  explicit VNet(xk::ProtoCtx& ctx);
+
+  /// Route: destinations matching `prefix/masklen` leave through `eth`
+  /// toward `next_hop` (static ARP — the testbed is an isolated segment).
+  void add_route(std::uint32_t prefix, int masklen, Eth* eth,
+                 MacAddr next_hop);
+
+  /// Route and transmit an IP datagram.
+  void send(std::uint32_t dst_ip, xk::Message& m);
+
+  void demux(xk::Message&) override {}  // outbound-only protocol
+
+  std::uint64_t no_route_drops() const noexcept { return no_route_; }
+
+ private:
+  struct Route {
+    std::uint32_t prefix;
+    std::uint32_t mask;
+    Eth* eth;
+    MacAddr next_hop;
+  };
+  std::vector<Route> routes_;
+  std::uint64_t no_route_ = 0;
+  code::FnId fn_output_;
+};
+
+}  // namespace l96::proto

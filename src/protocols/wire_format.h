@@ -1,0 +1,60 @@
+// Wire-format helpers: big-endian field access and the Internet checksum.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace l96::proto {
+
+inline void put_be16(std::span<std::uint8_t> b, std::size_t off,
+                     std::uint16_t v) {
+  b[off] = static_cast<std::uint8_t>(v >> 8);
+  b[off + 1] = static_cast<std::uint8_t>(v);
+}
+
+inline void put_be32(std::span<std::uint8_t> b, std::size_t off,
+                     std::uint32_t v) {
+  b[off] = static_cast<std::uint8_t>(v >> 24);
+  b[off + 1] = static_cast<std::uint8_t>(v >> 16);
+  b[off + 2] = static_cast<std::uint8_t>(v >> 8);
+  b[off + 3] = static_cast<std::uint8_t>(v);
+}
+
+inline std::uint16_t get_be16(std::span<const std::uint8_t> b,
+                              std::size_t off) {
+  return static_cast<std::uint16_t>((b[off] << 8) | b[off + 1]);
+}
+
+inline std::uint32_t get_be32(std::span<const std::uint8_t> b,
+                              std::size_t off) {
+  return (std::uint32_t{b[off]} << 24) | (std::uint32_t{b[off + 1]} << 16) |
+         (std::uint32_t{b[off + 2]} << 8) | std::uint32_t{b[off + 3]};
+}
+
+/// RFC 1071 Internet checksum over `data`, folded to 16 bits, with an
+/// optional preloaded partial sum (for pseudo headers).
+inline std::uint16_t inet_checksum(std::span<const std::uint8_t> data,
+                                   std::uint32_t partial = 0) {
+  std::uint32_t sum = partial;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += static_cast<std::uint32_t>((data[i] << 8) | data[i + 1]);
+  }
+  if (i < data.size()) sum += static_cast<std::uint32_t>(data[i] << 8);
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum & 0xFFFF);
+}
+
+/// Accumulate 16-bit words of `data` into a running (unfolded) sum — used
+/// to build pseudo-header partial sums.
+inline std::uint32_t checksum_accumulate(std::span<const std::uint8_t> data,
+                                         std::uint32_t sum = 0) {
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += static_cast<std::uint32_t>((data[i] << 8) | data[i + 1]);
+  }
+  if (i < data.size()) sum += static_cast<std::uint32_t>(data[i] << 8);
+  return sum;
+}
+
+}  // namespace l96::proto

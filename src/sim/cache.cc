@@ -1,0 +1,115 @@
+#include "sim/cache.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace l96::sim {
+
+namespace {
+bool is_pow2(std::uint32_t v) { return v != 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+DirectMappedCache::DirectMappedCache(Config cfg) : cfg_(std::move(cfg)) {
+  if (!is_pow2(cfg_.size_bytes) || !is_pow2(cfg_.block_bytes) ||
+      cfg_.block_bytes == 0 || cfg_.size_bytes < cfg_.block_bytes) {
+    throw std::invalid_argument("cache geometry must be power-of-two sized");
+  }
+  num_lines_ = cfg_.size_bytes / cfg_.block_bytes;
+  lines_.resize(num_lines_);
+}
+
+DirectMappedCache::AccessResult DirectMappedCache::access(Addr addr,
+                                                          bool is_write) {
+  ++stats_.accesses;
+  const Addr block = block_of(addr);
+  Line& line = lines_[line_index(addr)];
+
+  AccessResult r;
+  if (line.valid && line.block == block) {
+    r.hit = true;
+    if (is_write) {
+      if (cfg_.write_policy == WritePolicy::kWriteBack) line.dirty = true;
+      // Write-through: the write also propagates downstream; the caller
+      // (memory hierarchy) models that traffic via the write buffer.
+    }
+    return r;
+  }
+
+  ++stats_.misses;
+  r.replacement_miss = ever_seen_.contains(block);
+  if (r.replacement_miss) ++stats_.repl_misses;
+
+  const bool allocate =
+      !is_write || cfg_.write_policy == WritePolicy::kWriteBack;
+  if (allocate) {
+    if (line.valid && line.dirty) {
+      r.writeback = true;
+      r.evicted_block = line.block;
+      ++stats_.writebacks;
+    }
+    line.valid = true;
+    line.dirty = is_write && cfg_.write_policy == WritePolicy::kWriteBack;
+    line.block = block;
+    ever_seen_.insert(block);
+  } else {
+    // Write-through no-allocate: the block still "passed through" the level;
+    // it does not become resident, and per the paper's accounting a later
+    // read miss on it is a cold miss, so do not record it in ever_seen_.
+  }
+  return r;
+}
+
+DirectMappedCache::AccessResult DirectMappedCache::read(Addr addr) {
+  return access(addr, /*is_write=*/false);
+}
+
+DirectMappedCache::AccessResult DirectMappedCache::write(Addr addr) {
+  return access(addr, /*is_write=*/true);
+}
+
+bool DirectMappedCache::probe(Addr addr) {
+  ++stats_.accesses;
+  const Addr block = block_of(addr);
+  const Line& line = lines_[line_index(addr)];
+  if (line.valid && line.block == block) return true;
+  ++stats_.misses;
+  if (ever_seen_.contains(block)) ++stats_.repl_misses;
+  return false;
+}
+
+void DirectMappedCache::install(Addr addr) {
+  const Addr block = block_of(addr);
+  Line& line = lines_[line_index(addr)];
+  if (line.valid && line.block == block) return;
+  line.valid = true;
+  line.dirty = false;
+  line.block = block;
+  ever_seen_.insert(block);
+}
+
+bool DirectMappedCache::contains(Addr addr) const noexcept {
+  const Line& line = lines_[line_index(addr)];
+  return line.valid && line.block == block_of(addr);
+}
+
+void DirectMappedCache::invalidate(Addr addr) noexcept {
+  Line& line = lines_[line_index(addr)];
+  if (line.valid && line.block == block_of(addr)) line.valid = false;
+}
+
+void DirectMappedCache::invalidate_line(std::uint32_t index) noexcept {
+  assert(index < num_lines_);
+  lines_[index].valid = false;
+}
+
+void DirectMappedCache::reset() {
+  for (Line& l : lines_) l = Line{};
+  ever_seen_.clear();
+  stats_.reset();
+}
+
+void DirectMappedCache::flush() {
+  for (Line& l : lines_) l.valid = false;
+}
+
+}  // namespace l96::sim

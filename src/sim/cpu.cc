@@ -1,0 +1,46 @@
+#include "sim/cpu.h"
+
+namespace l96::sim {
+
+bool Cpu::can_pair(const MachineInstr& a, const MachineInstr& b) const noexcept {
+  if (!cfg_.dual_issue) return false;
+  // A taken control transfer ends the issue group.
+  if (is_control(a.cls) && a.taken) return false;
+  // Integer multiplies occupy the integer pipe for many cycles; don't pair.
+  if (a.cls == InstrClass::kIMul || b.cls == InstrClass::kIMul) return false;
+  // Exactly one of the two may use the integer pipe; the other must use the
+  // load/store/branch/fp pipe.
+  return needs_integer_pipe(a.cls) != needs_integer_pipe(b.cls);
+}
+
+CpuStats Cpu::time_trace(const MachineTrace& trace) const {
+  CpuStats s;
+  s.instructions = trace.size();
+
+  for (std::size_t i = 0; i < trace.size();) {
+    const MachineInstr& a = trace[i];
+    std::size_t issued = 1;
+    const bool dep_ok =
+        ((i * 2654435761u) >> 7) % 1000 < cfg_.pair_success_permille;
+    if (i + 1 < trace.size() && dep_ok && can_pair(a, trace[i + 1])) {
+      issued = 2;
+      ++s.dual_issues;
+    }
+    s.issue_cycles += 1;
+    for (std::size_t k = 0; k < issued; ++k) {
+      const MachineInstr& in = trace[i + k];
+      if (is_control(in.cls) && in.taken) {
+        ++s.taken_branches;
+        s.issue_cycles += cfg_.taken_branch_penalty;
+      }
+      if (in.cls == InstrClass::kIMul) {
+        ++s.imul_count;
+        s.issue_cycles += cfg_.imul_penalty;
+      }
+    }
+    i += issued;
+  }
+  return s;
+}
+
+}  // namespace l96::sim

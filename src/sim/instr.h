@@ -1,0 +1,49 @@
+// Machine-level instruction records consumed by the simulator.
+//
+// The code model (src/code) lowers executed basic blocks into a linear
+// sequence of these records under a particular code layout; the Machine
+// replays the sequence through the CPU issue model and memory hierarchy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/cache.h"
+
+namespace l96::sim {
+
+/// Coarse instruction classes of the 21064 that matter for issue pairing
+/// and fixed execution penalties.
+enum class InstrClass : std::uint8_t {
+  kIAlu,        ///< integer ALU / shift / logical
+  kLoad,        ///< memory load
+  kStore,       ///< memory store
+  kCondBranch,  ///< conditional branch (taken or fall-through)
+  kJump,        ///< unconditional jump / computed jump
+  kCall,        ///< subroutine call (jsr/bsr)
+  kRet,         ///< subroutine return
+  kIMul,        ///< integer multiply (long fixed latency on the 21064)
+  kFp,          ///< floating point (rare in protocol code)
+  kNop,         ///< padding / scheduling nop
+};
+
+struct MachineInstr {
+  Addr pc = 0;                         ///< instruction address (4-byte units)
+  InstrClass cls = InstrClass::kIAlu;
+  Addr ea = 0;                         ///< effective address (load/store)
+  bool taken = false;                  ///< branch-class: was it taken?
+};
+
+using MachineTrace = std::vector<MachineInstr>;
+
+/// True for classes that redirect the instruction stream when taken.
+constexpr bool is_control(InstrClass c) noexcept {
+  return c == InstrClass::kCondBranch || c == InstrClass::kJump ||
+         c == InstrClass::kCall || c == InstrClass::kRet;
+}
+
+constexpr bool is_memory(InstrClass c) noexcept {
+  return c == InstrClass::kLoad || c == InstrClass::kStore;
+}
+
+}  // namespace l96::sim

@@ -1,0 +1,62 @@
+#include "sim/machine.h"
+
+namespace l96::sim {
+
+void Machine::replay_memory(const MachineTrace& trace) {
+  for (const MachineInstr& in : trace) {
+    mem_.ifetch(in.pc);
+    switch (in.cls) {
+      case InstrClass::kLoad:
+        mem_.load(in.ea);
+        break;
+      case InstrClass::kStore:
+        mem_.store(in.ea);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+RunResult Machine::run(const MachineTrace& trace, const Options& opts) {
+  if (opts.cold_start) mem_.reset();
+
+  for (std::uint32_t p = 0; p < opts.warmup_passes; ++p) {
+    replay_memory(trace);
+    mem_.drain_writes();
+    if (opts.scrub_fraction > 0.0 || opts.scrub_fraction_d > 0.0) {
+      const double d = opts.scrub_fraction_d < 0.0 ? opts.scrub_fraction
+                                                   : opts.scrub_fraction_d;
+      mem_.scrub_primary(opts.scrub_fraction, d, opts.scrub_seed + p);
+    }
+  }
+  if (opts.warmup_passes > 0) mem_.reset_stats();
+
+  replay_memory(trace);
+  if (opts.drain_at_end) mem_.drain_writes();
+
+  const CpuStats cpu_stats = cpu_.time_trace(trace);
+
+  RunResult r;
+  r.instructions = cpu_stats.instructions;
+  r.issue_cycles = cpu_stats.issue_cycles;
+  r.taken_branches = cpu_stats.taken_branches;
+  r.stalls = mem_.stalls();
+  r.traffic = mem_.bcache_traffic();
+  r.stall_cycles = r.stalls.total();
+  r.icache = mem_.icache().stats();
+  r.bcache = mem_.bcache().stats();
+
+  // Combined d-cache/write-buffer column (Table 6): reads go through the
+  // d-cache, writes through the write buffer.  A merged write counts as a
+  // hit; a write that allocated an entry (and therefore eventually writes a
+  // block to the b-cache) counts as a miss.
+  const CacheStats& d = mem_.dcache().stats();
+  const WriteBuffer& w = mem_.wbuf();
+  r.dcache_combined.accesses = d.accesses + w.stores();
+  r.dcache_combined.misses = d.misses + w.allocations();
+  r.dcache_combined.repl_misses = d.repl_misses;
+  return r;
+}
+
+}  // namespace l96::sim

@@ -1,0 +1,85 @@
+// Machine: replays a machine-level trace through the CPU issue model and the
+// DEC 3000/600 memory hierarchy, producing the metrics the paper reports —
+// processing time, CPI, iCPI, mCPI and per-cache (Miss, Acc, Repl) counts.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/cpu.h"
+#include "sim/instr.h"
+#include "sim/memsys.h"
+
+namespace l96::sim {
+
+/// Everything Tables 6 and 7 need for one configuration.
+struct RunResult {
+  std::uint64_t instructions = 0;
+  std::uint64_t issue_cycles = 0;   ///< perfect-memory cycles
+  std::uint64_t stall_cycles = 0;   ///< memory stall cycles
+  std::uint64_t taken_branches = 0;
+
+  CacheStats icache;
+  CacheStats dcache_combined;  ///< d-cache reads + write-buffer writes, as in
+                               ///< Table 6's combined d-cache/wr-buffer column
+  CacheStats bcache;
+  MemStallStats stalls;
+  BcacheTraffic traffic;
+
+  std::uint64_t cycles() const noexcept { return issue_cycles + stall_cycles; }
+  double cpi() const noexcept {
+    return instructions ? static_cast<double>(cycles()) /
+                              static_cast<double>(instructions)
+                        : 0.0;
+  }
+  double icpi() const noexcept {
+    return instructions ? static_cast<double>(issue_cycles) /
+                              static_cast<double>(instructions)
+                        : 0.0;
+  }
+  double mcpi() const noexcept { return cpi() - icpi(); }
+  /// Processing time in microseconds at the given clock.
+  double processing_us(std::uint64_t hz = 175'000'000) const noexcept {
+    return static_cast<double>(cycles()) * 1e6 / static_cast<double>(hz);
+  }
+};
+
+class Machine {
+ public:
+  struct Options {
+    /// Start from cold caches (Table 6 methodology).
+    bool cold_start = true;
+    /// Drain the write buffer when the trace ends.
+    bool drain_at_end = true;
+    /// Number of warm-up replays before the measured replay.  Warm-up
+    /// populates the b-cache (the whole kernel fits in it) and the primary
+    /// caches; combined with `scrub_fraction` this models the steady state
+    /// of repeated path invocations with untraced code in between.
+    std::uint32_t warmup_passes = 0;
+    /// Fraction of primary-cache lines evicted by untraced code between
+    /// passes (interrupt handling, context switch, idle thread).  The
+    /// untraced code is instruction-heavy, so the d-cache fraction is
+    /// separate (and typically smaller).
+    double scrub_fraction = 0.0;
+    double scrub_fraction_d = -1.0;  ///< < 0: use scrub_fraction
+    std::uint64_t scrub_seed = 0x9E3779B97F4A7C15ULL;
+  };
+
+  Machine() = default;
+  Machine(const MemorySystem::Config& mem_cfg, const Cpu::Config& cpu_cfg)
+      : mem_(mem_cfg), cpu_(cpu_cfg) {}
+
+  /// Replay `trace` and return the measured metrics.
+  RunResult run(const MachineTrace& trace, const Options& opts);
+  RunResult run(const MachineTrace& trace) { return run(trace, Options{}); }
+
+  MemorySystem& mem() noexcept { return mem_; }
+  const Cpu& cpu() const noexcept { return cpu_; }
+
+ private:
+  void replay_memory(const MachineTrace& trace);
+
+  MemorySystem mem_;
+  Cpu cpu_;
+};
+
+}  // namespace l96::sim

@@ -1,0 +1,44 @@
+#include "xkernel/event.h"
+
+#include <utility>
+#include <vector>
+
+namespace l96::xk {
+
+EventManager::EventId EventManager::schedule_at(std::uint64_t fire_at_us,
+                                                Handler fn) {
+  if (fire_at_us < now_) fire_at_us = now_;
+  const EventId id = next_id_++;
+  const QueueKey key{fire_at_us, id};
+  queue_.emplace(key, std::move(fn));
+  by_id_.emplace(id, key);
+  return id;
+}
+
+bool EventManager::cancel(EventId id) {
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) return false;
+  queue_.erase(it->second);
+  by_id_.erase(it);
+  return true;
+}
+
+void EventManager::advance_to(std::uint64_t t_us) {
+  while (!queue_.empty() && queue_.begin()->first.when <= t_us) {
+    auto it = queue_.begin();
+    now_ = it->first.when;
+    Handler fn = std::move(it->second);
+    by_id_.erase(it->first.id);
+    queue_.erase(it);
+    fn();  // may schedule or cancel further events
+  }
+  if (t_us > now_) now_ = t_us;
+}
+
+bool EventManager::advance_to_next() {
+  if (queue_.empty()) return false;
+  advance_to(queue_.begin()->first.when);
+  return true;
+}
+
+}  // namespace l96::xk

@@ -1,0 +1,57 @@
+// The x-kernel event (timer) manager.
+//
+// Protocols register timeout handlers against virtual time in microseconds
+// (TCP retransmit/persist timers, CHAN call timeouts, BLAST reassembly
+// timeouts).  The World advances virtual time and due events fire in
+// timestamp order; handlers may schedule or cancel further events.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <stdexcept>
+
+namespace l96::xk {
+
+class EventManager {
+ public:
+  using EventId = std::uint64_t;
+  using Handler = std::function<void()>;
+  static constexpr EventId kInvalid = 0;
+
+  /// Schedule `fn` to run at absolute virtual time `fire_at_us`.
+  EventId schedule_at(std::uint64_t fire_at_us, Handler fn);
+  /// Schedule `fn` to run `delay_us` from now.
+  EventId schedule_in(std::uint64_t delay_us, Handler fn) {
+    return schedule_at(now_ + delay_us, std::move(fn));
+  }
+
+  /// Cancel a pending event; returns false if it already fired or never
+  /// existed.
+  bool cancel(EventId id);
+
+  /// Advance virtual time to `t_us`, firing every due event in order.
+  void advance_to(std::uint64_t t_us);
+  /// Advance by a delta.
+  void advance_by(std::uint64_t d_us) { advance_to(now_ + d_us); }
+  /// Advance to (and fire) the next pending event, if any; returns whether
+  /// an event fired.
+  bool advance_to_next();
+
+  std::uint64_t now() const noexcept { return now_; }
+  std::size_t pending() const noexcept { return queue_.size(); }
+
+ private:
+  struct QueueKey {
+    std::uint64_t when;
+    EventId id;  // tie-break: schedule order
+    friend auto operator<=>(const QueueKey&, const QueueKey&) = default;
+  };
+
+  std::uint64_t now_ = 0;
+  EventId next_id_ = 1;
+  std::map<QueueKey, Handler> queue_;
+  std::map<EventId, QueueKey> by_id_;
+};
+
+}  // namespace l96::xk

@@ -1,0 +1,48 @@
+#include "xkernel/process.h"
+
+namespace l96::xk {
+
+StackPool::StackPool(SimAlloc& arena, std::size_t count,
+                     std::uint32_t stack_bytes)
+    : stack_bytes_(stack_bytes) {
+  pool_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    pool_.push_back(arena.alloc(stack_bytes_, 64));
+  }
+  if (!pool_.empty()) last_detached_ = pool_.back();
+}
+
+SimAddr StackPool::attach() {
+  if (pool_.empty()) throw std::runtime_error("stack pool exhausted");
+  const SimAddr s = pool_.back();
+  pool_.pop_back();
+  ++attaches_;
+  if (s == last_detached_) ++warm_attaches_;
+  return s;
+}
+
+void StackPool::detach(SimAddr stack) {
+  pool_.push_back(stack);
+  last_detached_ = stack;
+}
+
+void Semaphore::p(std::function<void()> k) {
+  if (count_ > 0) {
+    --count_;
+    k();
+  } else {
+    waiters_.push_back(std::move(k));
+  }
+}
+
+void Semaphore::v() {
+  if (!waiters_.empty()) {
+    auto k = std::move(waiters_.front());
+    waiters_.pop_front();
+    k();
+  } else {
+    ++count_;
+  }
+}
+
+}  // namespace l96::xk

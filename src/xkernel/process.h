@@ -1,0 +1,68 @@
+// Threads as continuations, first-class stacks, and semaphores.
+//
+// Section 2.2.1: the original x-kernel attached a stack to each thread
+// statically; the RISC port made stacks first-class objects attached on
+// demand and managed in a LIFO pool, so consecutive latency-sensitive path
+// invocations run on the *same* stack — whose frames are still warm in the
+// d-cache.  Blocking is expressed with continuations: a blocked operation
+// parks a closure on a semaphore instead of holding a stack.
+//
+// This module provides the functional machinery (the World's protocol
+// upcalls and the CHAN client's blocking call run through it) plus the
+// statistics the d-cache story rests on (stack reuse rate).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "xkernel/simalloc.h"
+
+namespace l96::xk {
+
+/// LIFO pool of first-class stacks.
+class StackPool {
+ public:
+  StackPool(SimAlloc& arena, std::size_t count, std::uint32_t stack_bytes);
+
+  /// Attach a stack (LIFO: the most recently detached one comes back first,
+  /// maximizing the chance it is still cached).
+  SimAddr attach();
+  void detach(SimAddr stack);
+
+  std::size_t available() const noexcept { return pool_.size(); }
+  std::uint64_t attaches() const noexcept { return attaches_; }
+  /// Attaches that returned the most-recently-used stack.
+  std::uint64_t warm_attaches() const noexcept { return warm_attaches_; }
+  std::uint32_t stack_bytes() const noexcept { return stack_bytes_; }
+
+ private:
+  std::uint32_t stack_bytes_;
+  std::vector<SimAddr> pool_;  // back = most recently detached
+  SimAddr last_detached_ = 0;
+  std::uint64_t attaches_ = 0;
+  std::uint64_t warm_attaches_ = 0;
+};
+
+/// Counting semaphore with continuation-based blocking.
+class Semaphore {
+ public:
+  explicit Semaphore(int initial = 0) : count_(initial) {}
+
+  /// P: if a unit is available, run `k` immediately; otherwise park it.
+  void p(std::function<void()> k);
+  /// V: release one unit, resuming the oldest parked continuation (direct
+  /// handoff) if any.
+  void v();
+
+  int count() const noexcept { return count_; }
+  std::size_t waiters() const noexcept { return waiters_.size(); }
+
+ private:
+  int count_;
+  std::deque<std::function<void()>> waiters_;
+};
+
+}  // namespace l96::xk

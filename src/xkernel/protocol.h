@@ -1,0 +1,65 @@
+// Protocol base and the shared per-stack context.
+//
+// The x-kernel composes protocols into a graph: messages travel down via
+// typed send entry points and up via demux().  Each concrete protocol
+// exposes its own typed downward interface (e.g. Ip::send(dst, proto, msg));
+// the common base provides naming, graph inspection, and inbound delivery,
+// which is all the framework itself needs.
+//
+// ProtoCtx bundles everything a protocol needs from its host: the simulated
+// allocator (deterministic addresses), the event manager (timers), the
+// trace recorder and code registry (instruction-level tracing), and the
+// stack configuration (which Section-2 behaviours are compiled in).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "code/config.h"
+#include "code/model.h"
+#include "code/trace.h"
+#include "xkernel/event.h"
+#include "xkernel/message.h"
+#include "xkernel/simalloc.h"
+
+namespace l96::xk {
+
+struct ProtoCtx {
+  SimAlloc& arena;
+  EventManager& events;
+  code::Recorder& rec;
+  code::CodeRegistry& registry;
+  const code::StackConfig& config;
+};
+
+class Protocol {
+ public:
+  Protocol(std::string name, ProtoCtx& ctx)
+      : name_(std::move(name)), ctx_(ctx) {}
+  virtual ~Protocol() = default;
+  Protocol(const Protocol&) = delete;
+  Protocol& operator=(const Protocol&) = delete;
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// Inbound delivery from the protocol below.
+  virtual void demux(Message& m) = 0;
+
+  /// Graph inspection (Figure 1): the protocols this one sits on top of.
+  const std::vector<Protocol*>& below() const noexcept { return below_; }
+
+ protected:
+  void wire_below(Protocol* p) { below_.push_back(p); }
+
+  /// Resolve a code-model function id by name (descriptors are registered
+  /// before protocols are constructed).
+  code::FnId fn(std::string_view name) const {
+    return ctx_.registry.require(name);
+  }
+
+  std::string name_;
+  ProtoCtx& ctx_;
+  std::vector<Protocol*> below_;
+};
+
+}  // namespace l96::xk

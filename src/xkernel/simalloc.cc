@@ -1,0 +1,29 @@
+#include "xkernel/simalloc.h"
+
+namespace l96::xk {
+
+SimAddr SimAlloc::alloc(std::uint64_t bytes, std::uint64_t align) {
+  ++alloc_count_;
+  const std::uint64_t cls = size_class(bytes);
+  live_bytes_ += cls;
+
+  auto it = free_lists_.find(cls);
+  if (it != free_lists_.end() && !it->second.empty()) {
+    const SimAddr a = it->second.back();
+    it->second.pop_back();
+    return a;
+  }
+  cursor_ = (cursor_ + align - 1) / align * align;
+  const SimAddr a = cursor_;
+  cursor_ += cls;
+  return a;
+}
+
+void SimAlloc::free(SimAddr addr, std::uint64_t bytes) {
+  ++free_count_;
+  const std::uint64_t cls = size_class(bytes);
+  live_bytes_ -= cls;
+  free_lists_[cls].push_back(addr);
+}
+
+}  // namespace l96::xk

@@ -1,0 +1,135 @@
+// Tests for the packet classifier and the wire-format helpers.
+#include <gtest/gtest.h>
+
+#include "code/classifier.h"
+#include "protocols/wire_format.h"
+
+namespace l96 {
+namespace {
+
+using code::ClassifierRule;
+using code::PacketClassifier;
+
+std::vector<std::uint8_t> frame(std::initializer_list<int> xs) {
+  std::vector<std::uint8_t> v;
+  for (int x : xs) v.push_back(static_cast<std::uint8_t>(x));
+  return v;
+}
+
+TEST(Classifier, MatchesSingleRule) {
+  PacketClassifier c;
+  c.add_path("ip", 1, {{.offset = 0, .size = 1, .mask = 0xFF, .value = 0x45}});
+  EXPECT_EQ(c.classify(frame({0x45, 0x00})), 1);
+  EXPECT_EQ(c.classify(frame({0x46, 0x00})), std::nullopt);
+}
+
+TEST(Classifier, MultiByteBigEndian) {
+  PacketClassifier c;
+  c.add_path("tcp80", 2,
+             {{.offset = 2, .size = 2, .mask = 0xFFFF, .value = 0x0050}});
+  EXPECT_EQ(c.classify(frame({0, 0, 0x00, 0x50})), 2);
+  EXPECT_EQ(c.classify(frame({0, 0, 0x50, 0x00})), std::nullopt);
+}
+
+TEST(Classifier, MaskedMatch) {
+  PacketClassifier c;
+  c.add_path("highnibble", 3,
+             {{.offset = 0, .size = 1, .mask = 0xF0, .value = 0x40}});
+  EXPECT_EQ(c.classify(frame({0x4F})), 3);
+  EXPECT_EQ(c.classify(frame({0x5F})), std::nullopt);
+}
+
+TEST(Classifier, AllRulesMustMatch) {
+  PacketClassifier c;
+  c.add_path("both", 4,
+             {{.offset = 0, .size = 1, .mask = 0xFF, .value = 1},
+              {.offset = 1, .size = 1, .mask = 0xFF, .value = 2}});
+  EXPECT_EQ(c.classify(frame({1, 2})), 4);
+  EXPECT_EQ(c.classify(frame({1, 3})), std::nullopt);
+}
+
+TEST(Classifier, FirstRegisteredWins) {
+  PacketClassifier c;
+  c.add_path("specific", 1,
+             {{.offset = 0, .size = 1, .mask = 0xFF, .value = 7}});
+  c.add_path("general", 2, {});
+  EXPECT_EQ(c.classify(frame({7})), 1);
+  EXPECT_EQ(c.classify(frame({9})), 2);  // catch-all
+}
+
+TEST(Classifier, ShortFrameNeverMatchesOutOfRangeRule) {
+  PacketClassifier c;
+  c.add_path("deep", 1,
+             {{.offset = 100, .size = 2, .mask = 0xFFFF, .value = 0}});
+  EXPECT_EQ(c.classify(frame({1, 2, 3})), std::nullopt);
+}
+
+TEST(Classifier, Metadata) {
+  PacketClassifier c;
+  c.add_path("x", 9, {});
+  ASSERT_NE(c.path_name(9), nullptr);
+  EXPECT_EQ(*c.path_name(9), "x");
+  EXPECT_EQ(c.path_name(1), nullptr);
+  c.set_overhead_us(2.5);
+  EXPECT_DOUBLE_EQ(c.overhead_us(), 2.5);
+  EXPECT_EQ(c.num_paths(), 1u);
+}
+
+// --- wire format -----------------------------------------------------------
+
+TEST(WireFormat, BigEndianRoundtrip) {
+  std::vector<std::uint8_t> buf(8);
+  proto::put_be16(buf, 0, 0xBEEF);
+  proto::put_be32(buf, 2, 0xDEADC0DE);
+  EXPECT_EQ(proto::get_be16(buf, 0), 0xBEEF);
+  EXPECT_EQ(proto::get_be32(buf, 2), 0xDEADC0DEu);
+  EXPECT_EQ(buf[0], 0xBE);
+  EXPECT_EQ(buf[1], 0xEF);
+}
+
+TEST(WireFormat, ChecksumKnownVector) {
+  // RFC 1071 example: 00 01 f2 03 f4 f5 f6 f7 -> sum 0xddf2, cksum ~0xddf2.
+  auto data = frame({0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7});
+  EXPECT_EQ(proto::inet_checksum(data), static_cast<std::uint16_t>(~0xddf2));
+}
+
+TEST(WireFormat, ChecksumOfDataWithItsChecksumIsZero) {
+  auto data = frame({1, 2, 3, 4, 5, 6});
+  const std::uint16_t ck = proto::inet_checksum(data);
+  data.push_back(static_cast<std::uint8_t>(ck >> 8));
+  data.push_back(static_cast<std::uint8_t>(ck));
+  EXPECT_EQ(proto::inet_checksum(data), 0);
+}
+
+TEST(WireFormat, ChecksumDetectsSingleBitFlip) {
+  std::vector<std::uint8_t> data(40);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 37);
+  }
+  const std::uint16_t ck = proto::inet_checksum(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      data[i] ^= (1u << bit);
+      EXPECT_NE(proto::inet_checksum(data), ck);
+      data[i] ^= (1u << bit);
+    }
+  }
+}
+
+TEST(WireFormat, ChecksumOddLength) {
+  auto data = frame({0xAB});
+  // Odd byte is padded with zero on the right: sum = 0xab00.
+  EXPECT_EQ(proto::inet_checksum(data), static_cast<std::uint16_t>(~0xab00));
+}
+
+TEST(WireFormat, AccumulatePartial) {
+  auto a = frame({0x12, 0x34});
+  auto b = frame({0x56, 0x78});
+  const std::uint32_t partial = proto::checksum_accumulate(a);
+  const std::uint16_t split = proto::inet_checksum(b, partial);
+  auto whole = frame({0x12, 0x34, 0x56, 0x78});
+  EXPECT_EQ(split, proto::inet_checksum(whole));
+}
+
+}  // namespace
+}  // namespace l96

@@ -1,0 +1,274 @@
+// Tests for the code model, image builder, and layout strategies.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "code/image.h"
+#include "code/model.h"
+#include "code/trace.h"
+
+namespace l96::code {
+namespace {
+
+Function make_fn(std::string name, FnKind kind,
+                 std::vector<std::pair<std::uint16_t, BlockClass>> blocks) {
+  Function f;
+  f.name = std::move(name);
+  f.kind = kind;
+  f.prologue_instrs = 6;
+  f.epilogue_instrs = 4;
+  int i = 0;
+  for (auto [n, cls] : blocks) {
+    BasicBlock b;
+    b.label = "b" + std::to_string(i++);
+    b.cls = cls;
+    b.instructions = n;
+    f.blocks.push_back(b);
+  }
+  return f;
+}
+
+struct Fixture {
+  CodeRegistry reg;
+  FnId a, b, lib;
+  Fixture() {
+    a = reg.add(make_fn("alpha", FnKind::kPath,
+                        {{40, BlockClass::kMainline},
+                         {30, BlockClass::kError},
+                         {50, BlockClass::kMainline}}));
+    b = reg.add(make_fn("beta", FnKind::kPath,
+                        {{60, BlockClass::kMainline},
+                         {20, BlockClass::kColdLoop}}));
+    lib = reg.add(make_fn("libfn", FnKind::kLibrary,
+                          {{24, BlockClass::kMainline}}));
+  }
+  PathTrace profile() const {
+    PathTrace t;
+    Recorder rec;
+    rec.enable(&t);
+    rec.call(a);
+    rec.block(a, 0);
+    rec.call(lib);
+    rec.block(lib, 0);
+    rec.ret();
+    rec.block(a, 2);
+    rec.call(b);
+    rec.block(b, 0);
+    rec.ret();
+    rec.ret();
+    return t;
+  }
+};
+
+TEST(CodeRegistry, AddAndLookup) {
+  Fixture f;
+  EXPECT_EQ(f.reg.size(), 3u);
+  EXPECT_EQ(f.reg.find("alpha"), f.a);
+  EXPECT_EQ(f.reg.find("missing"), kInvalidFn);
+  EXPECT_THROW(f.reg.require("missing"), std::out_of_range);
+  EXPECT_THROW(f.reg.add(make_fn("alpha", FnKind::kPath, {})),
+               std::invalid_argument);
+}
+
+TEST(CodeRegistry, InstructionAccounting) {
+  Fixture f;
+  const Function& fn = f.reg.fn(f.a);
+  EXPECT_EQ(fn.mainline_instructions(), 90u);
+  EXPECT_EQ(fn.outlined_instructions(), 30u);
+  EXPECT_EQ(fn.total_instructions(), 120u);
+}
+
+StackConfig cfg_outline() {
+  auto c = StackConfig::Out();
+  return c;
+}
+
+TEST(Image, StdKeepsBlocksInline) {
+  Fixture f;
+  StackConfig cfg = StackConfig::Std();
+  CodeImage img = ImageBuilder(f.reg, cfg).set_profile(f.profile()).build();
+  const FnPlacement& pa = img.placement(f.a, false);
+  // Declared order: b0, error, b2 — all placed, in ascending addresses.
+  EXPECT_LT(pa.blocks[0].addr, pa.blocks[1].addr);
+  EXPECT_LT(pa.blocks[1].addr, pa.blocks[2].addr);
+  EXPECT_FALSE(pa.blocks[1].outlined);
+}
+
+TEST(Image, OutliningMovesColdBlocksPastMainline) {
+  Fixture f;
+  CodeImage img =
+      ImageBuilder(f.reg, cfg_outline()).set_profile(f.profile()).build();
+  const FnPlacement& pa = img.placement(f.a, false);
+  EXPECT_TRUE(pa.blocks[1].outlined);
+  // Mainline packs: b2 directly after b0 (plus any call slack).
+  EXPECT_GT(pa.blocks[1].addr, pa.blocks[2].addr);
+  // The outlined block is past the whole mainline of the function.
+  EXPECT_GE(pa.blocks[1].addr, pa.epilogue_addr + 4 * pa.epilogue_words);
+}
+
+TEST(Image, OutliningShrinksHotSegment) {
+  Fixture f;
+  CodeImage std_img =
+      ImageBuilder(f.reg, StackConfig::Std()).set_profile(f.profile()).build();
+  CodeImage out_img =
+      ImageBuilder(f.reg, cfg_outline()).set_profile(f.profile()).build();
+  EXPECT_LT(out_img.hot_words(), std_img.hot_words());
+}
+
+TEST(Image, GapModelOnlyWithoutOutlining) {
+  Fixture f;
+  CodeImage std_img =
+      ImageBuilder(f.reg, StackConfig::Std()).set_profile(f.profile()).build();
+  CodeImage out_img =
+      ImageBuilder(f.reg, cfg_outline()).set_profile(f.profile()).build();
+  // STD mainline blocks carry inline-gap slack; outlined ones do not.
+  EXPECT_GT(std_img.placement(f.a, false).blocks[0].slack,
+            out_img.placement(f.a, false).blocks[0].slack);
+}
+
+TEST(Image, CloningMovesOutlinedCodeToSharedColdSegment) {
+  Fixture f;
+  CodeImage img = ImageBuilder(f.reg, StackConfig::Clo())
+                      .set_profile(f.profile())
+                      .build();
+  const FnPlacement& pa = img.placement(f.a, false);
+  const FnPlacement& pb = img.placement(f.b, false);
+  // Outlined blocks live far from the hot segment.
+  EXPECT_GT(pa.blocks[1].addr, img.hot_end());
+  EXPECT_GT(pb.blocks[1].addr, img.hot_end());
+}
+
+TEST(Image, PrologueSpecializationWithCloning) {
+  Fixture f;
+  CodeImage clo = ImageBuilder(f.reg, StackConfig::Clo())
+                      .set_profile(f.profile())
+                      .build();
+  CodeImage out =
+      ImageBuilder(f.reg, cfg_outline()).set_profile(f.profile()).build();
+  EXPECT_LT(clo.placement(f.a, false).prologue_words,
+            out.placement(f.a, false).prologue_words);
+  EXPECT_FALSE(clo.placement(f.a, false).got_load_on_call);
+  EXPECT_TRUE(out.placement(f.a, false).got_load_on_call);
+}
+
+// Property: across all layouts, no two placed hot regions overlap.
+class LayoutOverlap : public ::testing::TestWithParam<LayoutKind> {};
+
+TEST_P(LayoutOverlap, NoOverlappingPlacements) {
+  Fixture f;
+  StackConfig cfg = StackConfig::Clo();
+  cfg.layout = GetParam();
+  CodeImage img =
+      ImageBuilder(f.reg, cfg).set_profile(f.profile()).build();
+
+  std::map<sim::Addr, sim::Addr> regions;  // start -> end
+  auto add = [&](sim::Addr start, sim::Addr end) {
+    if (start == end) return;
+    for (auto& [s, e] : regions) {
+      ASSERT_TRUE(end <= s || start >= e)
+          << "overlap: [" << start << "," << end << ") vs [" << s << "," << e
+          << ")";
+    }
+    regions[start] = end;
+  };
+  for (FnId id : {f.a, f.b, f.lib}) {
+    const FnPlacement& p = img.placement(id, false);
+    add(p.entry, p.entry + 4ull * p.prologue_words);
+    add(p.epilogue_addr, p.epilogue_addr + 4ull * p.epilogue_words);
+    for (const auto& bp : p.blocks) add(bp.addr, bp.end());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLayouts, LayoutOverlap,
+                         ::testing::Values(LayoutKind::kLinkOrder,
+                                           LayoutKind::kLinear,
+                                           LayoutKind::kBipartite,
+                                           LayoutKind::kMicroPosition,
+                                           LayoutKind::kPessimal,
+                                           LayoutKind::kRandom));
+
+TEST(Image, BipartiteSeparatesLibraryAndPathSets) {
+  Fixture f;
+  StackConfig cfg = StackConfig::Clo();
+  CodeImage img =
+      ImageBuilder(f.reg, cfg).set_profile(f.profile()).build();
+  const auto& lib_p = img.placement(f.lib, false);
+  const auto& a_p = img.placement(f.a, false);
+  // Library code occupies low cache-set offsets; path code starts past the
+  // library window.
+  const std::uint64_t lib_off = lib_p.entry % 8192;
+  const std::uint64_t a_off = a_p.entry % 8192;
+  EXPECT_LT(lib_off, a_off);
+}
+
+TEST(Image, PessimalAliasesHotUnits) {
+  Fixture f;
+  StackConfig cfg = StackConfig::Bad();
+  CodeImage img =
+      ImageBuilder(f.reg, cfg).set_profile(f.profile()).build();
+  const auto sa = img.placement(f.a, false).entry % 8192;
+  const auto sb = img.placement(f.b, false).entry % 8192;
+  EXPECT_EQ(sa, sb);  // same i-cache set
+}
+
+TEST(Image, PathInliningBuildsComposite) {
+  Fixture f;
+  StackConfig cfg = StackConfig::Pin();
+  CodeImage img = ImageBuilder(f.reg, cfg)
+                      .set_profile(f.profile())
+                      .declare_path(PathSpec{"p", {f.a, f.b}})
+                      .build();
+  EXPECT_EQ(img.composite_of(f.a), img.composite_of(f.b));
+  EXPECT_GE(img.composite_of(f.a), 0);
+  EXPECT_EQ(img.composite_of(f.lib), -1);
+  // Members keep a standalone (slow-path) placement in the cold segment.
+  const auto& cold_a = img.placement(f.a, false);
+  EXPECT_GT(cold_a.entry, img.hot_end());
+  // Composite placement differs.
+  const auto& hot_a = img.placement(f.a, true);
+  EXPECT_NE(hot_a.blocks[0].addr, cold_a.blocks[0].addr);
+}
+
+TEST(Image, CompositeBlocksFollowProfileOrder) {
+  Fixture f;
+  StackConfig cfg = StackConfig::Pin();
+  CodeImage img = ImageBuilder(f.reg, cfg)
+                      .set_profile(f.profile())
+                      .declare_path(PathSpec{"p", {f.a, f.b}})
+                      .build();
+  // Profile order: a.b0, a.b2, b.b0 — composite addresses ascend that way.
+  const auto& pa = img.placement(f.a, true);
+  const auto& pb = img.placement(f.b, true);
+  EXPECT_LT(pa.blocks[0].addr, pa.blocks[2].addr);
+  EXPECT_LT(pa.blocks[2].addr, pb.blocks[0].addr);
+}
+
+TEST(Image, PathInliningRequiresProfile) {
+  Fixture f;
+  StackConfig cfg = StackConfig::Pin();
+  ImageBuilder b(f.reg, cfg);
+  b.declare_path(PathSpec{"p", {f.a}});
+  EXPECT_THROW(b.build(), std::logic_error);
+}
+
+TEST(Image, PinDiscountShrinksCompositeBlocks) {
+  Fixture f;
+  f.reg.fn(f.a).pin_discount_permille = 500;
+  StackConfig cfg = StackConfig::Pin();
+  CodeImage img = ImageBuilder(f.reg, cfg)
+                      .set_profile(f.profile())
+                      .declare_path(PathSpec{"p", {f.a, f.b}})
+                      .build();
+  EXPECT_EQ(img.placement(f.a, true).blocks[0].words, 20u);   // 40 * 0.5
+  EXPECT_EQ(img.placement(f.a, false).blocks[0].words, 40u);  // slow path
+}
+
+TEST(Image, GotAddressesAreDistinct) {
+  Fixture f;
+  CodeImage img =
+      ImageBuilder(f.reg, StackConfig::Std()).set_profile(f.profile()).build();
+  EXPECT_NE(img.got_addr(f.a), img.got_addr(f.b));
+}
+
+}  // namespace
+}  // namespace l96::code

@@ -1,0 +1,159 @@
+// Tests for the sparse shared memory (USC), LANCE driver, and ETH layer.
+#include <gtest/gtest.h>
+
+#include "net/world.h"
+#include "protocols/usc.h"
+#include "protocols/wire_format.h"
+
+namespace l96 {
+namespace {
+
+TEST(SparseRegion, AddressingIsSparse) {
+  xk::SimAlloc arena;
+  proto::SparseRegion r(arena, 40);
+  // Each 16-bit word occupies 4 bytes of host address space.
+  EXPECT_EQ(r.sparse_addr(2) - r.sparse_addr(0), 4u);
+  EXPECT_EQ(r.sparse_addr(1) - r.sparse_addr(0), 1u);  // odd byte in-word
+  EXPECT_EQ(r.dense_bytes(), 40u);
+}
+
+TEST(SparseRegion, ReadWrite16) {
+  xk::SimAlloc arena;
+  proto::SparseRegion r(arena, 20);
+  r.write16(4, 0xBEEF);
+  EXPECT_EQ(r.read16(4), 0xBEEF);
+  EXPECT_EQ(r.read16(6), 0);
+}
+
+TEST(Usc, FieldAccessors) {
+  xk::SimAlloc arena;
+  proto::SparseRegion r(arena, 20);
+  proto::usc_write_field(r, 0, proto::DescField::kLength, 64);
+  proto::usc_write_field(r, 0, proto::DescField::kFlags,
+                         proto::LanceDescriptor::kOwn);
+  EXPECT_EQ(proto::usc_read_field(r, 0, proto::DescField::kLength), 64);
+  EXPECT_EQ(proto::usc_read_field(r, 0, proto::DescField::kFlags),
+            proto::LanceDescriptor::kOwn);
+}
+
+TEST(Usc, CopyDisciplineRoundtrips) {
+  xk::SimAlloc arena;
+  proto::SparseRegion r(arena, 20);
+  proto::LanceDescriptor d;
+  d.flags = 0x8000;
+  d.buffer = 3;
+  d.length = 1514;
+  d.status = 0x0001;
+  d.misc = 0xAA;
+  proto::desc_copy_out(r, 10, d);
+  const auto back = proto::desc_copy_in(r, 10);
+  EXPECT_EQ(back.flags, d.flags);
+  EXPECT_EQ(back.buffer, d.buffer);
+  EXPECT_EQ(back.length, d.length);
+  EXPECT_EQ(back.status, d.status);
+  EXPECT_EQ(back.misc, d.misc);
+}
+
+TEST(Usc, CopyAndUscSeeSameMemory) {
+  xk::SimAlloc arena;
+  proto::SparseRegion r(arena, 20);
+  proto::usc_write_field(r, 0, proto::DescField::kBuffer, 7);
+  EXPECT_EQ(proto::desc_copy_in(r, 0).buffer, 7);
+}
+
+// --- LANCE through a two-host world ------------------------------------------
+
+class DriverWorld : public ::testing::Test {
+ protected:
+  DriverWorld()
+      : world(net::StackKind::kTcpIp, code::StackConfig::Std(),
+              code::StackConfig::Std()) {}
+  net::World world;
+};
+
+TEST_F(DriverWorld, FramesArePaddedToMinimum) {
+  world.start(4);
+  world.run_until_roundtrips(1);
+  EXPECT_GT(world.wire().frames_carried(), 0u);
+  EXPECT_GT(world.client().lance().tx_frames(), 0u);
+  EXPECT_GT(world.client().lance().rx_frames(), 0u);
+}
+
+TEST_F(DriverWorld, PoolRecyclesWithShortcut) {
+  world.start(8);
+  world.run_until_roundtrips(8);
+  auto& pool = world.client().lance().pool();
+  EXPECT_EQ(pool.available(), proto::Lance::kPoolMessages);
+  EXPECT_GT(pool.shortcut_hits(), 0u);
+  EXPECT_EQ(pool.slow_refreshes(), 0u);
+}
+
+TEST_F(DriverWorld, SlowRefreshWithoutShortcutConfig) {
+  auto cfg = code::StackConfig::Std();
+  cfg.msg_refresh_shortcut = false;
+  net::World w(net::StackKind::kTcpIp, cfg, cfg);
+  w.start(4);
+  w.run_until_roundtrips(4);
+  EXPECT_GT(w.client().lance().pool().slow_refreshes(), 0u);
+  EXPECT_EQ(w.client().lance().pool().shortcut_hits(), 0u);
+}
+
+TEST_F(DriverWorld, EthFiltersWrongDestination) {
+  world.start(2);
+  world.run_until_roundtrips(2);
+  // Inject a frame addressed to a different MAC.
+  std::vector<std::uint8_t> f(64, 0);
+  f[5] = 0x99;  // bogus destination
+  proto::put_be16(std::span<std::uint8_t>(f), 12, proto::kEtherTypeIp);
+  const auto before = world.client().eth().bad_addr_frames();
+  world.client().deliver(f);
+  EXPECT_EQ(world.client().eth().bad_addr_frames(), before + 1);
+}
+
+TEST_F(DriverWorld, EthDropsUnknownEthertype) {
+  world.start(2);
+  world.run_until_roundtrips(2);
+  std::vector<std::uint8_t> f(64, 0xFF);  // broadcast dst
+  proto::put_be16(std::span<std::uint8_t>(f), 12, 0x9999);
+  const auto before = world.client().eth().bad_type_frames();
+  world.client().deliver(f);
+  EXPECT_EQ(world.client().eth().bad_type_frames(), before + 1);
+}
+
+TEST_F(DriverWorld, WireDropInjection) {
+  world.start(1000);
+  world.run_until_roundtrips(2);
+  const auto dropped_before = world.wire().frames_dropped();
+  world.wire().drop_next(1);
+  world.run_until_roundtrips(4);
+  EXPECT_EQ(world.wire().frames_dropped(), dropped_before + 1);
+}
+
+TEST_F(DriverWorld, Figure1StackWiring) {
+  // TCPTEST / TCP / IP / VNET+ETH / LANCE (Figure 1, left).
+  auto& h = world.client();
+  ASSERT_NE(h.tcptest(), nullptr);
+  ASSERT_EQ(h.tcptest()->below().size(), 1u);
+  EXPECT_EQ(h.tcptest()->below()[0]->name(), "tcp");
+  EXPECT_EQ(h.tcp()->below()[0]->name(), "ip");
+  EXPECT_EQ(h.ip()->below()[0]->name(), "vnet");
+  EXPECT_EQ(h.vnet()->below()[0]->name(), "eth");
+  EXPECT_EQ(h.eth().below()[0]->name(), "lance");
+}
+
+TEST(RpcWiring, Figure1RpcStack) {
+  net::World w(net::StackKind::kRpc, code::StackConfig::Std(),
+               code::StackConfig::All());
+  auto& h = w.client();
+  // XRPCTEST / MSELECT / VCHAN / CHAN / BID / BLAST / ETH / LANCE.
+  EXPECT_EQ(h.xrpctest()->below()[0]->name(), "mselect");
+  EXPECT_EQ(h.mselect()->below()[0]->name(), "vchan");
+  EXPECT_EQ(h.vchan()->below()[0]->name(), "chan");
+  EXPECT_EQ(h.chan()->below()[0]->name(), "bid");
+  EXPECT_EQ(h.bid()->below()[0]->name(), "blast");
+  EXPECT_EQ(h.blast()->below()[0]->name(), "eth");
+  EXPECT_EQ(h.eth().below()[0]->name(), "lance");
+}
+
+}  // namespace
+}  // namespace l96

@@ -1,0 +1,206 @@
+// Tests for the event (timer) manager, stack pool and semaphores.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "xkernel/event.h"
+#include "xkernel/process.h"
+#include "xkernel/simalloc.h"
+
+namespace l96::xk {
+namespace {
+
+TEST(Event, FiresInTimestampOrder) {
+  EventManager em;
+  std::vector<int> fired;
+  em.schedule_at(30, [&] { fired.push_back(3); });
+  em.schedule_at(10, [&] { fired.push_back(1); });
+  em.schedule_at(20, [&] { fired.push_back(2); });
+  em.advance_to(25);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+  em.advance_to(100);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Event, TieBreakIsScheduleOrder) {
+  EventManager em;
+  std::vector<int> fired;
+  em.schedule_at(10, [&] { fired.push_back(1); });
+  em.schedule_at(10, [&] { fired.push_back(2); });
+  em.advance_to(10);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+}
+
+TEST(Event, NowAdvancesToFireTime) {
+  EventManager em;
+  std::uint64_t seen = 0;
+  em.schedule_at(42, [&] { seen = em.now(); });
+  em.advance_to(100);
+  EXPECT_EQ(seen, 42u);
+  EXPECT_EQ(em.now(), 100u);
+}
+
+TEST(Event, CancelPreventsFiring) {
+  EventManager em;
+  bool fired = false;
+  auto id = em.schedule_in(5, [&] { fired = true; });
+  EXPECT_TRUE(em.cancel(id));
+  EXPECT_FALSE(em.cancel(id));  // double cancel
+  em.advance_by(10);
+  EXPECT_FALSE(fired);
+}
+
+TEST(Event, HandlerMayScheduleMore) {
+  EventManager em;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 5) em.schedule_in(10, tick);
+  };
+  em.schedule_in(10, tick);
+  em.advance_to(1000);
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(em.pending(), 0u);
+}
+
+TEST(Event, HandlerMayCancelAnother) {
+  EventManager em;
+  bool b_fired = false;
+  EventManager::EventId b = 0;
+  em.schedule_at(10, [&] { em.cancel(b); });
+  b = em.schedule_at(20, [&] { b_fired = true; });
+  em.advance_to(30);
+  EXPECT_FALSE(b_fired);
+}
+
+TEST(Event, PastDeadlineClampsToNow) {
+  EventManager em;
+  em.advance_to(100);
+  bool fired = false;
+  em.schedule_at(50, [&] { fired = true; });  // in the past
+  em.advance_to(100);                         // no time passes
+  EXPECT_TRUE(fired);
+}
+
+TEST(Event, AdvanceToNext) {
+  EventManager em;
+  EXPECT_FALSE(em.advance_to_next());
+  bool fired = false;
+  em.schedule_at(77, [&] { fired = true; });
+  EXPECT_TRUE(em.advance_to_next());
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(em.now(), 77u);
+}
+
+// --- StackPool -----------------------------------------------------------
+
+TEST(StackPool, LifoReuse) {
+  SimAlloc arena;
+  StackPool pool(arena, 4, 4096);
+  const SimAddr s1 = pool.attach();
+  pool.detach(s1);
+  const SimAddr s2 = pool.attach();
+  EXPECT_EQ(s1, s2);  // most recently detached comes back first
+  EXPECT_EQ(pool.warm_attaches(), 2u);  // initial top counts as warm too
+}
+
+TEST(StackPool, ColdAttachAfterDifferentStack) {
+  SimAlloc arena;
+  StackPool pool(arena, 4, 4096);
+  const SimAddr a = pool.attach();
+  const SimAddr b = pool.attach();
+  EXPECT_NE(a, b);
+  pool.detach(a);
+  pool.detach(b);
+  EXPECT_EQ(pool.attach(), b);
+}
+
+TEST(StackPool, Exhaustion) {
+  SimAlloc arena;
+  StackPool pool(arena, 1, 1024);
+  (void)pool.attach();
+  EXPECT_THROW(pool.attach(), std::runtime_error);
+}
+
+// --- Semaphore -----------------------------------------------------------
+
+TEST(Semaphore, ImmediateWhenAvailable) {
+  Semaphore s(1);
+  bool ran = false;
+  s.p([&] { ran = true; });
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(s.count(), 0);
+}
+
+TEST(Semaphore, ParksWhenUnavailable) {
+  Semaphore s(0);
+  bool ran = false;
+  s.p([&] { ran = true; });
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(s.waiters(), 1u);
+  s.v();  // direct handoff
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(s.count(), 0);
+}
+
+TEST(Semaphore, VWithoutWaitersIncrements) {
+  Semaphore s(0);
+  s.v();
+  EXPECT_EQ(s.count(), 1);
+  bool ran = false;
+  s.p([&] { ran = true; });
+  EXPECT_TRUE(ran);
+}
+
+TEST(Semaphore, FifoHandoff) {
+  Semaphore s(0);
+  std::vector<int> order;
+  s.p([&] { order.push_back(1); });
+  s.p([&] { order.push_back(2); });
+  s.v();
+  s.v();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+// --- SimAlloc ----------------------------------------------------------
+
+TEST(SimAlloc, DeterministicSequence) {
+  SimAlloc a1, a2;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a1.alloc(32 + i), a2.alloc(32 + i));
+  }
+}
+
+TEST(SimAlloc, ReusesFreedChunks) {
+  SimAlloc a;
+  const SimAddr p = a.alloc(64);
+  a.free(p, 64);
+  EXPECT_EQ(a.alloc(64), p);
+}
+
+TEST(SimAlloc, AlignmentHonored) {
+  SimAlloc a;
+  a.alloc(3);
+  const SimAddr p = a.alloc(64, 64);
+  EXPECT_EQ(p % 64, 0u);
+}
+
+TEST(SimAlloc, SizeClassesSeparate) {
+  SimAlloc a;
+  const SimAddr small = a.alloc(16);
+  a.free(small, 16);
+  const SimAddr big = a.alloc(256);  // must not reuse the 16-byte chunk
+  EXPECT_NE(big, small);
+}
+
+TEST(SimAlloc, Accounting) {
+  SimAlloc a;
+  const SimAddr p = a.alloc(100);
+  EXPECT_EQ(a.alloc_count(), 1u);
+  EXPECT_GT(a.live_bytes(), 0u);
+  a.free(p, 100);
+  EXPECT_EQ(a.free_count(), 1u);
+  EXPECT_EQ(a.live_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace l96::xk

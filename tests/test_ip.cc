@@ -1,0 +1,118 @@
+// IP-layer tests: header integrity, fragmentation/reassembly properties.
+#include <gtest/gtest.h>
+
+#include "net/world.h"
+
+namespace l96 {
+namespace {
+
+// Direct access to the client's IP through a world; we send raw IP
+// payloads by registering a tiny transport.
+class Sink final : public proto::IpUpper {
+ public:
+  void ip_deliver(const proto::IpInfo& info, xk::Message& m) override {
+    last_info = info;
+    received.emplace_back(m.view().begin(), m.view().end());
+  }
+  proto::IpInfo last_info;
+  std::vector<std::vector<std::uint8_t>> received;
+};
+
+class IpWorld : public ::testing::Test {
+ protected:
+  IpWorld()
+      : world(net::StackKind::kTcpIp, code::StackConfig::Std(),
+              code::StackConfig::Std()) {
+    world.client().ip()->attach(200, &client_sink);
+    world.server().ip()->attach(200, &server_sink);
+  }
+
+  void send_from_client(std::vector<std::uint8_t> payload) {
+    xk::Message m(world.client().arena(), 64, payload.size());
+    std::copy(payload.begin(), payload.end(), m.data());
+    world.client().ip()->send(world.server().address().ip, 200, m);
+    world.events().advance_by(50'000);
+  }
+
+  net::World world;
+  Sink client_sink, server_sink;
+};
+
+TEST_F(IpWorld, SmallDatagramDelivered) {
+  send_from_client({1, 2, 3, 4});
+  ASSERT_EQ(server_sink.received.size(), 1u);
+  EXPECT_EQ(server_sink.received[0], (std::vector<std::uint8_t>{1, 2, 3, 4}));
+  EXPECT_EQ(server_sink.last_info.proto, 200);
+  EXPECT_EQ(server_sink.last_info.src, world.client().address().ip);
+  EXPECT_EQ(server_sink.last_info.dst, world.server().address().ip);
+}
+
+TEST_F(IpWorld, PaddingStrippedFromShortFrames) {
+  send_from_client({9});  // frame padded to 64 bytes on the wire
+  ASSERT_EQ(server_sink.received.size(), 1u);
+  EXPECT_EQ(server_sink.received[0].size(), 1u);
+}
+
+class IpFragSweep : public IpWorld,
+                    public ::testing::WithParamInterface<std::size_t> {};
+
+TEST_P(IpFragSweep, FragmentationRoundtrips) {
+  const std::size_t n = GetParam();
+  std::vector<std::uint8_t> payload(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 89 + 7);
+  }
+  send_from_client(payload);
+  world.events().advance_by(1'000'000);
+  ASSERT_EQ(server_sink.received.size(), 1u) << "payload size " << n;
+  EXPECT_EQ(server_sink.received[0], payload);
+  if (n > 1480) {
+    EXPECT_GT(world.client().ip()->fragments_sent(), 1u);
+    EXPECT_EQ(world.server().ip()->reassemblies(), 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, IpFragSweep,
+                         ::testing::Values(1u, 1480u, 1481u, 2960u, 2961u,
+                                           5000u, 10000u));
+
+TEST_F(IpWorld, MultipleInterleavedDatagramsDeliveredOnce) {
+  send_from_client(std::vector<std::uint8_t>(3000, 0xAA));
+  send_from_client(std::vector<std::uint8_t>(3000, 0xBB));
+  world.events().advance_by(1'000'000);
+  ASSERT_EQ(server_sink.received.size(), 2u);
+  EXPECT_EQ(server_sink.received[0][0], 0xAA);
+  EXPECT_EQ(server_sink.received[1][0], 0xBB);
+}
+
+TEST_F(IpWorld, UnknownProtocolDropped) {
+  // Send to protocol 201 which has no upper attached on the server.
+  xk::Message m(world.client().arena(), 64, 1);
+  world.client().ip()->send(world.server().address().ip, 201, m);
+  world.events().advance_by(50'000);
+  EXPECT_EQ(server_sink.received.size(), 0u);
+  EXPECT_GT(world.server().ip()->no_proto_drops(), 0u);
+}
+
+TEST_F(IpWorld, CorruptedHeaderDropped) {
+  world.wire().corrupt_next(1);
+  send_from_client({1, 2, 3});
+  // Either IP header checksum or payload integrity catches it; the datagram
+  // must not be delivered intact AND uncounted.
+  if (!server_sink.received.empty()) {
+    // Corruption hit the payload (no L4 checksum on this raw transport):
+    // the bytes must differ.
+    EXPECT_NE(server_sink.received[0], (std::vector<std::uint8_t>{1, 2, 3}));
+  } else {
+    EXPECT_GT(world.server().ip()->bad_checksum_drops(), 0u);
+  }
+}
+
+TEST_F(IpWorld, VnetRoutesOnlyKnownPrefixes) {
+  xk::Message m(world.client().arena(), 64, 1);
+  world.client().ip()->send(0xC0A80001 /* 192.168.0.1: no route */, 200, m);
+  EXPECT_GT(world.client().vnet()->no_route_drops(), 0u);
+}
+
+}  // namespace
+}  // namespace l96

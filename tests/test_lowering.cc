@@ -1,0 +1,314 @@
+// Tests for trace lowering: block expansion, call sequences, terminators,
+// path-inlining call elision.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "code/image.h"
+#include "code/lower.h"
+
+namespace l96::code {
+namespace {
+
+struct Fixture {
+  CodeRegistry reg;
+  FnId caller, callee, lib;
+
+  Fixture() {
+    {
+      Function f;
+      f.name = "caller";
+      f.kind = FnKind::kPath;
+      f.prologue_instrs = 6;
+      f.epilogue_instrs = 4;
+      BasicBlock b0{"b0", BlockClass::kMainline, 20, 0, 0, 0, 1};
+      BasicBlock b1{"b1", BlockClass::kError, 30, 0, 0, 0, 0};
+      BasicBlock b2{"b2", BlockClass::kMainline, 10, 0, 0, 0, 0};
+      f.blocks = {b0, b1, b2};
+      caller = reg.add(std::move(f));
+    }
+    {
+      Function f;
+      f.name = "callee";
+      f.kind = FnKind::kPath;
+      f.prologue_instrs = 5;
+      f.epilogue_instrs = 3;
+      BasicBlock b0{"b0", BlockClass::kMainline, 16, 2, 1, 0, 0};
+      f.blocks = {b0};
+      callee = reg.add(std::move(f));
+    }
+    {
+      Function f;
+      f.name = "lib";
+      f.kind = FnKind::kLibrary;
+      f.prologue_instrs = 2;
+      f.epilogue_instrs = 1;
+      BasicBlock b0{"b0", BlockClass::kMainline, 8, 0, 0, 1, 0};
+      f.blocks = {b0};
+      lib = reg.add(std::move(f));
+    }
+  }
+
+  PathTrace simple_call_trace() const {
+    PathTrace t;
+    Recorder rec;
+    rec.enable(&t);
+    rec.call(caller);
+    rec.block(caller, 0);
+    rec.call(callee);
+    rec.block(callee, 0);
+    rec.ret();
+    rec.block(caller, 2);
+    rec.ret();
+    return t;
+  }
+
+  CodeImage image(const StackConfig& cfg,
+                  std::optional<PathSpec> path = std::nullopt) const {
+    ImageBuilder b(reg, cfg);
+    b.set_profile(simple_call_trace());
+    if (path.has_value()) b.declare_path(*path);
+    return b.build();
+  }
+};
+
+LowerParams no_implicit() {
+  LowerParams p;
+  p.implicit_load_every = 0;
+  p.implicit_store_every = 0;
+  return p;
+}
+
+std::size_t count_cls(const sim::MachineTrace& t, sim::InstrClass c) {
+  return static_cast<std::size_t>(
+      std::count_if(t.begin(), t.end(),
+                    [&](const sim::MachineInstr& i) { return i.cls == c; }));
+}
+
+TEST(Lowering, InstructionBudgetMatchesDescriptors) {
+  Fixture f;
+  StackConfig cfg = StackConfig::Std();
+  CodeImage img = f.image(cfg);
+  Lowering low(f.reg, img, cfg, no_implicit());
+  auto mt = low.lower(f.simple_call_trace());
+  // caller prologue 6 + b0 20 + [GOT load 1 + call 1] + callee prologue 5 +
+  // callee b0 16 + callee epilogue 3 (2 loads + ret) + caller b2 10 +
+  // caller epilogue 4.
+  EXPECT_EQ(mt.size(), 6u + 20u + 2u + 5u + 16u + 3u + 10u + 4u);
+}
+
+TEST(Lowering, CallSequenceHasGotLoadAndCall) {
+  Fixture f;
+  StackConfig cfg = StackConfig::Std();
+  CodeImage img = f.image(cfg);
+  Lowering low(f.reg, img, cfg, no_implicit());
+  auto mt = low.lower(f.simple_call_trace());
+  EXPECT_EQ(count_cls(mt, sim::InstrClass::kCall), 1u);
+  EXPECT_EQ(count_cls(mt, sim::InstrClass::kRet), 2u);
+  // The GOT load targets the callee's GOT slot.
+  const auto got = img.got_addr(f.callee);
+  EXPECT_TRUE(std::any_of(mt.begin(), mt.end(), [&](const auto& i) {
+    return i.cls == sim::InstrClass::kLoad && i.ea == got;
+  }));
+}
+
+TEST(Lowering, CloningElidesGotLoad) {
+  Fixture f;
+  StackConfig cfg = StackConfig::Clo();
+  CodeImage img = f.image(cfg);
+  Lowering low(f.reg, img, cfg, no_implicit());
+  auto mt = low.lower(f.simple_call_trace());
+  const auto got = img.got_addr(f.callee);
+  EXPECT_FALSE(std::any_of(mt.begin(), mt.end(), [&](const auto& i) {
+    return i.cls == sim::InstrClass::kLoad && i.ea == got;
+  }));
+}
+
+TEST(Lowering, DeclaredStackTrafficEmitted) {
+  Fixture f;
+  StackConfig cfg = StackConfig::Std();
+  CodeImage img = f.image(cfg);
+  Lowering low(f.reg, img, cfg, no_implicit());
+  auto mt = low.lower(f.simple_call_trace());
+  // callee b0 declares 2 stack reads + 1 stack write; prologues add stores,
+  // epilogues add loads.
+  EXPECT_GE(count_cls(mt, sim::InstrClass::kLoad),
+            1u /*got*/ + 2u /*stack reads*/ + 2u + 3u /*epilogues*/ - 1u);
+  EXPECT_GE(count_cls(mt, sim::InstrClass::kStore), 1u);
+}
+
+TEST(Lowering, ExplicitDataRefsEmbedded) {
+  Fixture f;
+  StackConfig cfg = StackConfig::Std();
+  CodeImage img = f.image(cfg);
+  PathTrace t;
+  Recorder rec;
+  rec.enable(&t);
+  rec.call(f.caller);
+  rec.block(f.caller, 0);
+  rec.load(0x8123'4560);
+  rec.store(0x8123'4568);
+  rec.ret();
+  Lowering low(f.reg, img, cfg, no_implicit());
+  auto mt = low.lower(t);
+  EXPECT_TRUE(std::any_of(mt.begin(), mt.end(), [](const auto& i) {
+    return i.cls == sim::InstrClass::kLoad && i.ea == 0x8123'4560;
+  }));
+  EXPECT_TRUE(std::any_of(mt.begin(), mt.end(), [](const auto& i) {
+    return i.cls == sim::InstrClass::kStore && i.ea == 0x8123'4568;
+  }));
+}
+
+TEST(Lowering, ImulsEmitted) {
+  Fixture f;
+  StackConfig cfg = StackConfig::Std();
+  CodeImage img = f.image(cfg);
+  PathTrace t;
+  Recorder rec;
+  rec.enable(&t);
+  rec.call(f.lib);
+  rec.block(f.lib, 0);
+  rec.ret();
+  Lowering low(f.reg, img, cfg, no_implicit());
+  auto mt = low.lower(t);
+  EXPECT_EQ(count_cls(mt, sim::InstrClass::kIMul), 1u);
+}
+
+TEST(Lowering, StdJumpsOverInlineErrorBlock) {
+  Fixture f;
+  StackConfig cfg = StackConfig::Std();
+  CodeImage img = f.image(cfg);
+  Lowering low(f.reg, img, cfg, no_implicit());
+  auto mt = low.lower(f.simple_call_trace());
+  // caller b0 -> b2 skips the inline error block: a taken branch (beyond
+  // the call/ret control transfers).
+  std::size_t taken_branches = 0;
+  for (const auto& i : mt) {
+    if (i.cls == sim::InstrClass::kCondBranch && i.taken) ++taken_branches;
+  }
+  EXPECT_GE(taken_branches, 1u);
+}
+
+TEST(Lowering, OutlinedMainlineFallsThrough) {
+  Fixture f;
+  StackConfig cfg = StackConfig::Out();
+  CodeImage img = f.image(cfg);
+  Lowering low(f.reg, img, cfg, no_implicit());
+  auto mt = low.lower(f.simple_call_trace());
+  std::size_t taken_cond = 0;
+  for (const auto& i : mt) {
+    if (i.cls == sim::InstrClass::kCondBranch && i.taken) ++taken_cond;
+  }
+  // With outlining (and call slack adjacency) mainline blocks are adjacent:
+  // strictly fewer taken conditional branches than STD.
+  Lowering low_std(f.reg, f.image(StackConfig::Std()), cfg, no_implicit());
+  // NOTE: compare against the STD image lowered with STD config.
+  StackConfig std_cfg = StackConfig::Std();
+  CodeImage std_img = f.image(std_cfg);
+  Lowering l2(f.reg, std_img, std_cfg, no_implicit());
+  auto mt_std = l2.lower(f.simple_call_trace());
+  std::size_t taken_std = 0;
+  for (const auto& i : mt_std) {
+    if (i.cls == sim::InstrClass::kCondBranch && i.taken) ++taken_std;
+  }
+  EXPECT_LT(taken_cond, taken_std);
+}
+
+TEST(Lowering, ExecutedErrorBlockReachesOutlinedAddress) {
+  Fixture f;
+  StackConfig cfg = StackConfig::Out();
+  CodeImage img = f.image(cfg);
+  PathTrace t;
+  Recorder rec;
+  rec.enable(&t);
+  rec.call(f.caller);
+  rec.block(f.caller, 0);
+  rec.block(f.caller, 1);  // the error block fires
+  rec.block(f.caller, 2);
+  rec.ret();
+  Lowering low(f.reg, img, cfg, no_implicit());
+  auto mt = low.lower(t);
+  const auto& err = img.placement(f.caller, false).blocks[1];
+  EXPECT_TRUE(std::any_of(mt.begin(), mt.end(), [&](const auto& i) {
+    return i.pc >= err.addr && i.pc < err.end();
+  }));
+}
+
+TEST(Lowering, PathInliningRemovesInternalCallOverhead) {
+  Fixture f;
+  StackConfig pin = StackConfig::Pin();
+  CodeImage img = f.image(pin, PathSpec{"p", {f.caller, f.callee}});
+  Lowering low(f.reg, img, pin, no_implicit());
+  auto mt = low.lower(f.simple_call_trace());
+  EXPECT_EQ(count_cls(mt, sim::InstrClass::kCall), 0u);  // internal call gone
+  EXPECT_EQ(count_cls(mt, sim::InstrClass::kRet), 1u);   // composite return
+  // Callee prologue/epilogue elided: fewer instructions than OUT.
+  StackConfig out = StackConfig::Out();
+  CodeImage oimg = f.image(out);
+  auto mt_out = Lowering(f.reg, oimg, out, no_implicit())
+                    .lower(f.simple_call_trace());
+  EXPECT_LT(mt.size(), mt_out.size());
+}
+
+TEST(Lowering, LibraryCallInsidePathStaysReal) {
+  Fixture f;
+  StackConfig pin = StackConfig::Pin();
+  CodeImage img = f.image(pin, PathSpec{"p", {f.caller, f.callee}});
+  PathTrace t;
+  Recorder rec;
+  rec.enable(&t);
+  rec.call(f.caller);
+  rec.block(f.caller, 0);
+  rec.call(f.lib);  // library: never inlined
+  rec.block(f.lib, 0);
+  rec.ret();
+  rec.block(f.caller, 2);
+  rec.ret();
+  Lowering low(f.reg, img, pin, no_implicit());
+  auto mt = low.lower(t);
+  EXPECT_EQ(count_cls(mt, sim::InstrClass::kCall), 1u);
+}
+
+TEST(Lowering, UnbalancedTraceTolerated) {
+  Fixture f;
+  StackConfig cfg = StackConfig::Std();
+  CodeImage img = f.image(cfg);
+  PathTrace t;
+  Recorder rec;
+  rec.enable(&t);
+  rec.ret();  // stray return
+  rec.block(f.caller, 0);  // block without a call
+  Lowering low(f.reg, img, cfg, no_implicit());
+  EXPECT_NO_THROW(low.lower(t));
+}
+
+TEST(Lowering, RecorderDisabledRecordsNothing) {
+  Recorder rec;
+  PathTrace t;
+  rec.call(0);
+  rec.block(0, 0);
+  EXPECT_TRUE(t.empty());
+  rec.enable(&t);
+  rec.call(0);
+  rec.disable();
+  rec.call(1);
+  EXPECT_EQ(t.events.size(), 1u);
+}
+
+TEST(Lowering, ImplicitTrafficControlledByParams) {
+  Fixture f;
+  StackConfig cfg = StackConfig::Std();
+  CodeImage img = f.image(cfg);
+  LowerParams dense;
+  dense.implicit_load_every = 2;
+  dense.implicit_store_every = 4;
+  auto with = Lowering(f.reg, img, cfg, dense).lower(f.simple_call_trace());
+  auto without =
+      Lowering(f.reg, img, cfg, no_implicit()).lower(f.simple_call_trace());
+  EXPECT_EQ(with.size(), without.size());  // same instruction count
+  EXPECT_GT(count_cls(with, sim::InstrClass::kLoad),
+            count_cls(without, sim::InstrClass::kLoad));
+}
+
+}  // namespace
+}  // namespace l96::code

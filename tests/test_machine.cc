@@ -1,0 +1,164 @@
+// Tests for trace replay through the whole machine model.
+#include <gtest/gtest.h>
+
+#include "sim/machine.h"
+
+namespace l96::sim {
+namespace {
+
+MachineTrace straight_line(Addr base, int n, int load_every = 0,
+                           Addr data = 0x8000'0000) {
+  MachineTrace t;
+  for (int i = 0; i < n; ++i) {
+    MachineInstr in;
+    in.pc = base + 4ull * i;
+    in.cls = (load_every && i % load_every == 0) ? InstrClass::kLoad
+                                                 : InstrClass::kIAlu;
+    in.ea = data + 8ull * i;
+    t.push_back(in);
+  }
+  return t;
+}
+
+TEST(Machine, ColdRunCountsColdMisses) {
+  Machine m;
+  auto t = straight_line(0x10000, 256);  // 1 KiB of code = 32 blocks
+  auto r = m.run(t);
+  EXPECT_EQ(r.instructions, 256u);
+  EXPECT_EQ(r.icache.accesses, 256u);
+  EXPECT_EQ(r.icache.misses, 32u);
+  EXPECT_EQ(r.icache.repl_misses, 0u);
+}
+
+TEST(Machine, CpiDecomposition) {
+  Machine m;
+  auto t = straight_line(0x10000, 512, 4);
+  auto r = m.run(t);
+  EXPECT_NEAR(r.cpi(), r.icpi() + r.mcpi(), 1e-9);
+  EXPECT_GT(r.mcpi(), 0.0);
+  EXPECT_EQ(r.cycles(), r.issue_cycles + r.stall_cycles);
+}
+
+TEST(Machine, WarmupEliminatesColdMisses) {
+  Machine m;
+  auto t = straight_line(0x10000, 256);
+  Machine::Options o;
+  o.warmup_passes = 1;
+  o.scrub_fraction = 0.0;
+  auto r = m.run(t, o);
+  EXPECT_EQ(r.icache.misses, 0u);  // everything resident after warm-up
+  EXPECT_EQ(r.stall_cycles, 0u);
+}
+
+TEST(Machine, ScrubBringsMissesBack) {
+  Machine m;
+  auto t = straight_line(0x10000, 256);
+  Machine::Options o;
+  o.warmup_passes = 1;
+  o.scrub_fraction = 1.0;
+  auto r = m.run(t, o);
+  EXPECT_EQ(r.icache.misses, 32u);
+  EXPECT_EQ(r.icache.repl_misses, 32u);  // all classified replacement
+}
+
+TEST(Machine, PartialScrubInBetween) {
+  Machine m;
+  auto t = straight_line(0x10000, 2048);  // 256 blocks: fills the i-cache
+  Machine::Options o;
+  o.warmup_passes = 1;
+  o.scrub_fraction = 0.5;
+  auto r = m.run(t, o);
+  EXPECT_GT(r.icache.misses, 60u);
+  EXPECT_LT(r.icache.misses, 200u);
+}
+
+TEST(Machine, DcacheCombinedColumn) {
+  Machine m;
+  MachineTrace t;
+  // 4 loads from distinct blocks, 4 stores (2 merge).
+  for (int i = 0; i < 4; ++i) {
+    t.push_back({0x10000 + 4ull * i, InstrClass::kLoad,
+                 0x8000'0000 + 64ull * i, false});
+  }
+  t.push_back({0x10010, InstrClass::kStore, 0x9000'0000, false});
+  t.push_back({0x10014, InstrClass::kStore, 0x9000'0008, false});  // merges
+  t.push_back({0x10018, InstrClass::kStore, 0x9000'0040, false});
+  t.push_back({0x1001C, InstrClass::kStore, 0x9000'0044, false});  // merges
+  auto r = m.run(t);
+  EXPECT_EQ(r.dcache_combined.accesses, 8u);   // 4 loads + 4 stores
+  EXPECT_EQ(r.dcache_combined.misses, 6u);     // 4 load misses + 2 allocs
+}
+
+TEST(Machine, BcacheTrafficSplit) {
+  Machine m;
+  auto t = straight_line(0x10000, 64, 8);
+  t.push_back({0x11000, InstrClass::kStore, 0xA000'0000, false});
+  auto r = m.run(t);  // drain_at_end retires the store
+  EXPECT_GT(r.traffic.from_ifetch, 0u);
+  EXPECT_GT(r.traffic.from_data, 0u);
+  EXPECT_EQ(r.traffic.from_writes, 1u);
+}
+
+TEST(Machine, TakenBranchesSurface) {
+  Machine m;
+  MachineTrace t;
+  t.push_back({0x10000, InstrClass::kIAlu, 0, false});
+  t.push_back({0x10004, InstrClass::kCondBranch, 0, true});
+  t.push_back({0x20000, InstrClass::kIAlu, 0, false});
+  auto r = m.run(t);
+  EXPECT_EQ(r.taken_branches, 1u);
+}
+
+TEST(Machine, DeterministicAcrossRuns) {
+  auto t = straight_line(0x10000, 4096, 3);
+  Machine::Options o;
+  o.warmup_passes = 2;
+  o.scrub_fraction = 0.6;
+  Machine m1, m2;
+  auto r1 = m1.run(t, o);
+  auto r2 = m2.run(t, o);
+  EXPECT_EQ(r1.cycles(), r2.cycles());
+  EXPECT_EQ(r1.icache.misses, r2.icache.misses);
+}
+
+TEST(Machine, SeedChangesScrubOutcome) {
+  // Different scrub seeds must evict different line subsets.
+  auto survivors = [](std::uint64_t seed) {
+    MemorySystem m;
+    for (Addr a = 0; a < 8192; a += 32) m.ifetch(0x10000 + a);
+    m.scrub_primary(0.5, 0.5, seed);
+    std::vector<bool> s;
+    for (Addr a = 0; a < 8192; a += 32) {
+      s.push_back(m.icache().contains(0x10000 + a));
+    }
+    return s;
+  };
+  EXPECT_NE(survivors(1), survivors(2));
+}
+
+// Property: a trace that thrashes one i-cache set is strictly slower than
+// the same instructions laid out sequentially.
+TEST(MachineProperty, ConflictLayoutSlower) {
+  MachineTrace seq, conflict;
+  for (int rep = 0; rep < 4; ++rep) {
+    for (int f = 0; f < 4; ++f) {
+      for (int i = 0; i < 16; ++i) {
+        seq.push_back({0x10000 + 64ull * 4 * f + 4ull * i + 0x40000ull * 0,
+                       InstrClass::kIAlu, 0, false});
+        // conflict: each "function" aliases the same set (8 KiB apart)
+        conflict.push_back({0x10000 + 8192ull * f + 4ull * i,
+                            InstrClass::kIAlu, 0, false});
+      }
+    }
+  }
+  Machine m1, m2;
+  Machine::Options o;
+  o.warmup_passes = 1;
+  o.scrub_fraction = 0.0;
+  auto rs = m1.run(seq, o);
+  auto rc = m2.run(conflict, o);
+  EXPECT_LT(rs.stall_cycles, rc.stall_cycles);
+}
+
+}  // namespace
+}  // namespace l96::sim

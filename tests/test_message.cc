@@ -1,0 +1,254 @@
+// Tests for the message tool: header push/pop, sharing, refresh semantics.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <numeric>
+
+#include "xkernel/message.h"
+
+namespace l96::xk {
+namespace {
+
+std::vector<std::uint8_t> bytes(std::initializer_list<int> xs) {
+  std::vector<std::uint8_t> v;
+  for (int x : xs) v.push_back(static_cast<std::uint8_t>(x));
+  return v;
+}
+
+class MessageTest : public ::testing::Test {
+ protected:
+  SimAlloc arena;
+};
+
+TEST_F(MessageTest, FreshMessageZeroed) {
+  Message m(arena, 32, 8);
+  EXPECT_EQ(m.length(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(m.data()[i], 0);
+}
+
+TEST_F(MessageTest, PushPopRoundtrip) {
+  Message m(arena, 32, 4);
+  auto h = bytes({1, 2, 3, 4, 5});
+  m.push(h);
+  EXPECT_EQ(m.length(), 9u);
+  std::array<std::uint8_t, 5> out{};
+  m.pop(out);
+  EXPECT_TRUE(std::equal(h.begin(), h.end(), out.begin()));
+  EXPECT_EQ(m.length(), 4u);
+}
+
+TEST_F(MessageTest, NestedHeadersPopInReverse) {
+  Message m(arena, 64, 0);
+  m.push(bytes({0xAA}));
+  m.push(bytes({0xBB, 0xBB}));
+  m.push(bytes({0xCC, 0xCC, 0xCC}));
+  std::array<std::uint8_t, 3> h3{};
+  std::array<std::uint8_t, 2> h2{};
+  std::array<std::uint8_t, 1> h1{};
+  m.pop(h3);
+  m.pop(h2);
+  m.pop(h1);
+  EXPECT_EQ(h3[0], 0xCC);
+  EXPECT_EQ(h2[0], 0xBB);
+  EXPECT_EQ(h1[0], 0xAA);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST_F(MessageTest, HeadroomExhaustionThrows) {
+  Message m(arena, 4, 0);
+  EXPECT_THROW(m.push(bytes({1, 2, 3, 4, 5})), std::length_error);
+}
+
+TEST_F(MessageTest, PopUnderflowThrows) {
+  Message m(arena, 8, 2);
+  std::array<std::uint8_t, 3> out{};
+  EXPECT_THROW(m.pop(out), std::length_error);
+}
+
+TEST_F(MessageTest, PeekDoesNotConsume) {
+  Message m(arena, 8, 4);
+  m.data()[2] = 42;
+  std::array<std::uint8_t, 1> out{};
+  m.peek(out, 2);
+  EXPECT_EQ(out[0], 42);
+  EXPECT_EQ(m.length(), 4u);
+  EXPECT_THROW(m.peek(out, 4), std::length_error);
+}
+
+TEST_F(MessageTest, AppendAndTailroom) {
+  Message m(arena, 4, 2);
+  EXPECT_THROW(m.append(bytes({1})), std::length_error);  // no tailroom
+  Message m2(arena, 8, 0);
+  m2.push(bytes({9}));  // len 1, 7 headroom left... appended at tail
+  // After push, off=7 len=1; tail space = 0.
+  EXPECT_THROW(m2.append(bytes({1})), std::length_error);
+}
+
+TEST_F(MessageTest, TrimFrontBack) {
+  Message m(arena, 0, 10);
+  std::iota(m.data(), m.data() + 10, 0);
+  m.trim_front(3);
+  EXPECT_EQ(m.length(), 7u);
+  EXPECT_EQ(m.data()[0], 3);
+  m.trim_back(2);
+  EXPECT_EQ(m.length(), 5u);
+  EXPECT_THROW(m.trim_front(6), std::length_error);
+  EXPECT_THROW(m.trim_back(6), std::length_error);
+}
+
+TEST_F(MessageTest, CloneSharesBuffer) {
+  Message m(arena, 8, 4);
+  Message c = m.clone();
+  EXPECT_EQ(m.refcount(), 2);
+  EXPECT_EQ(c.sim_addr(), m.sim_addr());
+  m.data()[0] = 7;
+  EXPECT_EQ(c.data()[0], 7);  // shared storage
+}
+
+TEST_F(MessageTest, SplitSharesBufferAndPartitions) {
+  Message m(arena, 0, 10);
+  std::iota(m.data(), m.data() + 10, 0);
+  Message tail = m.split(6);
+  EXPECT_EQ(m.length(), 6u);
+  EXPECT_EQ(tail.length(), 4u);
+  EXPECT_EQ(tail.data()[0], 6);
+  EXPECT_EQ(m.refcount(), 2);
+  EXPECT_THROW(m.split(7), std::length_error);
+}
+
+TEST_F(MessageTest, JoinConcatenates) {
+  Message a(arena, 0, 3);
+  Message b(arena, 0, 2);
+  a.data()[0] = 1;
+  a.data()[2] = 3;
+  b.data()[1] = 5;
+  Message j = Message::join(arena, a, b);
+  EXPECT_EQ(j.length(), 5u);
+  EXPECT_EQ(j.data()[0], 1);
+  EXPECT_EQ(j.data()[2], 3);
+  EXPECT_EQ(j.data()[4], 5);
+}
+
+TEST_F(MessageTest, SimAddrTracksView) {
+  Message m(arena, 16, 8);
+  const SimAddr base = m.sim_addr();
+  m.push(bytes({1, 2}));
+  EXPECT_EQ(m.sim_addr(), base - 2);
+  EXPECT_EQ(m.sim_addr_at(3), base + 1);
+}
+
+TEST_F(MessageTest, RefreshShortcutReusesSoleBuffer) {
+  Message m(arena, 16, 32);
+  const SimAddr addr = m.sim_addr_at(0) - 16;  // buffer base
+  const auto allocs_before = arena.alloc_count();
+  EXPECT_TRUE(m.refresh(arena, 16, 32, /*shortcut=*/true));
+  EXPECT_EQ(arena.alloc_count(), allocs_before);  // no allocator traffic
+  EXPECT_EQ(m.sim_addr() - 16, addr);             // same buffer
+}
+
+TEST_F(MessageTest, RefreshSlowPathReallocates) {
+  Message m(arena, 16, 32);
+  const auto allocs_before = arena.alloc_count();
+  EXPECT_FALSE(m.refresh(arena, 16, 32, /*shortcut=*/false));
+  EXPECT_EQ(arena.alloc_count(), allocs_before + 1);
+}
+
+TEST_F(MessageTest, RefreshWithSharedBufferCannotShortcut) {
+  Message m(arena, 16, 32);
+  Message keep = m.clone();
+  EXPECT_FALSE(m.refresh(arena, 16, 32, /*shortcut=*/true));
+  // The clone still sees the old buffer.
+  EXPECT_EQ(keep.refcount(), 1);
+}
+
+TEST_F(MessageTest, RefreshGrowsWhenCapacityInsufficient) {
+  Message m(arena, 8, 8);
+  EXPECT_FALSE(m.refresh(arena, 64, 256, /*shortcut=*/true));
+  EXPECT_EQ(m.length(), 256u);
+  m.push(std::vector<std::uint8_t>(64));  // full headroom available
+}
+
+TEST_F(MessageTest, EmptyMessageThrows) {
+  Message m;
+  EXPECT_THROW(m.data(), std::logic_error);
+  EXPECT_THROW(m.sim_addr(), std::logic_error);
+  EXPECT_EQ(m.refcount(), 0);
+}
+
+// --- pool ------------------------------------------------------------------
+
+TEST_F(MessageTest, PoolAcquireRelease) {
+  MsgPool pool(arena, 4, 16, 128);
+  EXPECT_EQ(pool.available(), 4u);
+  Message m = pool.acquire();
+  EXPECT_EQ(pool.available(), 3u);
+  EXPECT_EQ(m.length(), 128u);
+  pool.release(std::move(m), /*shortcut=*/true);
+  EXPECT_EQ(pool.available(), 4u);
+  EXPECT_EQ(pool.shortcut_hits(), 1u);
+}
+
+TEST_F(MessageTest, PoolExhaustionThrows) {
+  MsgPool pool(arena, 1, 8, 16);
+  Message m = pool.acquire();
+  EXPECT_THROW(pool.acquire(), std::runtime_error);
+  pool.release(std::move(m), true);
+}
+
+TEST_F(MessageTest, PoolSlowRefreshCounts) {
+  MsgPool pool(arena, 2, 8, 16);
+  Message m = pool.acquire();
+  pool.release(std::move(m), /*shortcut=*/false);
+  EXPECT_EQ(pool.slow_refreshes(), 1u);
+  EXPECT_EQ(pool.shortcut_hits(), 0u);
+}
+
+TEST_F(MessageTest, PoolSharedBufferFallsBackToSlow) {
+  MsgPool pool(arena, 2, 8, 16);
+  Message m = pool.acquire();
+  Message ref = m.clone();  // extra reference defeats the shortcut
+  pool.release(std::move(m), /*shortcut=*/true);
+  EXPECT_EQ(pool.slow_refreshes(), 1u);
+}
+
+// Property: arbitrary push/pop/trim sequences preserve content equivalence
+// with a reference deque.
+TEST_F(MessageTest, PropertyAgainstReference) {
+  Message m(arena, 256, 0);
+  std::deque<std::uint8_t> ref;
+  std::uint64_t seed = 31337;
+  auto rnd = [&]() {
+    seed = seed * 6364136223846793005ULL + 1;
+    return seed >> 33;
+  };
+  std::size_t headroom = 256;
+  for (int step = 0; step < 2000; ++step) {
+    const int op = rnd() % 3;
+    if (op == 0 && ref.size() < 200) {
+      const std::size_t n = 1 + rnd() % 8;
+      std::vector<std::uint8_t> h(n);
+      for (auto& b : h) b = static_cast<std::uint8_t>(rnd());
+      if (headroom >= n) {
+        m.push(h);
+        headroom -= n;
+        ref.insert(ref.begin(), h.begin(), h.end());
+      }
+    } else if (op == 1 && !ref.empty()) {
+      const std::size_t n = 1 + rnd() % std::min<std::size_t>(ref.size(), 8);
+      std::vector<std::uint8_t> out(n);
+      m.pop(out);
+      headroom += n;
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(out[i], ref.front());
+        ref.pop_front();
+      }
+    } else if (op == 2 && !ref.empty()) {
+      m.trim_back(1);
+      ref.pop_back();
+    }
+    ASSERT_EQ(m.length(), ref.size());
+  }
+}
+
+}  // namespace
+}  // namespace l96::xk

@@ -1,0 +1,140 @@
+// Parameterized property sweeps over the machine model: geometry scaling,
+// miss-cost monotonicity, write-buffer depth, and the sequential-fill
+// discount across layout patterns.
+#include <gtest/gtest.h>
+
+#include "sim/machine.h"
+
+namespace l96::sim {
+namespace {
+
+MachineTrace walk(Addr base, std::uint32_t instrs, std::uint32_t stride = 4) {
+  MachineTrace t;
+  for (std::uint32_t i = 0; i < instrs; ++i) {
+    t.push_back({base + Addr{i} * stride, InstrClass::kIAlu, 0, false});
+  }
+  return t;
+}
+
+// Bigger i-caches never cause more misses on the same trace.
+class IcacheSizeSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(IcacheSizeSweep, MissesMonotoneInCacheSize) {
+  MemorySystem::Config small;
+  small.icache_bytes = GetParam();
+  MemorySystem::Config big;
+  big.icache_bytes = GetParam() * 2;
+
+  // A looping pattern bigger than the small cache.
+  MachineTrace t;
+  const std::uint32_t span = GetParam() * 3 / 2;
+  for (int rep = 0; rep < 4; ++rep) {
+    for (std::uint32_t a = 0; a < span; a += 4) {
+      t.push_back({0x100000 + a, InstrClass::kIAlu, 0, false});
+    }
+  }
+  Machine m_small(small, Cpu::Config{});
+  Machine m_big(big, Cpu::Config{});
+  EXPECT_GE(m_small.run(t).icache.misses, m_big.run(t).icache.misses);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, IcacheSizeSweep,
+                         ::testing::Values(1024u, 2048u, 4096u, 8192u,
+                                           16384u));
+
+// Higher miss penalties never reduce total cycles.
+class PenaltySweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(PenaltySweep, CyclesMonotoneInBHitCost) {
+  MemorySystem::Config base;
+  MemorySystem::Config costly;
+  costly.b_hit_cycles = base.b_hit_cycles + GetParam();
+  costly.b_hit_seq_cycles = base.b_hit_seq_cycles + GetParam();
+  auto t = walk(0x10000, 4096);
+  Machine m1(base, Cpu::Config{});
+  Machine m2(costly, Cpu::Config{});
+  Machine::Options o;
+  o.warmup_passes = 1;  // warm b-cache: isolates the b-hit cost
+  o.scrub_fraction = 1.0;
+  EXPECT_LE(m1.run(t, o).cycles(), m2.run(t, o).cycles());
+}
+
+INSTANTIATE_TEST_SUITE_P(Penalties, PenaltySweep,
+                         ::testing::Values(1u, 5u, 10u, 40u));
+
+// Deeper write buffers never increase forced retires.
+class WbufSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(WbufSweep, ForcedRetiresMonotoneInDepth) {
+  auto run_with_depth = [](std::uint32_t depth) {
+    MemorySystem::Config cfg;
+    cfg.wbuf_depth = depth;
+    MemorySystem m(cfg);
+    std::uint64_t seed = 11;
+    for (int i = 0; i < 2000; ++i) {
+      seed = seed * 6364136223846793005ULL + 1;
+      m.store(0x80000000 + (seed >> 30) % 8192);
+    }
+    return m.wbuf().forced_retires();
+  };
+  EXPECT_GE(run_with_depth(GetParam()), run_with_depth(GetParam() * 2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, WbufSweep, ::testing::Values(1u, 2u, 4u));
+
+TEST(SequentialFill, StraightLineCheaperThanStrided) {
+  // Same number of block misses; sequential blocks get the fill discount.
+  MemorySystem::Config cfg;
+  Machine::Options o;
+  o.warmup_passes = 1;
+  o.scrub_fraction = 1.0;
+
+  auto seq = walk(0x10000, 1024);               // 128 sequential blocks
+  MachineTrace strided;
+  for (int i = 0; i < 128; ++i) {
+    // one instruction per block, blocks 2 apart: never sequential
+    strided.push_back({0x10000 + Addr{i} * 64, InstrClass::kIAlu, 0, false});
+  }
+  Machine m1(cfg, Cpu::Config{});
+  Machine m2(cfg, Cpu::Config{});
+  auto r_seq = m1.run(seq, o);
+  auto r_str = m2.run(strided, o);
+  ASSERT_EQ(r_seq.icache.misses, 128u);
+  ASSERT_EQ(r_str.icache.misses, 128u);
+  EXPECT_LT(r_seq.stalls.ifetch_stall_cycles,
+            r_str.stalls.ifetch_stall_cycles);
+}
+
+TEST(BcacheWriteback, DirtyEvictionsCounted) {
+  MemorySystem::Config cfg;
+  cfg.bcache_bytes = 4096;  // tiny b-cache to force evictions
+  MemorySystem m(cfg);
+  // Dirty many distinct blocks via the write buffer.
+  for (Addr a = 0; a < 16 * 4096; a += 32) m.store(0x80000000 + a);
+  m.drain_writes();
+  EXPECT_GT(m.bcache().stats().writebacks, 0u);
+}
+
+TEST(CpuFrequency, ProcessingTimeScalesWithClock) {
+  RunResult r;
+  r.instructions = 1750;
+  r.issue_cycles = 1750;
+  r.stall_cycles = 0;
+  EXPECT_NEAR(r.processing_us(175'000'000), 10.0, 1e-9);
+  EXPECT_NEAR(r.processing_us(350'000'000), 5.0, 1e-9);
+}
+
+TEST(Geometry, BlockSizeAffectsFootprintMisses) {
+  MemorySystem::Config small_blocks;
+  small_blocks.block_bytes = 16;
+  MemorySystem::Config big_blocks;
+  big_blocks.block_bytes = 64;
+  auto t = walk(0x10000, 2048);
+  Machine m1(small_blocks, Cpu::Config{});
+  Machine m2(big_blocks, Cpu::Config{});
+  // Sequential code: bigger blocks mean fewer fetch misses.
+  EXPECT_GT(m1.run(t).icache.misses, m2.run(t).icache.misses);
+}
+
+}  // namespace
+}  // namespace l96::sim

@@ -1,0 +1,38 @@
+// trace_dump: capture and publish protocol-processing traces, in the spirit
+// of the paper's FTP-published instruction traces.
+//
+// Usage: trace_dump [tcp|rpc] [CONFIG] [path|machine]
+//   path     (default) the captured event trace, text format
+//   machine  the lowered instruction trace under CONFIG's code image
+#include <cstring>
+#include <iostream>
+
+#include "code/trace_io.h"
+#include "harness/experiment.h"
+
+using namespace l96;
+
+int main(int argc, char** argv) {
+  const net::StackKind kind =
+      (argc > 1 && std::strcmp(argv[1], "rpc") == 0) ? net::StackKind::kRpc
+                                                     : net::StackKind::kTcpIp;
+  std::string cfg_name = argc > 2 ? argv[2] : "STD";
+  std::string what = argc > 3 ? argv[3] : "path";
+
+  code::StackConfig cfg = code::StackConfig::Std();
+  for (const auto& c : harness::paper_configs()) {
+    if (c.name == cfg_name) cfg = c;
+  }
+  const auto scfg =
+      kind == net::StackKind::kRpc ? code::StackConfig::All() : cfg;
+
+  harness::Experiment e(kind, cfg, scfg);
+  e.run();
+  if (what == "machine") {
+    code::write_machine_trace(std::cout, e.lower_client());
+  } else {
+    code::write_path_trace(std::cout, e.client_trace(),
+                           &e.world().client().registry());
+  }
+  return 0;
+}
