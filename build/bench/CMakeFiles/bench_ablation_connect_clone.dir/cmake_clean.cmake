@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_connect_clone.dir/bench_ablation_connect_clone.cc.o"
+  "CMakeFiles/bench_ablation_connect_clone.dir/bench_ablation_connect_clone.cc.o.d"
+  "bench_ablation_connect_clone"
+  "bench_ablation_connect_clone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_connect_clone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_layouts.dir/bench_ablation_layouts.cc.o"
+  "CMakeFiles/bench_ablation_layouts.dir/bench_ablation_layouts.cc.o.d"
+  "bench_ablation_layouts"
+  "bench_ablation_layouts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_layouts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

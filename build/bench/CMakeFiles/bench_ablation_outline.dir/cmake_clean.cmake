@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_outline.dir/bench_ablation_outline.cc.o"
+  "CMakeFiles/bench_ablation_outline.dir/bench_ablation_outline.cc.o.d"
+  "bench_ablation_outline"
+  "bench_ablation_outline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_outline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

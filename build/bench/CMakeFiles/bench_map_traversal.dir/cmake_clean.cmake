@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_map_traversal.dir/bench_map_traversal.cc.o"
+  "CMakeFiles/bench_map_traversal.dir/bench_map_traversal.cc.o.d"
+  "bench_map_traversal"
+  "bench_map_traversal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_map_traversal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_instr_savings.dir/bench_table1_instr_savings.cc.o"
+  "CMakeFiles/bench_table1_instr_savings.dir/bench_table1_instr_savings.cc.o.d"
+  "bench_table1_instr_savings"
+  "bench_table1_instr_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_instr_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_original_vs_improved.dir/bench_table2_original_vs_improved.cc.o"
+  "CMakeFiles/bench_table2_original_vs_improved.dir/bench_table2_original_vs_improved.cc.o.d"
+  "bench_table2_original_vs_improved"
+  "bench_table2_original_vs_improved.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_original_vs_improved.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

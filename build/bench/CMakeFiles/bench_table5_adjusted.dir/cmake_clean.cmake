@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_adjusted.dir/bench_table5_adjusted.cc.o"
+  "CMakeFiles/bench_table5_adjusted.dir/bench_table5_adjusted.cc.o.d"
+  "bench_table5_adjusted"
+  "bench_table5_adjusted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_adjusted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table7_cpi.cc" "bench/CMakeFiles/bench_table7_cpi.dir/bench_table7_cpi.cc.o" "gcc" "bench/CMakeFiles/bench_table7_cpi.dir/bench_table7_cpi.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/l96_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/l96_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/l96_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/xkernel/CMakeFiles/l96_xkernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/code/CMakeFiles/l96_code.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/l96_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

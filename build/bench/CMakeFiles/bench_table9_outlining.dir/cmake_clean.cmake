@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_outlining.dir/bench_table9_outlining.cc.o"
+  "CMakeFiles/bench_table9_outlining.dir/bench_table9_outlining.cc.o.d"
+  "bench_table9_outlining"
+  "bench_table9_outlining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_outlining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpc_workload.dir/rpc_workload.cpp.o"
+  "CMakeFiles/rpc_workload.dir/rpc_workload.cpp.o.d"
+  "rpc_workload"
+  "rpc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_bulk_transfer.dir/tcp_bulk_transfer.cpp.o"
+  "CMakeFiles/tcp_bulk_transfer.dir/tcp_bulk_transfer.cpp.o.d"
+  "tcp_bulk_transfer"
+  "tcp_bulk_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_bulk_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/code/analysis.cc" "src/code/CMakeFiles/l96_code.dir/analysis.cc.o" "gcc" "src/code/CMakeFiles/l96_code.dir/analysis.cc.o.d"
+  "/root/repo/src/code/classifier.cc" "src/code/CMakeFiles/l96_code.dir/classifier.cc.o" "gcc" "src/code/CMakeFiles/l96_code.dir/classifier.cc.o.d"
+  "/root/repo/src/code/image.cc" "src/code/CMakeFiles/l96_code.dir/image.cc.o" "gcc" "src/code/CMakeFiles/l96_code.dir/image.cc.o.d"
+  "/root/repo/src/code/lower.cc" "src/code/CMakeFiles/l96_code.dir/lower.cc.o" "gcc" "src/code/CMakeFiles/l96_code.dir/lower.cc.o.d"
+  "/root/repo/src/code/model.cc" "src/code/CMakeFiles/l96_code.dir/model.cc.o" "gcc" "src/code/CMakeFiles/l96_code.dir/model.cc.o.d"
+  "/root/repo/src/code/trace_io.cc" "src/code/CMakeFiles/l96_code.dir/trace_io.cc.o" "gcc" "src/code/CMakeFiles/l96_code.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/l96_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

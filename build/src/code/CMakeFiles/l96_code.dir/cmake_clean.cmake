@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/l96_code.dir/analysis.cc.o"
+  "CMakeFiles/l96_code.dir/analysis.cc.o.d"
+  "CMakeFiles/l96_code.dir/classifier.cc.o"
+  "CMakeFiles/l96_code.dir/classifier.cc.o.d"
+  "CMakeFiles/l96_code.dir/image.cc.o"
+  "CMakeFiles/l96_code.dir/image.cc.o.d"
+  "CMakeFiles/l96_code.dir/lower.cc.o"
+  "CMakeFiles/l96_code.dir/lower.cc.o.d"
+  "CMakeFiles/l96_code.dir/model.cc.o"
+  "CMakeFiles/l96_code.dir/model.cc.o.d"
+  "CMakeFiles/l96_code.dir/trace_io.cc.o"
+  "CMakeFiles/l96_code.dir/trace_io.cc.o.d"
+  "libl96_code.a"
+  "libl96_code.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/l96_code.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/l96_harness.dir/experiment.cc.o"
+  "CMakeFiles/l96_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/l96_harness.dir/throughput.cc.o"
+  "CMakeFiles/l96_harness.dir/throughput.cc.o.d"
+  "libl96_harness.a"
+  "libl96_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/l96_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/l96_net.dir/host.cc.o"
+  "CMakeFiles/l96_net.dir/host.cc.o.d"
+  "CMakeFiles/l96_net.dir/wire.cc.o"
+  "CMakeFiles/l96_net.dir/wire.cc.o.d"
+  "CMakeFiles/l96_net.dir/world.cc.o"
+  "CMakeFiles/l96_net.dir/world.cc.o.d"
+  "libl96_net.a"
+  "libl96_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/l96_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocols/eth.cc" "src/protocols/CMakeFiles/l96_protocols.dir/eth.cc.o" "gcc" "src/protocols/CMakeFiles/l96_protocols.dir/eth.cc.o.d"
+  "/root/repo/src/protocols/ip.cc" "src/protocols/CMakeFiles/l96_protocols.dir/ip.cc.o" "gcc" "src/protocols/CMakeFiles/l96_protocols.dir/ip.cc.o.d"
+  "/root/repo/src/protocols/lance.cc" "src/protocols/CMakeFiles/l96_protocols.dir/lance.cc.o" "gcc" "src/protocols/CMakeFiles/l96_protocols.dir/lance.cc.o.d"
+  "/root/repo/src/protocols/rpc/bid.cc" "src/protocols/CMakeFiles/l96_protocols.dir/rpc/bid.cc.o" "gcc" "src/protocols/CMakeFiles/l96_protocols.dir/rpc/bid.cc.o.d"
+  "/root/repo/src/protocols/rpc/blast.cc" "src/protocols/CMakeFiles/l96_protocols.dir/rpc/blast.cc.o" "gcc" "src/protocols/CMakeFiles/l96_protocols.dir/rpc/blast.cc.o.d"
+  "/root/repo/src/protocols/rpc/chan.cc" "src/protocols/CMakeFiles/l96_protocols.dir/rpc/chan.cc.o" "gcc" "src/protocols/CMakeFiles/l96_protocols.dir/rpc/chan.cc.o.d"
+  "/root/repo/src/protocols/rpc/mselect.cc" "src/protocols/CMakeFiles/l96_protocols.dir/rpc/mselect.cc.o" "gcc" "src/protocols/CMakeFiles/l96_protocols.dir/rpc/mselect.cc.o.d"
+  "/root/repo/src/protocols/rpc/vchan.cc" "src/protocols/CMakeFiles/l96_protocols.dir/rpc/vchan.cc.o" "gcc" "src/protocols/CMakeFiles/l96_protocols.dir/rpc/vchan.cc.o.d"
+  "/root/repo/src/protocols/rpc/xrpctest.cc" "src/protocols/CMakeFiles/l96_protocols.dir/rpc/xrpctest.cc.o" "gcc" "src/protocols/CMakeFiles/l96_protocols.dir/rpc/xrpctest.cc.o.d"
+  "/root/repo/src/protocols/stack_code.cc" "src/protocols/CMakeFiles/l96_protocols.dir/stack_code.cc.o" "gcc" "src/protocols/CMakeFiles/l96_protocols.dir/stack_code.cc.o.d"
+  "/root/repo/src/protocols/tcp.cc" "src/protocols/CMakeFiles/l96_protocols.dir/tcp.cc.o" "gcc" "src/protocols/CMakeFiles/l96_protocols.dir/tcp.cc.o.d"
+  "/root/repo/src/protocols/tcptest.cc" "src/protocols/CMakeFiles/l96_protocols.dir/tcptest.cc.o" "gcc" "src/protocols/CMakeFiles/l96_protocols.dir/tcptest.cc.o.d"
+  "/root/repo/src/protocols/usc.cc" "src/protocols/CMakeFiles/l96_protocols.dir/usc.cc.o" "gcc" "src/protocols/CMakeFiles/l96_protocols.dir/usc.cc.o.d"
+  "/root/repo/src/protocols/vnet.cc" "src/protocols/CMakeFiles/l96_protocols.dir/vnet.cc.o" "gcc" "src/protocols/CMakeFiles/l96_protocols.dir/vnet.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xkernel/CMakeFiles/l96_xkernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/code/CMakeFiles/l96_code.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/l96_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/l96_protocols.dir/eth.cc.o"
+  "CMakeFiles/l96_protocols.dir/eth.cc.o.d"
+  "CMakeFiles/l96_protocols.dir/ip.cc.o"
+  "CMakeFiles/l96_protocols.dir/ip.cc.o.d"
+  "CMakeFiles/l96_protocols.dir/lance.cc.o"
+  "CMakeFiles/l96_protocols.dir/lance.cc.o.d"
+  "CMakeFiles/l96_protocols.dir/rpc/bid.cc.o"
+  "CMakeFiles/l96_protocols.dir/rpc/bid.cc.o.d"
+  "CMakeFiles/l96_protocols.dir/rpc/blast.cc.o"
+  "CMakeFiles/l96_protocols.dir/rpc/blast.cc.o.d"
+  "CMakeFiles/l96_protocols.dir/rpc/chan.cc.o"
+  "CMakeFiles/l96_protocols.dir/rpc/chan.cc.o.d"
+  "CMakeFiles/l96_protocols.dir/rpc/mselect.cc.o"
+  "CMakeFiles/l96_protocols.dir/rpc/mselect.cc.o.d"
+  "CMakeFiles/l96_protocols.dir/rpc/vchan.cc.o"
+  "CMakeFiles/l96_protocols.dir/rpc/vchan.cc.o.d"
+  "CMakeFiles/l96_protocols.dir/rpc/xrpctest.cc.o"
+  "CMakeFiles/l96_protocols.dir/rpc/xrpctest.cc.o.d"
+  "CMakeFiles/l96_protocols.dir/stack_code.cc.o"
+  "CMakeFiles/l96_protocols.dir/stack_code.cc.o.d"
+  "CMakeFiles/l96_protocols.dir/tcp.cc.o"
+  "CMakeFiles/l96_protocols.dir/tcp.cc.o.d"
+  "CMakeFiles/l96_protocols.dir/tcptest.cc.o"
+  "CMakeFiles/l96_protocols.dir/tcptest.cc.o.d"
+  "CMakeFiles/l96_protocols.dir/usc.cc.o"
+  "CMakeFiles/l96_protocols.dir/usc.cc.o.d"
+  "CMakeFiles/l96_protocols.dir/vnet.cc.o"
+  "CMakeFiles/l96_protocols.dir/vnet.cc.o.d"
+  "libl96_protocols.a"
+  "libl96_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/l96_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cc" "src/sim/CMakeFiles/l96_sim.dir/cache.cc.o" "gcc" "src/sim/CMakeFiles/l96_sim.dir/cache.cc.o.d"
+  "/root/repo/src/sim/cpu.cc" "src/sim/CMakeFiles/l96_sim.dir/cpu.cc.o" "gcc" "src/sim/CMakeFiles/l96_sim.dir/cpu.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "src/sim/CMakeFiles/l96_sim.dir/machine.cc.o" "gcc" "src/sim/CMakeFiles/l96_sim.dir/machine.cc.o.d"
+  "/root/repo/src/sim/memsys.cc" "src/sim/CMakeFiles/l96_sim.dir/memsys.cc.o" "gcc" "src/sim/CMakeFiles/l96_sim.dir/memsys.cc.o.d"
+  "/root/repo/src/sim/write_buffer.cc" "src/sim/CMakeFiles/l96_sim.dir/write_buffer.cc.o" "gcc" "src/sim/CMakeFiles/l96_sim.dir/write_buffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

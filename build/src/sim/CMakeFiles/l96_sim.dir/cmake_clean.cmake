@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/l96_sim.dir/cache.cc.o"
+  "CMakeFiles/l96_sim.dir/cache.cc.o.d"
+  "CMakeFiles/l96_sim.dir/cpu.cc.o"
+  "CMakeFiles/l96_sim.dir/cpu.cc.o.d"
+  "CMakeFiles/l96_sim.dir/machine.cc.o"
+  "CMakeFiles/l96_sim.dir/machine.cc.o.d"
+  "CMakeFiles/l96_sim.dir/memsys.cc.o"
+  "CMakeFiles/l96_sim.dir/memsys.cc.o.d"
+  "CMakeFiles/l96_sim.dir/write_buffer.cc.o"
+  "CMakeFiles/l96_sim.dir/write_buffer.cc.o.d"
+  "libl96_sim.a"
+  "libl96_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/l96_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

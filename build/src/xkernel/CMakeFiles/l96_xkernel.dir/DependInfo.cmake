@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xkernel/event.cc" "src/xkernel/CMakeFiles/l96_xkernel.dir/event.cc.o" "gcc" "src/xkernel/CMakeFiles/l96_xkernel.dir/event.cc.o.d"
+  "/root/repo/src/xkernel/message.cc" "src/xkernel/CMakeFiles/l96_xkernel.dir/message.cc.o" "gcc" "src/xkernel/CMakeFiles/l96_xkernel.dir/message.cc.o.d"
+  "/root/repo/src/xkernel/process.cc" "src/xkernel/CMakeFiles/l96_xkernel.dir/process.cc.o" "gcc" "src/xkernel/CMakeFiles/l96_xkernel.dir/process.cc.o.d"
+  "/root/repo/src/xkernel/simalloc.cc" "src/xkernel/CMakeFiles/l96_xkernel.dir/simalloc.cc.o" "gcc" "src/xkernel/CMakeFiles/l96_xkernel.dir/simalloc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/code/CMakeFiles/l96_code.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/l96_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/l96_xkernel.dir/event.cc.o"
+  "CMakeFiles/l96_xkernel.dir/event.cc.o.d"
+  "CMakeFiles/l96_xkernel.dir/message.cc.o"
+  "CMakeFiles/l96_xkernel.dir/message.cc.o.d"
+  "CMakeFiles/l96_xkernel.dir/process.cc.o"
+  "CMakeFiles/l96_xkernel.dir/process.cc.o.d"
+  "CMakeFiles/l96_xkernel.dir/simalloc.cc.o"
+  "CMakeFiles/l96_xkernel.dir/simalloc.cc.o.d"
+  "libl96_xkernel.a"
+  "libl96_xkernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/l96_xkernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

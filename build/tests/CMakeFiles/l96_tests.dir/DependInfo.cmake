@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/l96_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/l96_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_capture.cc" "tests/CMakeFiles/l96_tests.dir/test_capture.cc.o" "gcc" "tests/CMakeFiles/l96_tests.dir/test_capture.cc.o.d"
+  "/root/repo/tests/test_classifier.cc" "tests/CMakeFiles/l96_tests.dir/test_classifier.cc.o" "gcc" "tests/CMakeFiles/l96_tests.dir/test_classifier.cc.o.d"
+  "/root/repo/tests/test_classifier_integration.cc" "tests/CMakeFiles/l96_tests.dir/test_classifier_integration.cc.o" "gcc" "tests/CMakeFiles/l96_tests.dir/test_classifier_integration.cc.o.d"
+  "/root/repo/tests/test_code_image.cc" "tests/CMakeFiles/l96_tests.dir/test_code_image.cc.o" "gcc" "tests/CMakeFiles/l96_tests.dir/test_code_image.cc.o.d"
+  "/root/repo/tests/test_cpu.cc" "tests/CMakeFiles/l96_tests.dir/test_cpu.cc.o" "gcc" "tests/CMakeFiles/l96_tests.dir/test_cpu.cc.o.d"
+  "/root/repo/tests/test_driver.cc" "tests/CMakeFiles/l96_tests.dir/test_driver.cc.o" "gcc" "tests/CMakeFiles/l96_tests.dir/test_driver.cc.o.d"
+  "/root/repo/tests/test_event_process.cc" "tests/CMakeFiles/l96_tests.dir/test_event_process.cc.o" "gcc" "tests/CMakeFiles/l96_tests.dir/test_event_process.cc.o.d"
+  "/root/repo/tests/test_extensions.cc" "tests/CMakeFiles/l96_tests.dir/test_extensions.cc.o" "gcc" "tests/CMakeFiles/l96_tests.dir/test_extensions.cc.o.d"
+  "/root/repo/tests/test_harness.cc" "tests/CMakeFiles/l96_tests.dir/test_harness.cc.o" "gcc" "tests/CMakeFiles/l96_tests.dir/test_harness.cc.o.d"
+  "/root/repo/tests/test_ip.cc" "tests/CMakeFiles/l96_tests.dir/test_ip.cc.o" "gcc" "tests/CMakeFiles/l96_tests.dir/test_ip.cc.o.d"
+  "/root/repo/tests/test_lowering.cc" "tests/CMakeFiles/l96_tests.dir/test_lowering.cc.o" "gcc" "tests/CMakeFiles/l96_tests.dir/test_lowering.cc.o.d"
+  "/root/repo/tests/test_machine.cc" "tests/CMakeFiles/l96_tests.dir/test_machine.cc.o" "gcc" "tests/CMakeFiles/l96_tests.dir/test_machine.cc.o.d"
+  "/root/repo/tests/test_map.cc" "tests/CMakeFiles/l96_tests.dir/test_map.cc.o" "gcc" "tests/CMakeFiles/l96_tests.dir/test_map.cc.o.d"
+  "/root/repo/tests/test_memsys.cc" "tests/CMakeFiles/l96_tests.dir/test_memsys.cc.o" "gcc" "tests/CMakeFiles/l96_tests.dir/test_memsys.cc.o.d"
+  "/root/repo/tests/test_message.cc" "tests/CMakeFiles/l96_tests.dir/test_message.cc.o" "gcc" "tests/CMakeFiles/l96_tests.dir/test_message.cc.o.d"
+  "/root/repo/tests/test_outline_modes.cc" "tests/CMakeFiles/l96_tests.dir/test_outline_modes.cc.o" "gcc" "tests/CMakeFiles/l96_tests.dir/test_outline_modes.cc.o.d"
+  "/root/repo/tests/test_rpc.cc" "tests/CMakeFiles/l96_tests.dir/test_rpc.cc.o" "gcc" "tests/CMakeFiles/l96_tests.dir/test_rpc.cc.o.d"
+  "/root/repo/tests/test_sim_sweeps.cc" "tests/CMakeFiles/l96_tests.dir/test_sim_sweeps.cc.o" "gcc" "tests/CMakeFiles/l96_tests.dir/test_sim_sweeps.cc.o.d"
+  "/root/repo/tests/test_tcp.cc" "tests/CMakeFiles/l96_tests.dir/test_tcp.cc.o" "gcc" "tests/CMakeFiles/l96_tests.dir/test_tcp.cc.o.d"
+  "/root/repo/tests/test_tcp_persist.cc" "tests/CMakeFiles/l96_tests.dir/test_tcp_persist.cc.o" "gcc" "tests/CMakeFiles/l96_tests.dir/test_tcp_persist.cc.o.d"
+  "/root/repo/tests/test_tcp_states.cc" "tests/CMakeFiles/l96_tests.dir/test_tcp_states.cc.o" "gcc" "tests/CMakeFiles/l96_tests.dir/test_tcp_states.cc.o.d"
+  "/root/repo/tests/test_trace_io_throughput.cc" "tests/CMakeFiles/l96_tests.dir/test_trace_io_throughput.cc.o" "gcc" "tests/CMakeFiles/l96_tests.dir/test_trace_io_throughput.cc.o.d"
+  "/root/repo/tests/test_write_buffer.cc" "tests/CMakeFiles/l96_tests.dir/test_write_buffer.cc.o" "gcc" "tests/CMakeFiles/l96_tests.dir/test_write_buffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/l96_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/l96_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/l96_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/xkernel/CMakeFiles/l96_xkernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/code/CMakeFiles/l96_code.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/l96_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
