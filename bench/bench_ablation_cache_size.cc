@@ -3,19 +3,18 @@
 // from the best solution when the cache is a scarce resource").
 //
 // Bipartite vs linear layout as the i-cache grows: once the whole path fits,
-// partitioning stops paying.
-#include "harness/experiment.h"
+// partitioning stops paying.  Machine geometry is a replay-time parameter,
+// so all ten jobs replay one captured trace.
+#include "harness/sweep.h"
 #include "harness/tables.h"
 
 using namespace l96;
 
 int main() {
-  harness::Table t(
-      "Ablation: bipartite vs linear layout across i-cache sizes (TCP/IP)");
-  t.columns({"i-cache", "bipartite Tp [us]", "linear Tp [us]",
-             "bipartite mCPI", "linear mCPI"});
+  const std::uint32_t sizes_kb[] = {4, 8, 16, 32, 64};
 
-  for (std::uint32_t kb : {4u, 8u, 16u, 32u, 64u}) {
+  std::vector<harness::SweepJob> jobs;
+  for (std::uint32_t kb : sizes_kb) {
     harness::MachineParams params;
     params.mem.icache_bytes = kb * 1024;
 
@@ -23,13 +22,36 @@ int main() {
     code::StackConfig lin = code::StackConfig::Clo();
     lin.layout = code::LayoutKind::kLinear;
 
-    auto rb = harness::run_config(net::StackKind::kTcpIp, bip, bip, params);
-    auto rl = harness::run_config(net::StackKind::kTcpIp, lin, lin, params);
-    t.row({std::to_string(kb) + " KiB", harness::fmt(rb.client.tp_us),
-           harness::fmt(rl.client.tp_us),
+    harness::SweepJob jb;
+    jb.label = "bipartite/" + std::to_string(kb) + "KiB";
+    jb.client = jb.server = bip;
+    jb.params = params;
+    jobs.push_back(std::move(jb));
+
+    harness::SweepJob jl;
+    jl.label = "linear/" + std::to_string(kb) + "KiB";
+    jl.client = jl.server = lin;
+    jl.params = params;
+    jobs.push_back(std::move(jl));
+  }
+
+  harness::SweepRunner runner;
+  const auto outcomes = runner.run(jobs);
+
+  harness::Table t(
+      "Ablation: bipartite vs linear layout across i-cache sizes (TCP/IP)");
+  t.columns({"i-cache", "bipartite Tp [us]", "linear Tp [us]",
+             "bipartite mCPI", "linear mCPI"});
+  for (std::size_t i = 0; i < std::size(sizes_kb); ++i) {
+    const auto& rb = outcomes[2 * i].result;
+    const auto& rl = outcomes[2 * i + 1].result;
+    t.row({std::to_string(sizes_kb[i]) + " KiB",
+           harness::fmt(rb.client.tp_us), harness::fmt(rl.client.tp_us),
            harness::fmt(rb.client.steady.mcpi(), 2),
            harness::fmt(rl.client.steady.mcpi(), 2)});
   }
   t.print();
+
+  harness::write_sweep_metrics("ablation_cache_size", runner, jobs, outcomes);
   return 0;
 }

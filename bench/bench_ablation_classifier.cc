@@ -3,33 +3,48 @@
 // The paper evaluates PIN/ALL assuming a zero-overhead classifier and notes
 // real classifiers cost 1-4 us per packet on this hardware.  This bench
 // sweeps that cost: beyond ~1-2 us the classifier eats path-inlining's
-// entire advantage over CLO — quantifying the paper's caveat.
-#include "harness/experiment.h"
+// entire advantage over CLO — quantifying the paper's caveat.  Classifier
+// overhead is a replay-time parameter, so fifteen jobs need only two
+// captures (CLO's and PIN/ALL's functional traces).
+#include "harness/sweep.h"
 #include "harness/tables.h"
 
 using namespace l96;
 
 int main() {
+  const double overheads[] = {0.0, 0.5, 1.0, 2.0, 4.0};
+
+  std::vector<harness::SweepJob> jobs;
+  for (double ov : overheads) {
+    harness::MachineParams params;
+    params.classifier_overhead_us = ov;
+    for (const auto& cfg : {code::StackConfig::Clo(), code::StackConfig::Pin(),
+                            code::StackConfig::All()}) {
+      harness::SweepJob j;
+      j.label = cfg.name + std::string("/ov") + harness::fmt(ov, 1);
+      j.client = j.server = cfg;
+      j.params = params;
+      jobs.push_back(std::move(j));
+    }
+  }
+
+  harness::SweepRunner runner;
+  const auto outcomes = runner.run(jobs);
+
   harness::Table t(
       "Ablation: classifier overhead vs path-inlining benefit (TCP/IP)");
   t.columns({"classifier [us/pkt]", "CLO Te [us]", "PIN Te [us]",
              "ALL Te [us]", "PIN still wins?"});
-  for (double ov : {0.0, 0.5, 1.0, 2.0, 4.0}) {
-    harness::MachineParams params;
-    params.classifier_overhead_us = ov;
-    auto clo = harness::run_config(net::StackKind::kTcpIp,
-                                   code::StackConfig::Clo(),
-                                   code::StackConfig::Clo(), params);
-    auto pin = harness::run_config(net::StackKind::kTcpIp,
-                                   code::StackConfig::Pin(),
-                                   code::StackConfig::Pin(), params);
-    auto all = harness::run_config(net::StackKind::kTcpIp,
-                                   code::StackConfig::All(),
-                                   code::StackConfig::All(), params);
-    t.row({harness::fmt(ov), harness::fmt(clo.te_us),
+  for (std::size_t i = 0; i < std::size(overheads); ++i) {
+    const auto& clo = outcomes[3 * i].result;
+    const auto& pin = outcomes[3 * i + 1].result;
+    const auto& all = outcomes[3 * i + 2].result;
+    t.row({harness::fmt(overheads[i]), harness::fmt(clo.te_us),
            harness::fmt(pin.te_us), harness::fmt(all.te_us),
            pin.te_us < clo.te_us ? "yes" : "no"});
   }
   t.print();
+
+  harness::write_sweep_metrics("ablation_classifier", runner, jobs, outcomes);
   return 0;
 }

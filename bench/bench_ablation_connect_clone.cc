@@ -3,7 +3,7 @@
 // cloned functions").  Connection-time clones fold connection state (ports,
 // addresses, negotiated options) into constants, shrinking the hot path
 // further at the cost of one clone per connection.
-#include "harness/experiment.h"
+#include "harness/sweep.h"
 #include "harness/tables.h"
 
 using namespace l96;
@@ -21,18 +21,34 @@ int main() {
       {"ALL + connect-time specialization", true, true},
   };
 
+  std::vector<harness::SweepJob> jobs;
+  for (auto kind : {net::StackKind::kTcpIp, net::StackKind::kRpc}) {
+    const bool rpc = kind == net::StackKind::kRpc;
+    for (const Variant& v : variants) {
+      code::StackConfig cfg =
+          v.pin ? code::StackConfig::All() : code::StackConfig::Clo();
+      cfg.clone_at_connect = v.connect;
+      cfg.name = v.name;
+      harness::SweepJob j;
+      j.label = std::string(rpc ? "rpc/" : "tcpip/") + v.name;
+      j.kind = kind;
+      j.client = cfg;
+      j.server = rpc ? code::StackConfig::All() : cfg;
+      jobs.push_back(std::move(j));
+    }
+  }
+
+  harness::SweepRunner runner;
+  const auto outcomes = runner.run(jobs);
+
+  std::size_t at = 0;
   for (auto kind : {net::StackKind::kTcpIp, net::StackKind::kRpc}) {
     const bool rpc = kind == net::StackKind::kRpc;
     harness::Table t(std::string("Ablation: connection-time cloning — ") +
                      (rpc ? "RPC" : "TCP/IP"));
     t.columns({"Variant", "Te [us]", "instrs", "hot size", "mCPI"});
     for (const Variant& v : variants) {
-      code::StackConfig cfg =
-          v.pin ? code::StackConfig::All() : code::StackConfig::Clo();
-      cfg.clone_at_connect = v.connect;
-      cfg.name = v.name;
-      const auto scfg = rpc ? code::StackConfig::All() : cfg;
-      auto r = harness::run_config(kind, cfg, scfg);
+      const auto& r = outcomes[at++].result;
       t.row({v.name, harness::fmt(r.te_us),
              std::to_string(r.client.instructions),
              std::to_string(r.client.static_hot_words),
@@ -40,5 +56,8 @@ int main() {
     }
     t.print();
   }
+
+  harness::write_sweep_metrics("ablation_connect_clone", runner, jobs,
+                               outcomes);
   return 0;
 }

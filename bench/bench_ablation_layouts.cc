@@ -3,8 +3,9 @@
 // The paper compares bipartite against micro-positioning and reports the
 // simple strategy consistently winning or tying; this bench runs every
 // implemented strategy — including linear (no partitioning) and random —
-// over both stacks.
-#include "harness/experiment.h"
+// over both stacks.  All strategies are layout-only variations, so the
+// sweep shares a single captured trace per stack.
+#include "harness/sweep.h"
 #include "harness/tables.h"
 
 using namespace l96;
@@ -23,12 +24,9 @@ int main() {
       {"pessimal", code::LayoutKind::kPessimal},
   };
 
+  std::vector<harness::SweepJob> jobs;
   for (auto kind : {net::StackKind::kTcpIp, net::StackKind::kRpc}) {
     const bool rpc = kind == net::StackKind::kRpc;
-    harness::Table t(std::string("Ablation: cloning layout strategies — ") +
-                     (rpc ? "RPC" : "TCP/IP"));
-    t.columns({"Strategy", "Te [us]", "Tp [us]", "mCPI", "i-miss (cold)",
-               "i-repl (cold)"});
     for (const Strategy& s : strategies) {
       code::StackConfig cfg = code::StackConfig::Out();
       cfg.name = s.name;
@@ -36,8 +34,27 @@ int main() {
         cfg.cloning = true;
         cfg.layout = s.kind;
       }
-      const auto scfg = rpc ? code::StackConfig::All() : cfg;
-      auto r = harness::run_config(kind, cfg, scfg);
+      harness::SweepJob j;
+      j.label = std::string(rpc ? "rpc/" : "tcpip/") + s.name;
+      j.kind = kind;
+      j.client = cfg;
+      j.server = rpc ? code::StackConfig::All() : cfg;
+      jobs.push_back(std::move(j));
+    }
+  }
+
+  harness::SweepRunner runner;
+  const auto outcomes = runner.run(jobs);
+
+  std::size_t at = 0;
+  for (auto kind : {net::StackKind::kTcpIp, net::StackKind::kRpc}) {
+    const bool rpc = kind == net::StackKind::kRpc;
+    harness::Table t(std::string("Ablation: cloning layout strategies — ") +
+                     (rpc ? "RPC" : "TCP/IP"));
+    t.columns({"Strategy", "Te [us]", "Tp [us]", "mCPI", "i-miss (cold)",
+               "i-repl (cold)"});
+    for (const Strategy& s : strategies) {
+      const auto& r = outcomes[at++].result;
       t.row({s.name, harness::fmt(r.te_us), harness::fmt(r.client.tp_us),
              harness::fmt(r.client.steady.mcpi(), 2),
              std::to_string(r.client.cold.icache.misses),
@@ -45,5 +62,7 @@ int main() {
     }
     t.print();
   }
+
+  harness::write_sweep_metrics("ablation_layouts", runner, jobs, outcomes);
   return 0;
 }

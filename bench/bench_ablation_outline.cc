@@ -1,8 +1,8 @@
 // Ablation: what outlining buys, decomposed — taken branches (pipeline),
 // footprint density (i-cache), and how it compounds with cloning (the paper
 // argues outlining matters "primarily as a means to greatly improve
-// cloning").
-#include "harness/experiment.h"
+// cloning").  Outlining and cloning are layout-only: one capture per stack.
+#include "harness/sweep.h"
 #include "harness/tables.h"
 
 using namespace l96;
@@ -27,12 +27,9 @@ int main() {
        code::OutlineMode::kProfileAggressive},
   };
 
+  std::vector<harness::SweepJob> jobs;
   for (auto kind : {net::StackKind::kTcpIp, net::StackKind::kRpc}) {
     const bool rpc = kind == net::StackKind::kRpc;
-    harness::Table t(std::string("Ablation: outlining x cloning — ") +
-                     (rpc ? "RPC" : "TCP/IP"));
-    t.columns({"Variant", "Te [us]", "mCPI", "iCPI", "taken-br",
-               "hot size [instr]", "unused [%]"});
     for (const Variant& v : variants) {
       code::StackConfig cfg = code::StackConfig::Std();
       cfg.name = v.name;
@@ -42,8 +39,27 @@ int main() {
         cfg.cloning = true;
         cfg.layout = code::LayoutKind::kBipartite;
       }
-      const auto scfg = rpc ? code::StackConfig::All() : cfg;
-      auto r = harness::run_config(kind, cfg, scfg);
+      harness::SweepJob j;
+      j.label = std::string(rpc ? "rpc/" : "tcpip/") + v.name;
+      j.kind = kind;
+      j.client = cfg;
+      j.server = rpc ? code::StackConfig::All() : cfg;
+      jobs.push_back(std::move(j));
+    }
+  }
+
+  harness::SweepRunner runner;
+  const auto outcomes = runner.run(jobs);
+
+  std::size_t at = 0;
+  for (auto kind : {net::StackKind::kTcpIp, net::StackKind::kRpc}) {
+    const bool rpc = kind == net::StackKind::kRpc;
+    harness::Table t(std::string("Ablation: outlining x cloning — ") +
+                     (rpc ? "RPC" : "TCP/IP"));
+    t.columns({"Variant", "Te [us]", "mCPI", "iCPI", "taken-br",
+               "hot size [instr]", "unused [%]"});
+    for (const Variant& v : variants) {
+      const auto& r = outcomes[at++].result;
       t.row({v.name, harness::fmt(r.te_us),
              harness::fmt(r.client.steady.mcpi(), 2),
              harness::fmt(r.client.steady.icpi(), 2),
@@ -53,5 +69,7 @@ int main() {
     }
     t.print();
   }
+
+  harness::write_sweep_metrics("ablation_outline", runner, jobs, outcomes);
   return 0;
 }

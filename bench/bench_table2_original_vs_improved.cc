@@ -1,40 +1,37 @@
 // Table 2: Performance Comparison of Original and Improved x-kernel
 // TCP/IP Stack — roundtrip latency, instructions executed, processing
 // cycles, and CPI, before and after the Section-2 changes.
-#include "harness/experiment.h"
+#include "harness/sweep.h"
 #include "harness/tables.h"
 
 using namespace l96;
 
 int main() {
-  struct Col {
-    const char* name;
-    code::StackConfig cfg;
-  };
-  const Col cols[] = {
-      {"Original", code::StackConfig::Original()},
-      {"Improved", code::StackConfig::Std()},
-  };
+  std::vector<harness::SweepJob> jobs(2);
+  jobs[0].label = "Original";
+  jobs[0].client = jobs[0].server = code::StackConfig::Original();
+  jobs[1].label = "Improved";
+  jobs[1].client = jobs[1].server = code::StackConfig::Std();
+
+  harness::SweepRunner runner;
+  const auto r = runner.run(jobs);
 
   harness::Table t(
       "Table 2: Original vs Improved x-kernel TCP/IP (paper: 377.7->351.0us, "
       "5821->4750 instrs, 18941->15688 cycles, CPI ~3.3)");
   t.columns({"Metric", "Original", "Improved"});
-
-  harness::ConfigResult r[2];
-  for (int i = 0; i < 2; ++i) {
-    r[i] = harness::run_config(net::StackKind::kTcpIp, cols[i].cfg,
-                               cols[i].cfg);
-  }
-  t.row({"Roundtrip latency [us]", harness::fmt(r[0].te_us),
-         harness::fmt(r[1].te_us)});
-  t.row({"Instructions executed", std::to_string(r[0].client.instructions),
-         std::to_string(r[1].client.instructions)});
+  t.row({"Roundtrip latency [us]", harness::fmt(r[0].result.te_us),
+         harness::fmt(r[1].result.te_us)});
+  t.row({"Instructions executed",
+         std::to_string(r[0].result.client.instructions),
+         std::to_string(r[1].result.client.instructions)});
   t.row({"Processing time [cycles]",
-         std::to_string(r[0].client.steady.cycles()),
-         std::to_string(r[1].client.steady.cycles())});
-  t.row({"CPI", harness::fmt(r[0].client.steady.cpi(), 2),
-         harness::fmt(r[1].client.steady.cpi(), 2)});
+         std::to_string(r[0].result.client.steady.cycles()),
+         std::to_string(r[1].result.client.steady.cycles())});
+  t.row({"CPI", harness::fmt(r[0].result.client.steady.cpi(), 2),
+         harness::fmt(r[1].result.client.steady.cpi(), 2)});
   t.print();
+
+  harness::write_sweep_metrics("table2_original_vs_improved", runner, jobs, r);
   return 0;
 }

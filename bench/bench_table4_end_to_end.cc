@@ -1,6 +1,7 @@
 // Table 4: End-to-end Roundtrip Latency — six configurations, both stacks,
-// mean +/- stddev and per-cent slowdown vs ALL.
-#include "harness/experiment.h"
+// mean +/- stddev and per-cent slowdown vs ALL.  Runs through SweepRunner:
+// BAD/STD/OUT/CLO share one captured trace per stack.
+#include "harness/sweep.h"
 #include "harness/tables.h"
 
 using namespace l96;
@@ -15,6 +16,27 @@ int main() {
       {"CLO", 325.5, 383.1}, {"PIN", 317.1, 367.3}, {"ALL", 310.8, 365.5},
   };
 
+  const auto configs = harness::paper_configs();
+  std::vector<harness::SweepJob> jobs;
+  for (auto kind : {net::StackKind::kTcpIp, net::StackKind::kRpc}) {
+    const bool rpc = kind == net::StackKind::kRpc;
+    for (const auto& cfg : configs) {
+      harness::SweepJob j;
+      j.label = std::string(rpc ? "rpc/" : "tcpip/") + cfg.name;
+      j.kind = kind;
+      j.client = cfg;
+      // RPC experiments pin the server at ALL (Section 4.2); TCP/IP applies
+      // the configuration to both sides.
+      j.server = rpc ? code::StackConfig::All() : cfg;
+      j.te_sample_count = rpc ? 5 : 10;
+      jobs.push_back(std::move(j));
+    }
+  }
+
+  harness::SweepRunner runner;
+  const auto outcomes = runner.run(jobs);
+
+  std::size_t at = 0;
   for (auto kind : {net::StackKind::kTcpIp, net::StackKind::kRpc}) {
     const bool rpc = kind == net::StackKind::kRpc;
     harness::Table t(std::string("Table 4: End-to-end Roundtrip Latency — ") +
@@ -23,13 +45,8 @@ int main() {
 
     std::vector<std::pair<std::string, harness::MeanSd>> rows;
     double best = 0;
-    for (const auto& cfg : harness::paper_configs()) {
-      // RPC experiments pin the server at ALL (Section 4.2); TCP/IP applies
-      // the configuration to both sides.
-      const auto scfg = rpc ? code::StackConfig::All() : cfg;
-      harness::Experiment e(kind, cfg, scfg);
-      const auto samples = e.te_samples(rpc ? 5 : 10);
-      const auto ms = harness::mean_sd(samples);
+    for (const auto& cfg : configs) {
+      const auto ms = harness::mean_sd(outcomes[at++].te_samples);
       rows.emplace_back(cfg.name, ms);
       if (cfg.name == "ALL") best = ms.mean;
     }
@@ -44,5 +61,7 @@ int main() {
     }
     t.print();
   }
+
+  harness::write_sweep_metrics("table4_end_to_end", runner, jobs, outcomes);
   return 0;
 }

@@ -1,12 +1,30 @@
 // Table 6: Cache Performance — (Miss, Acc, Repl) for the i-cache, the
 // combined d-cache/write-buffer, and the b-cache, per configuration, from
 // the trace-driven cold-cache simulation (the paper's methodology).
-#include "harness/experiment.h"
+#include "harness/sweep.h"
 #include "harness/tables.h"
 
 using namespace l96;
 
 int main() {
+  const auto configs = harness::paper_configs();
+  std::vector<harness::SweepJob> jobs;
+  for (auto kind : {net::StackKind::kTcpIp, net::StackKind::kRpc}) {
+    const bool rpc = kind == net::StackKind::kRpc;
+    for (const auto& cfg : configs) {
+      harness::SweepJob j;
+      j.label = std::string(rpc ? "rpc/" : "tcpip/") + cfg.name;
+      j.kind = kind;
+      j.client = cfg;
+      j.server = rpc ? code::StackConfig::All() : cfg;
+      jobs.push_back(std::move(j));
+    }
+  }
+
+  harness::SweepRunner runner;
+  const auto outcomes = runner.run(jobs);
+
+  std::size_t at = 0;
   for (auto kind : {net::StackKind::kTcpIp, net::StackKind::kRpc}) {
     const bool rpc = kind == net::StackKind::kRpc;
     harness::Table t(std::string("Table 6: Cache Performance — ") +
@@ -15,10 +33,8 @@ int main() {
                      "b 800/1286/0)");
     t.columns({"Version", "i-Miss", "i-Acc", "i-Repl", "d-Miss", "d-Acc",
                "d-Repl", "b-Miss", "b-Acc", "b-Repl"});
-    for (const auto& cfg : harness::paper_configs()) {
-      const auto scfg = rpc ? code::StackConfig::All() : cfg;
-      auto r = harness::run_config(kind, cfg, scfg);
-      const auto& c = r.client.cold;
+    for (const auto& cfg : configs) {
+      const auto& c = outcomes[at++].result.client.cold;
       t.row({cfg.name, std::to_string(c.icache.misses),
              std::to_string(c.icache.accesses),
              std::to_string(c.icache.repl_misses),
@@ -31,5 +47,7 @@ int main() {
     }
     t.print();
   }
+
+  harness::write_sweep_metrics("table6_cache_stats", runner, jobs, outcomes);
   return 0;
 }

@@ -1,12 +1,30 @@
 // Table 7: Processing time, trace length, mCPI and iCPI per configuration,
 // from the steady-state replay (warm b-cache, primary caches polluted by
 // untraced code between activations).
-#include "harness/experiment.h"
+#include "harness/sweep.h"
 #include "harness/tables.h"
 
 using namespace l96;
 
 int main() {
+  const auto configs = harness::paper_configs();
+  std::vector<harness::SweepJob> jobs;
+  for (auto kind : {net::StackKind::kTcpIp, net::StackKind::kRpc}) {
+    const bool rpc = kind == net::StackKind::kRpc;
+    for (const auto& cfg : configs) {
+      harness::SweepJob j;
+      j.label = std::string(rpc ? "rpc/" : "tcpip/") + cfg.name;
+      j.kind = kind;
+      j.client = cfg;
+      j.server = rpc ? code::StackConfig::All() : cfg;
+      jobs.push_back(std::move(j));
+    }
+  }
+
+  harness::SweepRunner runner;
+  const auto outcomes = runner.run(jobs);
+
+  std::size_t at = 0;
   for (auto kind : {net::StackKind::kTcpIp, net::StackKind::kRpc}) {
     const bool rpc = kind == net::StackKind::kRpc;
     harness::Table t(
@@ -16,16 +34,17 @@ int main() {
                "iCPI by ~0.1)"));
     t.columns({"Version", "Tp [us]", "Length", "mCPI", "iCPI", "CPI",
                "taken-br"});
-    for (const auto& cfg : harness::paper_configs()) {
-      const auto scfg = rpc ? code::StackConfig::All() : cfg;
-      auto r = harness::run_config(kind, cfg, scfg);
-      const auto& s = r.client.steady;
-      t.row({cfg.name, harness::fmt(r.client.tp_us),
-             std::to_string(r.client.instructions), harness::fmt(s.mcpi(), 2),
+    for (const auto& cfg : configs) {
+      const auto& client = outcomes[at++].result.client;
+      const auto& s = client.steady;
+      t.row({cfg.name, harness::fmt(client.tp_us),
+             std::to_string(client.instructions), harness::fmt(s.mcpi(), 2),
              harness::fmt(s.icpi(), 2), harness::fmt(s.cpi(), 2),
              std::to_string(s.taken_branches)});
     }
     t.print();
   }
+
+  harness::write_sweep_metrics("table7_cpi", runner, jobs, outcomes);
   return 0;
 }

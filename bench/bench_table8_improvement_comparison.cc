@@ -2,7 +2,13 @@
 // transition: the share of the b-cache access reduction due to the i-cache
 // (I%), the end-to-end and processing-time improvements, and the b-cache
 // access / replacement-miss deltas.
-#include "harness/experiment.h"
+//
+// Through SweepRunner each configuration is measured exactly once per stack
+// and the five transitions are computed from the shared results (the old
+// serial version re-ran both endpoints of every step).
+#include <stdexcept>
+
+#include "harness/sweep.h"
 #include "harness/tables.h"
 
 using namespace l96;
@@ -15,15 +21,13 @@ struct Step {
   const char* to;
 };
 
-harness::ConfigResult run_named(net::StackKind kind, const char* name) {
-  for (const auto& cfg : harness::paper_configs()) {
-    if (cfg.name == name) {
-      const auto scfg =
-          kind == net::StackKind::kRpc ? code::StackConfig::All() : cfg;
-      return harness::run_config(kind, cfg, scfg);
-    }
+const harness::ConfigResult& find_named(
+    const std::vector<harness::SweepOutcome>& outcomes,
+    const std::string& label) {
+  for (const auto& o : outcomes) {
+    if (o.label == label) return o.result;
   }
-  throw std::logic_error("unknown config");
+  throw std::logic_error("unknown config " + label);
 }
 
 }  // namespace
@@ -35,16 +39,33 @@ int main() {
       {"PIN->ALL", "PIN", "ALL"},
   };
 
+  std::vector<harness::SweepJob> jobs;
   for (auto kind : {net::StackKind::kTcpIp, net::StackKind::kRpc}) {
     const bool rpc = kind == net::StackKind::kRpc;
+    for (const auto& cfg : harness::paper_configs()) {
+      harness::SweepJob j;
+      j.label = std::string(rpc ? "rpc/" : "tcpip/") + cfg.name;
+      j.kind = kind;
+      j.client = cfg;
+      j.server = rpc ? code::StackConfig::All() : cfg;
+      jobs.push_back(std::move(j));
+    }
+  }
+
+  harness::SweepRunner runner;
+  const auto outcomes = runner.run(jobs);
+
+  for (auto kind : {net::StackKind::kTcpIp, net::StackKind::kRpc}) {
+    const bool rpc = kind == net::StackKind::kRpc;
+    const std::string prefix = rpc ? "rpc/" : "tcpip/";
     harness::Table t(std::string("Table 8: Latency Improvement Comparison — ") +
                      (rpc ? "RPC" : "TCP/IP") +
                      " (I% = share of b-cache access reduction due to the "
                      "i-cache; paper: >90% for outlining/cloning steps)");
     t.columns({"Step", "I [%]", "dTe [us]", "dTp [us]", "dNb", "dNm"});
     for (const Step& s : steps) {
-      auto from = run_named(kind, s.from);
-      auto to = run_named(kind, s.to);
+      const auto& from = find_named(outcomes, prefix + s.from);
+      const auto& to = find_named(outcomes, prefix + s.to);
       const auto& cf = from.client.steady;
       const auto& ct = to.client.steady;
       const double d_btotal = static_cast<double>(cf.traffic.total()) -
@@ -62,5 +83,8 @@ int main() {
     }
     t.print();
   }
+
+  harness::write_sweep_metrics("table8_improvement_comparison", runner, jobs,
+                               outcomes);
   return 0;
 }

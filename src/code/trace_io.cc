@@ -1,11 +1,54 @@
 #include "code/trace_io.h"
 
+#include <cinttypes>
+#include <cstdio>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 
 namespace l96::code {
+
+namespace {
+
+[[noreturn]] void parse_fail(std::size_t lineno, const std::string& token,
+                             const std::string& why) {
+  throw std::runtime_error("trace parse error at line " +
+                           std::to_string(lineno) + ": " + why + " ('" +
+                           token + "')");
+}
+
+/// Extract the next whitespace-separated token, failing with the line
+/// number when the line ends early.
+std::string next_token(std::istringstream& ls, std::size_t lineno,
+                       const char* what) {
+  std::string tok;
+  if (!(ls >> tok)) {
+    parse_fail(lineno, "<end of line>",
+               std::string("missing ") + what + " field");
+  }
+  return tok;
+}
+
+/// Parse one unsigned field from its token; rejects garbage, trailing
+/// characters within the token, and negative values.
+std::uint64_t parse_field(std::istringstream& ls, std::size_t lineno,
+                          const char* what, bool hex) {
+  const std::string tok = next_token(ls, lineno, what);
+  if (tok.front() == '-') {
+    parse_fail(lineno, tok, std::string("negative ") + what + " field");
+  }
+  std::istringstream ts(tok);
+  std::uint64_t v = 0;
+  if (hex) ts >> std::hex;
+  ts >> v;
+  if (ts.fail() || !ts.eof()) {
+    parse_fail(lineno, tok, std::string("malformed ") + what + " field");
+  }
+  return v;
+}
+
+}  // namespace
 
 void write_path_trace(std::ostream& os, const PathTrace& trace,
                       const CodeRegistry* reg) {
@@ -46,47 +89,68 @@ PathTrace read_path_trace(std::istream& is) {
   PathTrace t;
   std::string line;
   std::size_t lineno = 0;
+  // Declared event count from the writer's header comment; used to detect
+  // truncated traces at end of input.
+  std::uint64_t declared = 0;
+  bool have_declared = false;
   while (std::getline(is, line)) {
     ++lineno;
-    if (line.empty() || line[0] == '#') continue;
-    std::istringstream ls(line);
-    char tag = 0;
-    ls >> tag;
-    Event ev{};
-    switch (tag) {
-      case 'C': {
-        ev.kind = EventKind::kCall;
-        ls >> ev.fn;
-        break;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::uint64_t n = 0;
+      if (std::sscanf(line.c_str(), "# latency96 path trace, %" SCNu64
+                                    " events",
+                      &n) == 1) {
+        declared = n;
+        have_declared = true;
       }
-      case 'R':
-        ev.kind = EventKind::kReturn;
-        ev.fn = kInvalidFn;
-        break;
-      case 'B':
-        ev.kind = EventKind::kBlock;
-        ls >> ev.fn >> ev.block;
-        break;
-      case 'L':
-      case 'S':
-        ev.kind = tag == 'L' ? EventKind::kLoad : EventKind::kStore;
-        ev.fn = kInvalidFn;
-        ls >> std::hex >> ev.addr >> std::dec >> ev.bytes;
-        break;
-      case 'M':
-        ev.kind = EventKind::kMarker;
-        ev.fn = kInvalidFn;
-        ls >> ev.addr;
-        break;
-      default:
-        throw std::runtime_error("trace parse error at line " +
-                                 std::to_string(lineno) + ": '" + line + "'");
+      continue;
     }
-    if (ls.fail()) {
-      throw std::runtime_error("trace parse error at line " +
-                               std::to_string(lineno) + ": '" + line + "'");
+    std::istringstream ls(line);
+    const std::string tag = next_token(ls, lineno, "event tag");
+    Event ev{};
+    if (tag == "C") {
+      ev.kind = EventKind::kCall;
+      const std::uint64_t fn = parse_field(ls, lineno, "function id", false);
+      if (fn > kInvalidFn) parse_fail(lineno, line, "function id out of range");
+      ev.fn = static_cast<FnId>(fn);
+    } else if (tag == "R") {
+      ev.kind = EventKind::kReturn;
+      ev.fn = kInvalidFn;
+    } else if (tag == "B") {
+      ev.kind = EventKind::kBlock;
+      const std::uint64_t fn = parse_field(ls, lineno, "function id", false);
+      const std::uint64_t blk = parse_field(ls, lineno, "block id", false);
+      if (fn > kInvalidFn) parse_fail(lineno, line, "function id out of range");
+      if (blk > ~BlockId{0}) parse_fail(lineno, line, "block id out of range");
+      ev.fn = static_cast<FnId>(fn);
+      ev.block = static_cast<BlockId>(blk);
+    } else if (tag == "L" || tag == "S") {
+      ev.kind = tag == "L" ? EventKind::kLoad : EventKind::kStore;
+      ev.fn = kInvalidFn;
+      ev.addr = parse_field(ls, lineno, "address", true);
+      const std::uint64_t bytes = parse_field(ls, lineno, "byte count", false);
+      if (bytes > 0xFFFF) parse_fail(lineno, line, "byte count out of range");
+      ev.bytes = static_cast<std::uint16_t>(bytes);
+    } else if (tag == "M") {
+      ev.kind = EventKind::kMarker;
+      ev.fn = kInvalidFn;
+      ev.addr = parse_field(ls, lineno, "marker code", false);
+    } else {
+      parse_fail(lineno, tag, "unknown event tag");
+    }
+    std::string trailing;
+    if (ls >> trailing) {
+      parse_fail(lineno, trailing, "trailing token after event");
     }
     t.events.push_back(ev);
+  }
+  if (have_declared && declared != t.events.size()) {
+    throw std::runtime_error(
+        "truncated trace: header declares " + std::to_string(declared) +
+        " events but input contains " + std::to_string(t.events.size()) +
+        " (after line " + std::to_string(lineno) + ")");
   }
   return t;
 }

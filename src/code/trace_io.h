@@ -28,7 +28,10 @@ namespace l96::code {
 void write_path_trace(std::ostream& os, const PathTrace& trace,
                       const CodeRegistry* reg = nullptr);
 
-/// Parse the text format.  Throws std::runtime_error on malformed input.
+/// Parse the text format.  Throws std::runtime_error naming the line number
+/// and offending token on malformed input (unknown tag, missing/garbage/
+/// out-of-range fields, trailing tokens), and detects truncated traces by
+/// checking the writer's declared event count when the header is present.
 PathTrace read_path_trace(std::istream& is);
 
 /// Convenience: serialize to / parse from a string.

@@ -2,11 +2,52 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "protocols/stack_code.h"
 #include "xkernel/simalloc.h"
 
 namespace l96::harness {
+
+namespace {
+
+std::string capture_context(net::World& world) {
+  return std::string(world.kind() == net::StackKind::kTcpIp ? "TCP/IP"
+                                                            : "RPC") +
+         ", client=" + world.client().config().name +
+         ", server=" + world.server().config().name;
+}
+
+[[noreturn]] void capture_fail(net::World& world, const char* what,
+                               std::uint64_t requested) {
+  throw std::runtime_error(
+      std::string("capture failed (") + capture_context(world) + "): " + what +
+      " — reached " + std::to_string(world.client_roundtrips()) + " of " +
+      std::to_string(requested) + " requested roundtrips");
+}
+
+}  // namespace
+
+CaptureResult capture_traces(net::World& world,
+                             std::uint64_t warmup_roundtrips) {
+  CaptureResult r;
+  const std::uint64_t warm = warmup_roundtrips;
+  if (!world.run_until_roundtrips(warm)) {
+    capture_fail(world, "world did not reach warm-up roundtrips", warm);
+  }
+  world.client().arm_capture(&r.client);
+  if (!world.run_until_roundtrips(warm + 1)) {
+    capture_fail(world, "client capture roundtrip did not complete", warm + 1);
+  }
+  r.client_split = world.client().tx_split();
+
+  world.server().arm_capture(&r.server);
+  if (!world.run_until_roundtrips(warm + 2)) {
+    capture_fail(world, "server capture roundtrip did not complete", warm + 2);
+  }
+  r.server_split = world.server().tx_split();
+  return r;
+}
 
 Experiment::Experiment(net::StackKind kind, code::StackConfig client_cfg,
                        code::StackConfig server_cfg, MachineParams params)
@@ -20,35 +61,25 @@ Experiment::Experiment(net::StackKind kind, code::StackConfig client_cfg,
 void Experiment::capture() {
   if (captured_) return;
   world_->start(~std::uint64_t{0});
-
-  const std::uint64_t warm = 64;
-  if (!world_->run_until_roundtrips(warm)) {
-    throw std::runtime_error("world did not reach warm-up roundtrips");
-  }
-  world_->client().arm_capture(&client_trace_);
-  if (!world_->run_until_roundtrips(warm + 1)) {
-    throw std::runtime_error("client capture roundtrip did not complete");
-  }
-  client_split_ = world_->client().tx_split();
-
-  world_->server().arm_capture(&server_trace_);
-  if (!world_->run_until_roundtrips(warm + 2)) {
-    throw std::runtime_error("server capture roundtrip did not complete");
-  }
-  server_split_ = world_->server().tx_split();
+  CaptureResult r = capture_traces(*world_, params_.warmup_roundtrips);
+  client_trace_ = std::move(r.client);
+  server_trace_ = std::move(r.server);
+  client_split_ = r.client_split;
+  server_split_ = r.server_split;
   captured_ = true;
 }
 
-code::CodeImage Experiment::build_image(const code::StackConfig& cfg,
-                                        code::CodeRegistry& reg,
-                                        const code::PathTrace& profile) const {
+code::CodeImage build_image(net::StackKind kind, const code::StackConfig& cfg,
+                            const code::CodeRegistry& reg,
+                            const code::PathTrace& profile,
+                            const MachineParams& params) {
   code::ImageBuilder b(reg, cfg);
   b.set_profile(profile);
   b.set_conflict_data_base(xk::SimAlloc::kArenaBase);
-  b.set_cache_geometry(params_.mem.icache_bytes, params_.mem.block_bytes,
-                       params_.mem.bcache_bytes);
+  b.set_cache_geometry(params.mem.icache_bytes, params.mem.block_bytes,
+                       params.mem.bcache_bytes);
   if (cfg.path_inlining) {
-    if (kind_ == net::StackKind::kTcpIp) {
+    if (kind == net::StackKind::kTcpIp) {
       b.declare_path(proto::tcpip_output_path(reg));
       b.declare_path(proto::tcpip_input_path(reg));
     } else {
@@ -59,15 +90,15 @@ code::CodeImage Experiment::build_image(const code::StackConfig& cfg,
   return b.build();
 }
 
-SideMeasurement Experiment::measure_side(const code::StackConfig& cfg,
-                                         code::CodeRegistry& reg,
-                                         const code::PathTrace& trace,
-                                         std::size_t split,
-                                         std::uint64_t seed_offset) const {
+SideMeasurement measure_side(net::StackKind kind, const code::StackConfig& cfg,
+                             const code::CodeRegistry& reg,
+                             const code::PathTrace& trace, std::size_t split,
+                             std::uint64_t seed_offset,
+                             const MachineParams& params) {
   SideMeasurement m;
   m.config_name = cfg.name;
 
-  const code::CodeImage image = build_image(cfg, reg, trace);
+  const code::CodeImage image = build_image(kind, cfg, reg, trace, params);
   m.static_hot_words = image.hot_words();
   m.static_total_words = image.total_words();
 
@@ -85,7 +116,7 @@ SideMeasurement Experiment::measure_side(const code::StackConfig& cfg,
 
   // Cold replay: the paper's trace-driven cache simulation (Table 6).
   {
-    sim::Machine machine(params_.mem, params_.cpu);
+    sim::Machine machine(params.mem, params.cpu);
     sim::Machine::Options opts;
     opts.cold_start = true;
     opts.warmup_passes = 0;
@@ -94,56 +125,64 @@ SideMeasurement Experiment::measure_side(const code::StackConfig& cfg,
   // Steady replay: processing time and CPI (Table 7).
   sim::Machine::Options steady;
   steady.cold_start = true;
-  steady.warmup_passes = params_.warmup_passes;
-  steady.scrub_fraction = params_.scrub_fraction;
-  steady.scrub_fraction_d = params_.scrub_fraction_d;
-  steady.scrub_seed = params_.scrub_seed + seed_offset;
+  steady.warmup_passes = params.warmup_passes;
+  steady.scrub_fraction = params.scrub_fraction;
+  steady.scrub_fraction_d = params.scrub_fraction_d;
+  steady.scrub_seed = params.scrub_seed + seed_offset;
   {
-    sim::Machine machine(params_.mem, params_.cpu);
+    sim::Machine machine(params.mem, params.cpu);
     m.steady = machine.run(full, steady);
-    m.tp_us = m.steady.processing_us(params_.cpu.frequency_hz);
+    m.tp_us = m.steady.processing_us(params.cpu.frequency_hz);
   }
   {
-    sim::Machine machine(params_.mem, params_.cpu);
+    sim::Machine machine(params.mem, params.cpu);
     m.critical = machine.run(critical, steady);
-    m.critical_us = m.critical.processing_us(params_.cpu.frequency_hz);
+    m.critical_us = m.critical.processing_us(params.cpu.frequency_hz);
   }
 
-  m.footprint = code::footprint_stats(full, image, params_.mem.block_bytes);
+  m.footprint = code::footprint_stats(full, image, params.mem.block_bytes);
   return m;
 }
 
-ConfigResult Experiment::run(std::uint64_t) {
-  capture();
-
+ConfigResult combine_sides(SideMeasurement client, SideMeasurement server,
+                           double controller_us, bool client_inlined,
+                           bool server_inlined, const MachineParams& params) {
   ConfigResult r;
-  r.client = measure_side(client_cfg_, world_->client().registry(),
-                          client_trace_, client_split_, 0);
-  r.server = measure_side(server_cfg_, world_->server().registry(),
-                          server_trace_, server_split_, 1);
-
-  const double controller =
-      2.0 * world_->wire().params().one_way_us(proto::Lance::kMinFrame);
+  r.client = std::move(client);
+  r.server = std::move(server);
   const double classify =
-      (client_cfg_.path_inlining ? params_.classifier_overhead_us : 0.0) +
-      (server_cfg_.path_inlining ? params_.classifier_overhead_us : 0.0);
-  r.te_us = controller + classify + r.client.critical_us +
+      (client_inlined ? params.classifier_overhead_us : 0.0) +
+      (server_inlined ? params.classifier_overhead_us : 0.0);
+  r.te_us = controller_us + classify + r.client.critical_us +
             r.server.critical_us;
   r.te_adjusted = classify + r.client.critical_us + r.server.critical_us;
   return r;
 }
 
-std::vector<double> Experiment::te_samples(std::uint64_t n_samples,
-                                           std::uint64_t) {
+ConfigResult Experiment::run() {
+  capture();
+
+  auto c = measure_side(kind_, client_cfg_, world_->client().registry(),
+                        client_trace_, client_split_, 0, params_);
+  auto s = measure_side(kind_, server_cfg_, world_->server().registry(),
+                        server_trace_, server_split_, 1, params_);
+  const double controller =
+      2.0 * world_->wire().params().one_way_us(proto::Lance::kMinFrame);
+  return combine_sides(std::move(c), std::move(s), controller,
+                       client_cfg_.path_inlining, server_cfg_.path_inlining,
+                       params_);
+}
+
+std::vector<double> Experiment::te_samples(std::uint64_t n_samples) {
   capture();
   std::vector<double> out;
   const double controller =
       2.0 * world_->wire().params().one_way_us(proto::Lance::kMinFrame);
   for (std::uint64_t i = 0; i < n_samples; ++i) {
-    auto c = measure_side(client_cfg_, world_->client().registry(),
-                          client_trace_, client_split_, 100 + i * 7);
-    auto s = measure_side(server_cfg_, world_->server().registry(),
-                          server_trace_, server_split_, 200 + i * 13);
+    auto c = measure_side(kind_, client_cfg_, world_->client().registry(),
+                          client_trace_, client_split_, 100 + i * 7, params_);
+    auto s = measure_side(kind_, server_cfg_, world_->server().registry(),
+                          server_trace_, server_split_, 200 + i * 13, params_);
     out.push_back(controller + c.critical_us + s.critical_us);
   }
   return out;
@@ -153,9 +192,9 @@ sim::MachineTrace Experiment::lower_client(
     const code::StackConfig& cfg_override) const {
   auto& self = const_cast<Experiment&>(*this);
   self.capture();
-  auto& reg = self.world_->client().registry();
+  const auto& reg = self.world_->client().registry();
   const code::CodeImage image =
-      build_image(cfg_override, reg, client_trace_);
+      build_image(kind_, cfg_override, reg, client_trace_, params_);
   code::Lowering lower(reg, image, cfg_override);
   return lower.lower(client_trace_);
 }
@@ -163,8 +202,9 @@ sim::MachineTrace Experiment::lower_client(
 sim::MachineTrace Experiment::lower_client_prefix(std::size_t count) const {
   auto& self = const_cast<Experiment&>(*this);
   self.capture();
-  auto& reg = self.world_->client().registry();
-  const code::CodeImage image = build_image(client_cfg_, reg, client_trace_);
+  const auto& reg = self.world_->client().registry();
+  const code::CodeImage image =
+      build_image(kind_, client_cfg_, reg, client_trace_, params_);
   code::PathTrace prefix;
   prefix.events.assign(
       client_trace_.events.begin(),

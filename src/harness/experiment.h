@@ -36,6 +36,11 @@ namespace l96::harness {
 struct MachineParams {
   sim::MemorySystem::Config mem{};
   sim::Cpu::Config cpu{};
+  /// Roundtrips run before capture so TCP's congestion window is fully open
+  /// and the captured roundtrip is the steady-state latency path.  Sweeps
+  /// may shrink this deliberately when the functional path stabilizes
+  /// earlier (it is part of the trace-capture cache key).
+  std::uint64_t warmup_roundtrips = 64;
   /// Steady-state replay: warm-up passes with primary-cache scrubbing in
   /// between (untraced interrupt/context-switch code evicting lines).
   std::uint32_t warmup_passes = 3;
@@ -73,6 +78,45 @@ struct ConfigResult {
   double te_adjusted = 0; ///< minus controller overhead (Table 5)
 };
 
+/// One steady-state roundtrip captured per side of a running world.
+struct CaptureResult {
+  code::PathTrace client;
+  code::PathTrace server;
+  std::size_t client_split = 0;
+  std::size_t server_split = 0;
+};
+
+/// Warm the world up (`warmup_roundtrips` ping-pongs), then capture one
+/// receive-interrupt activation per side.  Throws std::runtime_error naming
+/// the stack kind, both config names, and achieved-vs-requested roundtrip
+/// counts when the world stalls.  The returned traces reference function
+/// ids from the world's per-host registries, so the world must outlive any
+/// lowering of them.
+CaptureResult capture_traces(net::World& world,
+                             std::uint64_t warmup_roundtrips);
+
+/// Build the code image for `cfg` over `reg`, using `profile` as the layout
+/// profile.  Pure function of its inputs.
+code::CodeImage build_image(net::StackKind kind, const code::StackConfig& cfg,
+                            const code::CodeRegistry& reg,
+                            const code::PathTrace& profile,
+                            const MachineParams& params);
+
+/// Lower `trace` under `cfg`'s image and replay it cold + steady: the
+/// measurement kernel shared by Experiment and SweepRunner.  Reads `reg`
+/// and `trace` only — safe to call concurrently from multiple threads over
+/// the same registry and trace.
+SideMeasurement measure_side(net::StackKind kind, const code::StackConfig& cfg,
+                             const code::CodeRegistry& reg,
+                             const code::PathTrace& trace, std::size_t split,
+                             std::uint64_t seed_offset,
+                             const MachineParams& params);
+
+/// Combine two side measurements into the end-to-end numbers (Tables 4/5).
+ConfigResult combine_sides(SideMeasurement client, SideMeasurement server,
+                           double controller_us, bool client_inlined,
+                           bool server_inlined, const MachineParams& params);
+
 class Experiment {
  public:
   Experiment(net::StackKind kind, code::StackConfig client_cfg,
@@ -80,12 +124,11 @@ class Experiment {
              MachineParams params = MachineParams::defaults());
 
   /// Run the world, capture, lower, replay; fills a ConfigResult.
-  ConfigResult run(std::uint64_t warmup_roundtrips = 64);
+  ConfigResult run();
 
   /// Per-sample end-to-end latency with varied scrub seeds (for the
   /// mean +/- stddev the paper reports).
-  std::vector<double> te_samples(std::uint64_t n_samples,
-                                 std::uint64_t warmup_roundtrips = 64);
+  std::vector<double> te_samples(std::uint64_t n_samples);
 
   /// The captured client path trace (profile for layout, Table 3 analysis).
   const code::PathTrace& client_trace() const noexcept { return client_trace_; }
@@ -108,14 +151,6 @@ class Experiment {
 
  private:
   void capture();
-  code::CodeImage build_image(const code::StackConfig& cfg,
-                              code::CodeRegistry& reg,
-                              const code::PathTrace& profile) const;
-  SideMeasurement measure_side(const code::StackConfig& cfg,
-                               code::CodeRegistry& reg,
-                               const code::PathTrace& trace,
-                               std::size_t split,
-                               std::uint64_t seed_offset) const;
 
   net::StackKind kind_;
   code::StackConfig client_cfg_;

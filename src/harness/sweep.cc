@@ -1,0 +1,291 @@
+#include "harness/sweep.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <mutex>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "protocols/lance.h"
+
+namespace l96::harness {
+
+namespace {
+
+double wall_ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+void append_functional_fields(std::string& key, const code::StackConfig& c) {
+  // Every field that changes the recorded PathTrace or the registry
+  // contents: the Section-2 toggles resize blocks and alter functional
+  // behaviour; path_inlining brackets classifier misses in slow-path
+  // markers.  Layout-only fields are deliberately absent.
+  const bool bits[] = {c.tcb_word_fields,       c.msg_refresh_shortcut,
+                       c.usc_sparse_descriptors, c.inline_map_cache_test,
+                       c.avoid_int_division,     c.careful_inlining,
+                       c.minor_opts,             c.header_prediction,
+                       c.path_inlining};
+  for (bool b : bits) key.push_back(b ? '1' : '0');
+}
+
+}  // namespace
+
+std::string capture_key(net::StackKind kind, const code::StackConfig& ccfg,
+                        const code::StackConfig& scfg,
+                        std::uint64_t warmup_roundtrips) {
+  std::string key = kind == net::StackKind::kTcpIp ? "tcpip/" : "rpc/";
+  append_functional_fields(key, ccfg);
+  key.push_back('/');
+  append_functional_fields(key, scfg);
+  key += "/w" + std::to_string(warmup_roundtrips);
+  return key;
+}
+
+const TraceCaptureCache::Entry& TraceCaptureCache::get(
+    net::StackKind kind, const code::StackConfig& ccfg,
+    const code::StackConfig& scfg, std::uint64_t warmup_roundtrips,
+    bool* was_cached) {
+  const std::string key = capture_key(kind, ccfg, scfg, warmup_roundtrips);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++it->second.hits;
+    if (was_cached != nullptr) *was_cached = true;
+    return it->second;
+  }
+  if (was_cached != nullptr) *was_cached = false;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  Entry e;
+  e.world = std::make_unique<net::World>(kind, ccfg, scfg);
+  e.world->start(~std::uint64_t{0});
+  e.traces = capture_traces(*e.world, warmup_roundtrips);
+  e.controller_us =
+      2.0 * e.world->wire().params().one_way_us(proto::Lance::kMinFrame);
+  e.capture_wall_ms = wall_ms_since(t0);
+  return entries_.emplace(key, std::move(e)).first->second;
+}
+
+SweepRunner::SweepRunner(unsigned threads) : threads_(threads) {
+  if (threads_ == 0) {
+    threads_ = std::max(2u, std::thread::hardware_concurrency());
+  }
+}
+
+std::vector<SweepOutcome> SweepRunner::run(const std::vector<SweepJob>& jobs) {
+  std::vector<SweepOutcome> out(jobs.size());
+
+  // Phase 1 (serial): resolve every job's capture through the cache.  The
+  // worlds mutate while capturing, so this stays single-threaded; the
+  // resulting traces and registries are immutable afterwards.
+  std::vector<const TraceCaptureCache::Entry*> entries(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    bool cached = false;
+    entries[i] = &cache_.get(jobs[i].kind, jobs[i].client, jobs[i].server,
+                             jobs[i].params.warmup_roundtrips, &cached);
+    out[i].label =
+        jobs[i].label.empty() ? jobs[i].client.name : jobs[i].label;
+    out[i].trace_reused = cached;
+    out[i].capture_wall_ms = cached ? 0.0 : entries[i]->capture_wall_ms;
+  }
+
+  // Phase 2 (parallel): lower + simulate each job.  measure_side() reads
+  // only the shared registry/trace, so jobs share nothing writable; results
+  // land at their job index, keeping output order deterministic.
+  std::atomic<std::size_t> next{0};
+  std::mutex workers_mu;
+  std::set<std::thread::id> worker_ids;
+  std::vector<std::string> errors(jobs.size());
+
+  auto worker = [&]() {
+    bool measured = false;
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= jobs.size()) break;
+      measured = true;
+      const SweepJob& job = jobs[i];
+      const TraceCaptureCache::Entry& e = *entries[i];
+      const auto t0 = std::chrono::steady_clock::now();
+      try {
+        auto c = measure_side(job.kind, job.client,
+                              e.world->client().registry(), e.traces.client,
+                              e.traces.client_split, 0, job.params);
+        auto s = measure_side(job.kind, job.server,
+                              e.world->server().registry(), e.traces.server,
+                              e.traces.server_split, 1, job.params);
+        out[i].result = combine_sides(std::move(c), std::move(s),
+                                      e.controller_us,
+                                      job.client.path_inlining,
+                                      job.server.path_inlining, job.params);
+        for (std::uint64_t k = 0; k < job.te_sample_count; ++k) {
+          auto sc = measure_side(job.kind, job.client,
+                                 e.world->client().registry(),
+                                 e.traces.client, e.traces.client_split,
+                                 100 + k * 7, job.params);
+          auto ss = measure_side(job.kind, job.server,
+                                 e.world->server().registry(),
+                                 e.traces.server, e.traces.server_split,
+                                 200 + k * 13, job.params);
+          out[i].te_samples.push_back(e.controller_us + sc.critical_us +
+                                      ss.critical_us);
+        }
+      } catch (const std::exception& ex) {
+        errors[i] = ex.what();
+      }
+      out[i].measure_wall_ms = wall_ms_since(t0);
+    }
+    if (measured) {
+      std::lock_guard<std::mutex> lk(workers_mu);
+      worker_ids.insert(std::this_thread::get_id());
+    }
+  };
+
+  std::vector<std::thread> pool;
+  const unsigned n =
+      static_cast<unsigned>(std::min<std::size_t>(threads_, jobs.size()));
+  pool.reserve(n);
+  for (unsigned t = 0; t < n; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  workers_used_ = worker_ids.size();
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (!errors[i].empty()) {
+      throw std::runtime_error("sweep job '" + out[i].label +
+                               "' failed: " + errors[i]);
+    }
+  }
+  return out;
+}
+
+// --- JSON emission ---------------------------------------------------------
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string r;
+  r.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': r += "\\\""; break;
+      case '\\': r += "\\\\"; break;
+      case '\n': r += "\\n"; break;
+      case '\t': r += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          r += buf;
+        } else {
+          r.push_back(c);
+        }
+    }
+  }
+  return r;
+}
+
+std::string num(double v) {
+  std::ostringstream ss;
+  ss << std::setprecision(12) << v;
+  return ss.str();
+}
+
+void write_cache(std::ostream& os, const char* name,
+                 const sim::CacheStats& s) {
+  os << '"' << name << "\":{\"accesses\":" << s.accesses
+     << ",\"misses\":" << s.misses << ",\"repl_misses\":" << s.repl_misses
+     << '}';
+}
+
+void write_run(std::ostream& os, const char* name, const sim::RunResult& r) {
+  os << '"' << name << "\":{\"instructions\":" << r.instructions
+     << ",\"cycles\":" << r.cycles() << ",\"issue_cycles\":" << r.issue_cycles
+     << ",\"stall_cycles\":" << r.stall_cycles
+     << ",\"taken_branches\":" << r.taken_branches
+     << ",\"cpi\":" << num(r.cpi()) << ",\"icpi\":" << num(r.icpi())
+     << ",\"mcpi\":" << num(r.mcpi()) << ',';
+  write_cache(os, "icache", r.icache);
+  os << ',';
+  write_cache(os, "dcache", r.dcache_combined);
+  os << ',';
+  write_cache(os, "bcache", r.bcache);
+  os << '}';
+}
+
+void write_side(std::ostream& os, const char* name,
+                const SideMeasurement& m) {
+  os << '"' << name << "\":{\"config\":\"" << json_escape(m.config_name)
+     << "\",\"instructions\":" << m.instructions
+     << ",\"critical_instructions\":" << m.critical_instructions
+     << ",\"tp_us\":" << num(m.tp_us)
+     << ",\"critical_us\":" << num(m.critical_us)
+     << ",\"static_hot_words\":" << m.static_hot_words
+     << ",\"static_total_words\":" << m.static_total_words << ',';
+  write_run(os, "cold", m.cold);
+  os << ',';
+  write_run(os, "steady", m.steady);
+  os << '}';
+}
+
+}  // namespace
+
+void write_sweep_json(std::ostream& os, const std::string& bench,
+                      const SweepRunner& runner,
+                      const std::vector<SweepJob>& jobs,
+                      const std::vector<SweepOutcome>& outcomes) {
+  os << "{\"schema\":\"l96.sweep.v1\",\"bench\":\"" << json_escape(bench)
+     << "\",\"threads\":" << runner.thread_count()
+     << ",\"workers_used\":" << runner.workers_used()
+     << ",\"captures\":" << runner.captures_performed() << ",\"configs\":[";
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const SweepOutcome& o = outcomes[i];
+    if (i != 0) os << ',';
+    os << "{\"label\":\"" << json_escape(o.label) << "\",\"stack\":\""
+       << (i < jobs.size() && jobs[i].kind == net::StackKind::kRpc ? "rpc"
+                                                                   : "tcpip")
+       << "\",\"trace_reused\":" << (o.trace_reused ? "true" : "false")
+       << ",\"wall_ms\":{\"capture\":" << num(o.capture_wall_ms)
+       << ",\"measure\":" << num(o.measure_wall_ms)
+       << "},\"te_us\":" << num(o.result.te_us)
+       << ",\"te_adjusted_us\":" << num(o.result.te_adjusted) << ',';
+    write_side(os, "client", o.result.client);
+    os << ',';
+    write_side(os, "server", o.result.server);
+    if (!o.te_samples.empty()) {
+      os << ",\"te_samples\":[";
+      for (std::size_t k = 0; k < o.te_samples.size(); ++k) {
+        if (k != 0) os << ',';
+        os << num(o.te_samples[k]);
+      }
+      os << ']';
+    }
+    os << '}';
+  }
+  os << "]}\n";
+}
+
+std::string write_sweep_metrics(const std::string& bench,
+                                const SweepRunner& runner,
+                                const std::vector<SweepJob>& jobs,
+                                const std::vector<SweepOutcome>& outcomes,
+                                const std::string& out_dir) {
+  std::filesystem::create_directories(out_dir);
+  const std::string path = out_dir + "/" + bench + ".json";
+  std::ofstream f(path);
+  if (!f) {
+    throw std::runtime_error("cannot open metrics file: " + path);
+  }
+  write_sweep_json(f, bench, runner, jobs, outcomes);
+  return path;
+}
+
+}  // namespace l96::harness

@@ -42,11 +42,11 @@ void register_common_code(CodeRegistry& reg, const StackConfig& cfg) {
   {
     FnBuilder f("in_cksum", FnKind::kLibrary);
     f.prologue(4).epilogue(3);
-    auto b0 = f.block("setup", 22);
-    auto b1 = f.block("unrolled_loop", 200, kCold);
-    auto b2 = f.block("small_loop", 138, BlockClass::kMainline,
+    [[maybe_unused]] auto b0 = f.block("setup", 22);
+    [[maybe_unused]] auto b1 = f.block("unrolled_loop", 200, kCold);
+    [[maybe_unused]] auto b2 = f.block("small_loop", 138, BlockClass::kMainline,
                       BO{.stack_reads = 2});
-    auto b3 = f.block("fold", 18);
+    [[maybe_unused]] auto b3 = f.block("fold", 18);
     assert(b0 == blk::kCksumSetup && b1 == blk::kCksumUnrolled &&
            b2 == blk::kCksumSmall && b3 == blk::kCksumFold);
     f.add_to(reg);
@@ -56,20 +56,20 @@ void register_common_code(CodeRegistry& reg, const StackConfig& cfg) {
     // this routine sits on the critical path whenever TCP divides.
     FnBuilder f("divq", FnKind::kPath);
     f.prologue(4).epilogue(3);
-    auto b0 = f.block("divide", 48, BlockClass::kMainline,
+    [[maybe_unused]] auto b0 = f.block("divide", 48, BlockClass::kMainline,
                       BO{.stack_writes = 2});
-    auto b1 = f.block("full_loop", 150, kCold);
+    [[maybe_unused]] auto b1 = f.block("full_loop", 150, kCold);
     assert(b0 == blk::kDivqMain && b1 == blk::kDivqFullLoop);
     f.add_to(reg);
   }
   {
     FnBuilder f("map_resolve", FnKind::kLibrary);
     f.prologue(6).epilogue(5);
-    auto b0 = f.block("cache_probe", 32, BlockClass::kMainline,
+    [[maybe_unused]] auto b0 = f.block("cache_probe", 32, BlockClass::kMainline,
                       BO{.stack_reads = 1});
-    auto b1 = f.block("hash", 68);
-    auto b2 = f.block("miss", 54, kErr);
-    auto b3 = f.block("chain", 80, BlockClass::kMainline,
+    [[maybe_unused]] auto b1 = f.block("hash", 68);
+    [[maybe_unused]] auto b2 = f.block("miss", 54, kErr);
+    [[maybe_unused]] auto b3 = f.block("chain", 80, BlockClass::kMainline,
                       BO{.stack_reads = 2});
     assert(b0 == blk::kMapCacheProbe && b1 == blk::kMapHash &&
            b2 == blk::kMapMiss && b3 == blk::kMapChain);
@@ -78,9 +78,9 @@ void register_common_code(CodeRegistry& reg, const StackConfig& cfg) {
   {
     FnBuilder f("malloc", FnKind::kPath);
     f.prologue(6).epilogue(5);
-    auto b0 = f.block("freelist", 52, BlockClass::kMainline,
+    [[maybe_unused]] auto b0 = f.block("freelist", 52, BlockClass::kMainline,
                       BO{.stack_reads = 2, .stack_writes = 1});
-    auto b1 = f.block("refill", 150, kErr);
+    [[maybe_unused]] auto b1 = f.block("refill", 150, kErr);
     assert(b0 == blk::kMallocFreelist && b1 == blk::kMallocRefill);
     f.add_to(reg);
   }
@@ -132,11 +132,11 @@ void register_common_code(CodeRegistry& reg, const StackConfig& cfg) {
     // re-creates the buffer (free + malloc); the short-circuit reuses it.
     FnBuilder f("msg_refresh", FnKind::kPath);
     f.prologue(5).epilogue(4);
-    auto b0 = f.block("check", 22, BlockClass::kMainline,
+    [[maybe_unused]] auto b0 = f.block("check", 22, BlockClass::kMainline,
                       BO{.stack_reads = 1});
-    auto b1 = f.block("destroy", 64, kErr, BO{.calls = 1});
-    auto b2 = f.block("shortcut", 18);
-    auto b3 = f.block("construct", 50, kErr, BO{.calls = 1});
+    [[maybe_unused]] auto b1 = f.block("destroy", 64, kErr, BO{.calls = 1});
+    [[maybe_unused]] auto b2 = f.block("shortcut", 18);
+    [[maybe_unused]] auto b3 = f.block("construct", 50, kErr, BO{.calls = 1});
     assert(b0 == blk::kRefreshCheck && b1 == blk::kRefreshDestroy &&
            b2 == blk::kRefreshShortcut && b3 == blk::kRefreshConstruct);
     f.add_to(reg);
@@ -156,9 +156,9 @@ void register_common_code(CodeRegistry& reg, const StackConfig& cfg) {
   {
     FnBuilder f("sem_p", FnKind::kLibrary);
     f.prologue(5).epilogue(4);
-    auto b0 = f.block("main", 32, BlockClass::kMainline,
+    [[maybe_unused]] auto b0 = f.block("main", 32, BlockClass::kMainline,
                       BO{.stack_writes = 1});
-    auto b1 = f.block("block", 50, BlockClass::kMainline,
+    [[maybe_unused]] auto b1 = f.block("block", 50, BlockClass::kMainline,
                       BO{.stack_writes = 2});
     assert(b0 == blk::kSemPMain && b1 == blk::kSemPBlock);
     f.add_to(reg);
@@ -166,8 +166,8 @@ void register_common_code(CodeRegistry& reg, const StackConfig& cfg) {
   {
     FnBuilder f("sem_v", FnKind::kLibrary);
     f.prologue(5).epilogue(4);
-    auto b0 = f.block("main", 28);
-    auto b1 = f.block("wake", 45, BlockClass::kMainline,
+    [[maybe_unused]] auto b0 = f.block("main", 28);
+    [[maybe_unused]] auto b1 = f.block("wake", 45, BlockClass::kMainline,
                       BO{.stack_reads = 2});
     assert(b0 == blk::kSemVMain && b1 == blk::kSemVWake);
     f.add_to(reg);
@@ -192,15 +192,15 @@ void register_common_code(CodeRegistry& reg, const StackConfig& cfg) {
   {
     FnBuilder f("lance_send", FnKind::kPath);
     f.prologue(7).epilogue(6).frame(96);
-    auto b0 = f.block("get_desc", 38, BlockClass::kMainline,
+    [[maybe_unused]] auto b0 = f.block("get_desc", 38, BlockClass::kMainline,
                       BO{.stack_reads = 2});
-    auto b1 = f.block("ring_full", 90, kErr);
+    [[maybe_unused]] auto b1 = f.block("ring_full", 90, kErr);
     // Descriptor update: USC writes the changed fields directly in sparse
     // memory; the copy discipline moves all 20 bytes in and out.
-    auto b2 = f.block("desc_setup", u16(usc ? 36 : 82),
+    [[maybe_unused]] auto b2 = f.block("desc_setup", u16(usc ? 36 : 82),
                       BlockClass::kMainline, BO{.stack_writes = 2});
-    auto b3 = f.block("kick", u16(cfg.minor_opts ? 18 : 29));
-    auto b4 = f.block("desc_complete", u16(usc ? 28 : 70));
+    [[maybe_unused]] auto b3 = f.block("kick", u16(cfg.minor_opts ? 18 : 29));
+    [[maybe_unused]] auto b4 = f.block("desc_complete", u16(usc ? 28 : 70));
     assert(b0 == blk::kLanceSendGetDesc && b1 == blk::kLanceSendRingFull &&
            b2 == blk::kLanceSendSetup && b3 == blk::kLanceSendKick &&
            b4 == blk::kLanceSendComplete);
@@ -209,12 +209,12 @@ void register_common_code(CodeRegistry& reg, const StackConfig& cfg) {
   {
     FnBuilder f("lance_intr", FnKind::kPath);
     f.prologue(8, 0).epilogue(7).frame(96);
-    auto b0 = f.block("desc_status", u16(usc ? 32 : 74),
+    [[maybe_unused]] auto b0 = f.block("desc_status", u16(usc ? 32 : 74),
                       BlockClass::kMainline, BO{.stack_reads = 1});
-    auto b1 = f.block("rx_err", 108, kErr);
-    auto b2 = f.block("get_buf", 30, BlockClass::kMainline, BO{.calls = 1});
-    auto b3 = f.block("deliver", 22, BlockClass::kMainline, BO{.calls = 1});
-    auto b4 = f.block("desc_giveback", u16(usc ? 26 : 67),
+    [[maybe_unused]] auto b1 = f.block("rx_err", 108, kErr);
+    [[maybe_unused]] auto b2 = f.block("get_buf", 30, BlockClass::kMainline, BO{.calls = 1});
+    [[maybe_unused]] auto b3 = f.block("deliver", 22, BlockClass::kMainline, BO{.calls = 1});
+    [[maybe_unused]] auto b4 = f.block("desc_giveback", u16(usc ? 26 : 67),
                       BlockClass::kMainline, BO{.stack_writes = 1});
     assert(b0 == blk::kLanceIntrStatus && b1 == blk::kLanceIntrRxErr &&
            b2 == blk::kLanceIntrGetBuf && b3 == blk::kLanceIntrDeliver &&
@@ -224,23 +224,23 @@ void register_common_code(CodeRegistry& reg, const StackConfig& cfg) {
   {
     FnBuilder f("eth_send", FnKind::kPath);
     f.prologue(6).epilogue(5);
-    auto b0 = f.block("hdr", u16(cfg.minor_opts ? 42 : 48),
+    [[maybe_unused]] auto b0 = f.block("hdr", u16(cfg.minor_opts ? 42 : 48),
                       BlockClass::kMainline,
                       BO{.stack_writes = 2, .calls = 2});
-    auto b1 = f.block("bad_addr", 34, kErr);
+    [[maybe_unused]] auto b1 = f.block("bad_addr", 34, kErr);
     assert(b0 == blk::kEthSendHdr && b1 == blk::kEthSendBadAddr);
     f.add_to(reg);
   }
   {
     FnBuilder f("eth_demux", FnKind::kPath);
     f.prologue(6).epilogue(5);
-    auto b0 = f.block("parse", 45, BlockClass::kMainline,
+    [[maybe_unused]] auto b0 = f.block("parse", 45, BlockClass::kMainline,
                       BO{.stack_reads = 2, .calls = 1});
-    auto b1 = f.block("bad_type", 30, kErr);
+    [[maybe_unused]] auto b1 = f.block("bad_type", 30, kErr);
     // Demux dispatch: with conditional inlining the one-entry map cache
     // test is expanded inline (+11); otherwise the general map_resolve
     // function is called.
-    auto b2 = f.block("dispatch", u16(cfg.inline_map_cache_test ? 31 : 20),
+    [[maybe_unused]] auto b2 = f.block("dispatch", u16(cfg.inline_map_cache_test ? 31 : 20),
                       BlockClass::kMainline, BO{.calls = 2});
     assert(b0 == blk::kEthDemuxParse && b1 == blk::kEthDemuxBadType &&
            b2 == blk::kEthDemuxDispatch);
@@ -276,23 +276,23 @@ void register_tcpip_code(CodeRegistry& reg, const StackConfig& cfg) {
   {
     FnBuilder f("tcp_output", FnKind::kPath);
     f.prologue(9, 0).epilogue(8).frame(160).pin_discount(50).connect_discount(100);
-    auto b0 = f.block("preamble", w(210, 28), BlockClass::kMainline,
+    [[maybe_unused]] auto b0 = f.block("preamble", w(210, 28), BlockClass::kMainline,
                       BO{.stack_reads = 4, .stack_writes = 3});
-    auto b1 = f.block("no_buffer", 90, kErr);
-    auto b2 = f.block("win_check", 85, BlockClass::kMainline,
+    [[maybe_unused]] auto b1 = f.block("no_buffer", 90, kErr);
+    [[maybe_unused]] auto b2 = f.block("win_check", 85, BlockClass::kMainline,
                       BO{.stack_reads = 1});
-    auto b3 = f.block("silly_window", 70, kErr);
+    [[maybe_unused]] auto b3 = f.block("silly_window", 70, kErr);
     // Window-update threshold: 35% needs multiply+divide (and the divide
     // is a function call on the Alpha); 33% is a shift and an add.
-    auto b4 = nodiv ? f.block("win_calc", 24)
+    [[maybe_unused]] auto b4 = nodiv ? f.block("win_calc", 24)
                     : f.block("win_calc", 58, BlockClass::kMainline,
                               BO{.imuls = 2, .calls = 1});
-    auto b5 = f.block("build_hdr", w(262, 32), BlockClass::kMainline,
+    [[maybe_unused]] auto b5 = f.block("build_hdr", w(262, 32), BlockClass::kMainline,
                       BO{.stack_writes = 5});
-    auto b6 = f.block("persist", 80, kErr);
-    auto b7 = f.block("cksum", 30, BlockClass::kMainline, BO{.calls = 1});
-    auto b8 = f.block("send_down", 42, BlockClass::kMainline, BO{.calls = 1});
-    auto b9 = f.block("set_rexmt", 36, BlockClass::kMainline, BO{.calls = 1});
+    [[maybe_unused]] auto b6 = f.block("persist", 80, kErr);
+    [[maybe_unused]] auto b7 = f.block("cksum", 30, BlockClass::kMainline, BO{.calls = 1});
+    [[maybe_unused]] auto b8 = f.block("send_down", 42, BlockClass::kMainline, BO{.calls = 1});
+    [[maybe_unused]] auto b9 = f.block("set_rexmt", 36, BlockClass::kMainline, BO{.calls = 1});
     assert(b0 == blk::kOutPreamble && b1 == blk::kOutNoBuffer &&
            b2 == blk::kOutWinCheck && b3 == blk::kOutSillyWindow &&
            b4 == blk::kOutWinCalc && b5 == blk::kOutBuildHdr &&
@@ -303,14 +303,14 @@ void register_tcpip_code(CodeRegistry& reg, const StackConfig& cfg) {
   {
     FnBuilder f("ip_output", FnKind::kPath);
     f.prologue(7).epilogue(6).pin_discount(60).connect_discount(120);
-    auto b0 = f.block("route", u16(cfg.minor_opts ? 124 : 134),
+    [[maybe_unused]] auto b0 = f.block("route", u16(cfg.minor_opts ? 124 : 134),
                       BlockClass::kMainline, BO{.stack_reads = 2});
-    auto b1 = f.block("opts_err", 50, kErr);
-    auto b2 = f.block("hdr", 165, BlockClass::kMainline,
+    [[maybe_unused]] auto b1 = f.block("opts_err", 50, kErr);
+    [[maybe_unused]] auto b2 = f.block("hdr", 165, BlockClass::kMainline,
                       BO{.stack_writes = 4});
-    auto b3 = f.block("fragment", 260, kCold, BO{.calls = 2});
-    auto b4 = f.block("cksum", 86);  // header checksum, inlined as in BSD
-    auto b5 = f.block("send", 30, BlockClass::kMainline, BO{.calls = 1});
+    [[maybe_unused]] auto b3 = f.block("fragment", 260, kCold, BO{.calls = 2});
+    [[maybe_unused]] auto b4 = f.block("cksum", 86);  // header checksum, inlined as in BSD
+    [[maybe_unused]] auto b5 = f.block("send", 30, BlockClass::kMainline, BO{.calls = 1});
     assert(b0 == blk::kIpOutRoute && b1 == blk::kIpOutOptsErr &&
            b2 == blk::kIpOutHdr && b3 == blk::kIpOutFragment &&
            b4 == blk::kIpOutCksum && b5 == blk::kIpOutSend);
@@ -327,14 +327,14 @@ void register_tcpip_code(CodeRegistry& reg, const StackConfig& cfg) {
   {
     FnBuilder f("ip_demux", FnKind::kPath);
     f.prologue(7).epilogue(6).pin_discount(50);
-    auto b0 = f.block("parse", 146, BlockClass::kMainline,
+    [[maybe_unused]] auto b0 = f.block("parse", 146, BlockClass::kMainline,
                       BO{.stack_reads = 3, .calls = 1});
-    auto b1 = f.block("bad_sum", 40, kErr);
-    auto b2 = f.block("verify", 82, BlockClass::kMainline, BO{.calls = 1});
-    auto b3 = f.block("options", 90, kErr);
-    auto b4 = f.block("dispatch", u16(cfg.inline_map_cache_test ? 59 : 48),
+    [[maybe_unused]] auto b1 = f.block("bad_sum", 40, kErr);
+    [[maybe_unused]] auto b2 = f.block("verify", 82, BlockClass::kMainline, BO{.calls = 1});
+    [[maybe_unused]] auto b3 = f.block("options", 90, kErr);
+    [[maybe_unused]] auto b4 = f.block("dispatch", u16(cfg.inline_map_cache_test ? 59 : 48),
                       BlockClass::kMainline, BO{.calls = 2});
-    auto b5 = f.block("reassembly", 220, kCold, BO{.calls = 1});
+    [[maybe_unused]] auto b5 = f.block("reassembly", 220, kCold, BO{.calls = 1});
     assert(b0 == blk::kIpDemuxParse && b1 == blk::kIpDemuxBadSum &&
            b2 == blk::kIpDemuxVerify && b3 == blk::kIpDemuxOptions &&
            b4 == blk::kIpDemuxDispatch && b5 == blk::kIpDemuxReass);
@@ -343,12 +343,12 @@ void register_tcpip_code(CodeRegistry& reg, const StackConfig& cfg) {
   {
     FnBuilder f("tcp_demux", FnKind::kPath);
     f.prologue(6).epilogue(5).pin_discount(50).connect_discount(150);
-    auto b0 = f.block("key", w(108, 12), BlockClass::kMainline,
+    [[maybe_unused]] auto b0 = f.block("key", w(108, 12), BlockClass::kMainline,
                       BO{.stack_reads = 2});
-    auto b1 = f.block("no_conn", 50, kErr);
-    auto b2 = f.block("cache_test", u16(cfg.inline_map_cache_test ? 11 : 4),
+    [[maybe_unused]] auto b1 = f.block("no_conn", 50, kErr);
+    [[maybe_unused]] auto b2 = f.block("cache_test", u16(cfg.inline_map_cache_test ? 11 : 4),
                       BlockClass::kMainline, BO{.calls = 1});
-    auto b3 = f.block("found", 40, BlockClass::kMainline, BO{.calls = 1});
+    [[maybe_unused]] auto b3 = f.block("found", 40, BlockClass::kMainline, BO{.calls = 1});
     assert(b0 == blk::kTcpDemuxKey && b1 == blk::kTcpDemuxNoConn &&
            b2 == blk::kTcpDemuxCacheTest && b3 == blk::kTcpDemuxFound);
     f.add_to(reg);
@@ -356,31 +356,31 @@ void register_tcpip_code(CodeRegistry& reg, const StackConfig& cfg) {
   {
     FnBuilder f("tcp_input", FnKind::kPath);
     f.prologue(9, 0).epilogue(8).frame(192).pin_discount(40).connect_discount(80);
-    auto b0 = f.block("validate", w(238, 48), BlockClass::kMainline,
+    [[maybe_unused]] auto b0 = f.block("validate", w(238, 48), BlockClass::kMainline,
                       BO{.stack_reads = 4});
-    auto b1 = f.block("bad_cksum", 60, kErr);
-    auto b2 = f.block("hdr_pred", u16(cfg.header_prediction ? 16 : 1),
+    [[maybe_unused]] auto b1 = f.block("bad_cksum", 60, kErr);
+    [[maybe_unused]] auto b2 = f.block("hdr_pred", u16(cfg.header_prediction ? 16 : 1),
                       BlockClass::kMainline);
-    auto b3 = f.block("rst", 110, kErr);
-    auto b4 = f.block("ack_proc", w(350, 84), BlockClass::kMainline,
+    [[maybe_unused]] auto b3 = f.block("rst", 110, kErr);
+    [[maybe_unused]] auto b4 = f.block("ack_proc", w(350, 84), BlockClass::kMainline,
                       BO{.stack_reads = 4, .stack_writes = 3});
-    auto b5 = f.block("rexmt_entry", 160, kErr, BO{.calls = 1});
+    [[maybe_unused]] auto b5 = f.block("rexmt_entry", 160, kErr, BO{.calls = 1});
     // Congestion-window update: in the latency-sensitive common case the
     // window is fully open; testing for that avoids a multiply and the
     // divide-routine call.
-    auto b6 = nodiv ? f.block("cwnd_update", 16)
+    [[maybe_unused]] auto b6 = nodiv ? f.block("cwnd_update", 16)
                     : f.block("cwnd_update", 34, BlockClass::kMainline,
                               BO{.imuls = 1});
-    auto b7 = f.block("window_probe", 80, kErr);
-    auto b8 = f.block("seq_proc", w(266, 58), BlockClass::kMainline,
+    [[maybe_unused]] auto b7 = f.block("window_probe", 80, kErr);
+    [[maybe_unused]] auto b8 = f.block("seq_proc", w(266, 58), BlockClass::kMainline,
                       BO{.stack_reads = 3, .stack_writes = 2});
-    auto b9 = f.block("out_of_order", 190, kErr, BO{.calls = 1});
-    auto b10 = f.block("data_deliver", 92, BlockClass::kMainline,
+    [[maybe_unused]] auto b9 = f.block("out_of_order", 190, kErr, BO{.calls = 1});
+    [[maybe_unused]] auto b10 = f.block("data_deliver", 92, BlockClass::kMainline,
                        BO{.calls = 2});
-    auto b11 = f.block("fin", 140, kErr, BO{.calls = 1});
-    auto b12 = f.block("ack_decision", w(100, 46), BlockClass::kMainline,
+    [[maybe_unused]] auto b11 = f.block("fin", 140, kErr, BO{.calls = 1});
+    [[maybe_unused]] auto b12 = f.block("ack_decision", w(100, 46), BlockClass::kMainline,
                        BO{.calls = 1});
-    auto b13 = f.block("slow_state", 230, kErr, BO{.calls = 2});
+    [[maybe_unused]] auto b13 = f.block("slow_state", 230, kErr, BO{.calls = 2});
     assert(b0 == blk::kInValidate && b1 == blk::kInBadCksum &&
            b2 == blk::kInHdrPred && b3 == blk::kInRst &&
            b4 == blk::kInAckProc && b5 == blk::kInRexmtEntry &&
@@ -393,8 +393,8 @@ void register_tcpip_code(CodeRegistry& reg, const StackConfig& cfg) {
   {
     FnBuilder f("tcp_timer", FnKind::kPath);
     f.prologue(7).epilogue(6);
-    auto b0 = f.block("main", 84, BlockClass::kMainline, BO{.calls = 1});
-    auto b1 = f.block("rexmt", 154, kErr, BO{.calls = 1});
+    [[maybe_unused]] auto b0 = f.block("main", 84, BlockClass::kMainline, BO{.calls = 1});
+    [[maybe_unused]] auto b1 = f.block("rexmt", 154, kErr, BO{.calls = 1});
     assert(b0 == blk::kTimerMain && b1 == blk::kTimerRexmt);
     f.add_to(reg);
   }
@@ -417,47 +417,47 @@ void register_rpc_code(CodeRegistry& reg, const StackConfig& cfg) {
   {
     FnBuilder f("mselect_call", FnKind::kPath);
     f.prologue(6).epilogue(5).pin_discount(80);
-    auto b0 = f.block("main", 161, BlockClass::kMainline,
+    [[maybe_unused]] auto b0 = f.block("main", 161, BlockClass::kMainline,
                       BO{.stack_writes = 2, .calls = 1});
-    auto b1 = f.block("bad_proc", 76, kErr);
+    [[maybe_unused]] auto b1 = f.block("bad_proc", 76, kErr);
     assert(b0 == blk::kMSelCallMain && b1 == blk::kMSelCallBadProc);
     f.add_to(reg);
   }
   {
     FnBuilder f("mselect_demux", FnKind::kPath);
     f.prologue(6).epilogue(5).pin_discount(80);
-    auto b0 = f.block("main", 131, BlockClass::kMainline, BO{.calls = 1});
-    auto b1 = f.block("no_svc", 66, kErr);
+    [[maybe_unused]] auto b0 = f.block("main", 131, BlockClass::kMainline, BO{.calls = 1});
+    [[maybe_unused]] auto b1 = f.block("no_svc", 66, kErr);
     assert(b0 == blk::kMSelDemuxMain && b1 == blk::kMSelDemuxNoSvc);
     f.add_to(reg);
   }
   {
     FnBuilder f("vchan_call", FnKind::kPath);
     f.prologue(7).epilogue(6).pin_discount(70);
-    auto b0 = f.block("alloc", 207, BlockClass::kMainline,
+    [[maybe_unused]] auto b0 = f.block("alloc", 207, BlockClass::kMainline,
                       BO{.stack_reads = 2, .stack_writes = 2, .calls = 1});
-    auto b1 = f.block("wait_chan", 131, kErr, BO{.calls = 1});
+    [[maybe_unused]] auto b1 = f.block("wait_chan", 131, kErr, BO{.calls = 1});
     assert(b0 == blk::kVchanCallAlloc && b1 == blk::kVchanCallWait);
     f.add_to(reg);
   }
   {
     FnBuilder f("vchan_demux", FnKind::kPath);
     f.prologue(5).epilogue(4).pin_discount(80);
-    auto b0 = f.block("main", 116, BlockClass::kMainline, BO{.calls = 1});
+    [[maybe_unused]] auto b0 = f.block("main", 116, BlockClass::kMainline, BO{.calls = 1});
     assert(b0 == blk::kVchanDemuxMain);
     f.add_to(reg);
   }
   {
     FnBuilder f("chan_call", FnKind::kPath);
     f.prologue(8, 0).epilogue(7).frame(128).pin_discount(50).connect_discount(90);
-    auto b0 = f.block("seq", 213, BlockClass::kMainline,
+    [[maybe_unused]] auto b0 = f.block("seq", 213, BlockClass::kMainline,
                       BO{.stack_writes = 3});
-    auto b1 = f.block("hdr", 156, BlockClass::kMainline,
+    [[maybe_unused]] auto b1 = f.block("hdr", 156, BlockClass::kMainline,
                       BO{.stack_writes = 3, .calls = 1});
-    auto b2 = f.block("send", 71, BlockClass::kMainline, BO{.calls = 1});
-    auto b3 = f.block("set_timeout", 76, BlockClass::kMainline,
+    [[maybe_unused]] auto b2 = f.block("send", 71, BlockClass::kMainline, BO{.calls = 1});
+    [[maybe_unused]] auto b3 = f.block("set_timeout", 76, BlockClass::kMainline,
                       BO{.calls = 1});
-    auto b4 = f.block("block", 86, BlockClass::kMainline, BO{.calls = 1});
+    [[maybe_unused]] auto b4 = f.block("block", 86, BlockClass::kMainline, BO{.calls = 1});
     assert(b0 == blk::kChanCallSeq && b1 == blk::kChanCallHdr &&
            b2 == blk::kChanCallSend && b3 == blk::kChanCallTimeout &&
            b4 == blk::kChanCallBlock);
@@ -466,12 +466,12 @@ void register_rpc_code(CodeRegistry& reg, const StackConfig& cfg) {
   {
     FnBuilder f("chan_demux", FnKind::kPath);
     f.prologue(8, 0).epilogue(7).frame(128).pin_discount(50).connect_discount(90);
-    auto b0 = f.block("match", 243, BlockClass::kMainline,
+    [[maybe_unused]] auto b0 = f.block("match", 243, BlockClass::kMainline,
                       BO{.stack_reads = 3, .calls = 1});
-    auto b1 = f.block("dup", 156, kErr);
-    auto b2 = f.block("deliver", 101, BlockClass::kMainline, BO{.calls = 2});
-    auto b3 = f.block("old", 101, kErr);
-    auto b4 = f.block("rexmt", 278, kErr, BO{.calls = 2});
+    [[maybe_unused]] auto b1 = f.block("dup", 156, kErr);
+    [[maybe_unused]] auto b2 = f.block("deliver", 101, BlockClass::kMainline, BO{.calls = 2});
+    [[maybe_unused]] auto b3 = f.block("old", 101, kErr);
+    [[maybe_unused]] auto b4 = f.block("rexmt", 278, kErr, BO{.calls = 2});
     assert(b0 == blk::kChanDemuxMatch && b1 == blk::kChanDemuxDup &&
            b2 == blk::kChanDemuxDeliver && b3 == blk::kChanDemuxOld &&
            b4 == blk::kChanDemuxRexmt);
@@ -480,9 +480,9 @@ void register_rpc_code(CodeRegistry& reg, const StackConfig& cfg) {
   {
     FnBuilder f("chan_server", FnKind::kPath);
     f.prologue(7).epilogue(6);
-    auto b0 = f.block("dispatch", 177, BlockClass::kMainline, BO{.calls = 1});
-    auto b1 = f.block("dup_req", 137, kErr, BO{.calls = 1});
-    auto b2 = f.block("reply", 152, BlockClass::kMainline, BO{.calls = 1});
+    [[maybe_unused]] auto b0 = f.block("dispatch", 177, BlockClass::kMainline, BO{.calls = 1});
+    [[maybe_unused]] auto b1 = f.block("dup_req", 137, kErr, BO{.calls = 1});
+    [[maybe_unused]] auto b2 = f.block("reply", 152, BlockClass::kMainline, BO{.calls = 1});
     assert(b0 == blk::kChanSrvDispatch && b1 == blk::kChanSrvDupReq &&
            b2 == blk::kChanSrvReply);
     f.add_to(reg);
@@ -490,7 +490,7 @@ void register_rpc_code(CodeRegistry& reg, const StackConfig& cfg) {
   {
     FnBuilder f("bid_push", FnKind::kPath);
     f.prologue(4).epilogue(3).pin_discount(150);
-    auto b0 = f.block("main", 97, BlockClass::kMainline,
+    [[maybe_unused]] auto b0 = f.block("main", 97, BlockClass::kMainline,
                       BO{.stack_writes = 1, .calls = 1});
     assert(b0 == blk::kBidPushMain);
     f.add_to(reg);
@@ -498,29 +498,29 @@ void register_rpc_code(CodeRegistry& reg, const StackConfig& cfg) {
   {
     FnBuilder f("bid_demux", FnKind::kPath);
     f.prologue(4).epilogue(3).pin_discount(150);
-    auto b0 = f.block("main", 112, BlockClass::kMainline,
+    [[maybe_unused]] auto b0 = f.block("main", 112, BlockClass::kMainline,
                       BO{.stack_reads = 1, .calls = 1});
-    auto b1 = f.block("reboot", 127, kErr);
+    [[maybe_unused]] auto b1 = f.block("reboot", 127, kErr);
     assert(b0 == blk::kBidDemuxMain && b1 == blk::kBidDemuxReboot);
     f.add_to(reg);
   }
   {
     FnBuilder f("blast_push", FnKind::kPath);
     f.prologue(7).epilogue(6).pin_discount(60);
-    auto b0 = f.block("single_frag", 243, BlockClass::kMainline,
+    [[maybe_unused]] auto b0 = f.block("single_frag", 243, BlockClass::kMainline,
                       BO{.stack_writes = 4, .calls = 2});
-    auto b1 = f.block("multi_frag", 505, kCold, BO{.calls = 2});
+    [[maybe_unused]] auto b1 = f.block("multi_frag", 505, kCold, BO{.calls = 2});
     assert(b0 == blk::kBlastPushSingle && b1 == blk::kBlastPushMulti);
     f.add_to(reg);
   }
   {
     FnBuilder f("blast_demux", FnKind::kPath);
     f.prologue(7).epilogue(6).pin_discount(60);
-    auto b0 = f.block("parse", 198, BlockClass::kMainline,
+    [[maybe_unused]] auto b0 = f.block("parse", 198, BlockClass::kMainline,
                       BO{.stack_reads = 3, .calls = 1});
-    auto b1 = f.block("nack", 202, kErr, BO{.calls = 1});
-    auto b2 = f.block("single", 116, BlockClass::kMainline, BO{.calls = 1});
-    auto b3 = f.block("reassemble", 455, kCold, BO{.calls = 2});
+    [[maybe_unused]] auto b1 = f.block("nack", 202, kErr, BO{.calls = 1});
+    [[maybe_unused]] auto b2 = f.block("single", 116, BlockClass::kMainline, BO{.calls = 1});
+    [[maybe_unused]] auto b3 = f.block("reassemble", 455, kCold, BO{.calls = 2});
     assert(b0 == blk::kBlastDemuxParse && b1 == blk::kBlastDemuxNack &&
            b2 == blk::kBlastDemuxSingle && b3 == blk::kBlastDemuxReass);
     f.add_to(reg);

@@ -60,6 +60,61 @@ TEST_F(MapTest, CacheInvalidatedByUnbind) {
   EXPECT_FALSE(m.resolve(k(1)).has_value());  // must not hit a stale cache
 }
 
+TEST_F(MapTest, RebindAfterUnbindNeverServesStaleValue) {
+  // The dangerous sequence: resolve caches entry E for key K, K is unbound
+  // (E freed), K is re-bound to a NEW entry.  The cache must have been
+  // cleared at unbind time — a dangling E here would be use-after-free.
+  Map<int> m(arena, 16);
+  m.bind(k(1), 10);
+  ASSERT_EQ(*m.resolve(k(1)), 10);  // cache now points at the entry
+  ASSERT_TRUE(m.unbind(k(1)));
+  m.bind(k(1), 20);
+  auto v = m.resolve(k(1));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 20);
+  // And the fresh entry is itself cached now.
+  const auto hits = m.stats().cache_hits;
+  EXPECT_EQ(*m.resolve(k(1)), 20);
+  EXPECT_EQ(m.stats().cache_hits, hits + 1);
+}
+
+TEST_F(MapTest, OverwriteBindUpdatesValueSeenThroughCache) {
+  // bind() of an existing key overwrites the entry in place; a cached
+  // pointer to that entry must observe the new value.
+  Map<int> m(arena, 16);
+  m.bind(k(1), 1);
+  m.resolve(k(1));  // cache points at the entry
+  m.bind(k(1), 2);  // in-place overwrite
+  auto v = m.resolve(k(1));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 2);
+}
+
+TEST_F(MapTest, UnbindOfOtherKeyKeepsCacheValid) {
+  Map<int> m(arena, 16);
+  m.bind(k(1), 1);
+  m.bind(k(2), 2);
+  m.resolve(k(1));  // cache -> k(1)'s entry
+  ASSERT_TRUE(m.unbind(k(2)));
+  const auto hits = m.stats().cache_hits;
+  EXPECT_EQ(*m.resolve(k(1)), 1);
+  EXPECT_EQ(m.stats().cache_hits, hits + 1);  // still a cache hit
+}
+
+TEST_F(MapTest, UnbindRebindChurnNeverGoesStale) {
+  // Packet-train pattern with connection churn: repeated resolve/unbind/
+  // rebind of the same key must always see the current binding.
+  Map<int> m(arena, 16);
+  for (int round = 0; round < 100; ++round) {
+    m.bind(k(7), round);
+    ASSERT_EQ(*m.resolve(k(7)), round) << round;
+    ASSERT_EQ(*m.resolve(k(7)), round) << round;  // cached path
+    ASSERT_TRUE(m.unbind(k(7)));
+    ASSERT_FALSE(m.resolve(k(7)).has_value()) << round;
+  }
+  EXPECT_EQ(m.size(), 0u);
+}
+
 TEST_F(MapTest, CacheDisabled) {
   Map<int> m(arena, 16, /*one_entry_cache=*/false);
   m.bind(k(1), 1);
@@ -169,7 +224,9 @@ TEST_P(MapFuzz, AgreesWithReference) {
         auto v = m.resolve(k(id));
         auto it = ref.find(id);
         ASSERT_EQ(v.has_value(), it != ref.end());
-        if (v.has_value()) ASSERT_EQ(*v, it->second);
+        if (v.has_value()) {
+          ASSERT_EQ(*v, it->second);
+        }
         break;
       }
       case 3: {

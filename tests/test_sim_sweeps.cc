@@ -93,7 +93,8 @@ TEST(SequentialFill, StraightLineCheaperThanStrided) {
   MachineTrace strided;
   for (int i = 0; i < 128; ++i) {
     // one instruction per block, blocks 2 apart: never sequential
-    strided.push_back({0x10000 + Addr{i} * 64, InstrClass::kIAlu, 0, false});
+    strided.push_back(
+        {0x10000 + static_cast<Addr>(i) * 64, InstrClass::kIAlu, 0, false});
   }
   Machine m1(cfg, Cpu::Config{});
   Machine m2(cfg, Cpu::Config{});

@@ -50,6 +50,79 @@ TEST(TraceIo, MalformedInputThrows) {
                std::runtime_error);
 }
 
+/// Parse `text`, expecting failure; returns the exception message.
+std::string parse_error(const std::string& text) {
+  try {
+    code::path_trace_from_string(text);
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected parse to throw for: " << text;
+  return "";
+}
+
+TEST(TraceIo, ErrorsNameLineNumberAndToken) {
+  const std::string msg = parse_error("C 1\nR\nB 2 bogus\n");
+  EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("'bogus'"), std::string::npos) << msg;
+}
+
+TEST(TraceIo, MissingOperandThrows) {
+  const std::string msg = parse_error("C\n");
+  EXPECT_NE(msg.find("line 1"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("missing"), std::string::npos) << msg;
+  EXPECT_THROW(code::path_trace_from_string("B 3\n"), std::runtime_error);
+  EXPECT_THROW(code::path_trace_from_string("L 8000\n"), std::runtime_error);
+}
+
+TEST(TraceIo, TrailingTokensThrow) {
+  const std::string msg = parse_error("R extra\n");
+  EXPECT_NE(msg.find("'extra'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("trailing"), std::string::npos) << msg;
+  EXPECT_THROW(code::path_trace_from_string("C 1 2\n"), std::runtime_error);
+}
+
+TEST(TraceIo, GarbageAndNegativeFieldsThrow) {
+  EXPECT_THROW(code::path_trace_from_string("C -1\n"), std::runtime_error);
+  EXPECT_THROW(code::path_trace_from_string("C 1x\n"), std::runtime_error);
+  EXPECT_THROW(code::path_trace_from_string("L zz 4\n"), std::runtime_error);
+  EXPECT_THROW(code::path_trace_from_string("S 8000 -2\n"),
+               std::runtime_error);
+  // Byte counts are 16-bit in the event record.
+  EXPECT_THROW(code::path_trace_from_string("L 8000 70000\n"),
+               std::runtime_error);
+}
+
+TEST(TraceIo, TruncatedTraceDetectedViaHeaderCount) {
+  // A writer header declaring more events than the body contains means the
+  // file was cut off mid-transfer.
+  const std::string msg =
+      parse_error("# latency96 path trace, 3 events\nC 1\nR\n");
+  EXPECT_NE(msg.find("truncated"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("declares 3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("contains 2"), std::string::npos) << msg;
+  // A matching count parses cleanly, including with CRLF line endings.
+  const auto ok = code::path_trace_from_string(
+      "# latency96 path trace, 2 events\r\nC 1\r\nR\r\n");
+  EXPECT_EQ(ok.events.size(), 2u);
+}
+
+TEST(TraceIo, WriterOutputAlwaysSatisfiesReaderValidation) {
+  code::PathTrace t;
+  code::Recorder rec;
+  rec.enable(&t);
+  for (int i = 0; i < 10; ++i) {
+    rec.call(static_cast<code::FnId>(i));
+    rec.load(0x8000'0000 + static_cast<std::uint64_t>(i) * 64, 8);
+    rec.ret();
+  }
+  // Dropping the last line of the writer's output must now be detected.
+  std::string text = code::path_trace_to_string(t);
+  EXPECT_NO_THROW(code::path_trace_from_string(text));
+  text.erase(text.rfind("R\n"));
+  EXPECT_THROW(code::path_trace_from_string(text), std::runtime_error);
+}
+
 TEST(TraceIo, RegistryNamesAppearAsComments) {
   code::CodeRegistry reg;
   code::Function f;
