@@ -34,9 +34,9 @@ int main() {
       const auto& [name, te] = rows[i];
       const double pte = rpc ? paper[i].rpc : paper[i].tcp;
       const double pbest = rpc ? paper[5].rpc : paper[5].tcp;
-      t.row({name, harness::fmt(te), "+" + harness::fmt(100.0 * (te - best) / best),
+      t.row({name, harness::fmt(te), std::string("+") + harness::fmt(100.0 * (te - best) / best),
              harness::fmt(pte),
-             "+" + harness::fmt(100.0 * (pte - pbest) / pbest)});
+             std::string("+") + harness::fmt(100.0 * (pte - pbest) / pbest)});
     }
     t.print();
   }

@@ -52,7 +52,7 @@ class Lowering {
  private:
   const CodeRegistry& reg_;
   const CodeImage& img_;
-  const StackConfig& cfg_;
+  StackConfig cfg_;  ///< by value: callers may pass a temporary config
   LowerParams params_;
 };
 

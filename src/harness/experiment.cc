@@ -95,10 +95,19 @@ SideMeasurement measure_side(net::StackKind kind, const code::StackConfig& cfg,
                              const code::PathTrace& trace, std::size_t split,
                              std::uint64_t seed_offset,
                              const MachineParams& params) {
+  return measure_side_with_profile(kind, cfg, reg, trace, trace, split,
+                                   seed_offset, params);
+}
+
+SideMeasurement measure_side_with_profile(
+    net::StackKind kind, const code::StackConfig& cfg,
+    const code::CodeRegistry& reg, const code::PathTrace& profile,
+    const code::PathTrace& trace, std::size_t split,
+    std::uint64_t seed_offset, const MachineParams& params) {
   SideMeasurement m;
   m.config_name = cfg.name;
 
-  const code::CodeImage image = build_image(kind, cfg, reg, trace, params);
+  const code::CodeImage image = build_image(kind, cfg, reg, profile, params);
   m.static_hot_words = image.hot_words();
   m.static_total_words = image.total_words();
 

@@ -112,6 +112,16 @@ SideMeasurement measure_side(net::StackKind kind, const code::StackConfig& cfg,
                              std::uint64_t seed_offset,
                              const MachineParams& params);
 
+/// Like measure_side, but lays the image out from `profile` while replaying
+/// `trace` — measuring an off-profile activation (e.g. an error path) under
+/// the image the mainline profile produced.  measure_side is the special
+/// case profile == trace.
+SideMeasurement measure_side_with_profile(
+    net::StackKind kind, const code::StackConfig& cfg,
+    const code::CodeRegistry& reg, const code::PathTrace& profile,
+    const code::PathTrace& trace, std::size_t split,
+    std::uint64_t seed_offset, const MachineParams& params);
+
 /// Combine two side measurements into the end-to-end numbers (Tables 4/5).
 ConfigResult combine_sides(SideMeasurement client, SideMeasurement server,
                            double controller_us, bool client_inlined,

@@ -268,6 +268,16 @@ void write_sweep_json(std::ostream& os, const std::string& bench,
       }
       os << ']';
     }
+    if (!o.extra.empty()) {
+      os << ",\"extra\":{";
+      bool first = true;
+      for (const auto& [k, v] : o.extra) {
+        if (!first) os << ',';
+        first = false;
+        os << '"' << json_escape(k) << "\":" << num(v);
+      }
+      os << '}';
+    }
     os << '}';
   }
   os << "]}\n";

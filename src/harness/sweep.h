@@ -58,6 +58,9 @@ struct SweepOutcome {
   bool trace_reused = false;  ///< capture came from the cache, not a new world
   double capture_wall_ms = 0;  ///< wall clock of this job's capture (0 if reused)
   double measure_wall_ms = 0;  ///< wall clock of lowering + simulation
+  /// Bench-specific scalars appended verbatim to the row's JSON (e.g. the
+  /// fault bench's cold-path penalty deltas).
+  std::map<std::string, double> extra;
 };
 
 /// Functional fingerprint of a capture; see the header comment for which

@@ -66,7 +66,10 @@ Host::Host(std::string name, StackKind kind, const code::StackConfig& cfg,
     blast_ = std::make_unique<proto::Blast>(*ctx_, *eth_, peer_.mac);
     bid_ = std::make_unique<proto::Bid>(*ctx_, *blast_, self_.boot_id);
     chan_ = std::make_unique<proto::Chan>(*ctx_, *bid_);
-    bid_->on_peer_reboot([this] { chan_->flush(); });
+    bid_->on_peer_reboot([this] {
+      chan_->flush();
+      blast_->flush();
+    });
     vchan_ = std::make_unique<proto::VChan>(*ctx_, *chan_);
     chan_->set_server(vchan_.get());
     mselect_ = std::make_unique<proto::MSelect>(*ctx_, *vchan_);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace l96::net {
 
@@ -14,20 +15,51 @@ void Wire::transmit(int port, std::vector<std::uint8_t> frame) {
   if (port != 0 && port != 1) throw std::out_of_range("wire has two ports");
   ++frames_;
 
-  if (drop_ > 0) {
-    --drop_;
-    ++dropped_;
-    return;
-  }
-  if (corrupt_ > 0) {
-    --corrupt_;
-    if (!frame.empty()) frame[frame.size() / 2] ^= 0xFF;
+  const FaultDecision d = injector_.next(port, frame.size(), events_.now());
+  switch (d.kind) {
+    case FaultKind::kDrop:
+      ++dropped_;
+      // The dropped frame still counts as this direction's "next" frame;
+      // flush any held frame so it is not stranded behind a ghost.
+      release_held(port);
+      return;
+    case FaultKind::kCorrupt:
+      if (!frame.empty()) frame[d.arg % frame.size()] ^= 0xFF;
+      break;
+    case FaultKind::kReorder:
+      // Displace any earlier hold, then park this frame: it departs right
+      // after the next transmit in this direction, or after the fallback
+      // timer if no successor shows up.
+      release_held(port);
+      held_[port].frame = std::move(frame);
+      held_[port].active = true;
+      held_[port].fallback =
+          events_.schedule_in(injector_.plan().reorder_hold_us, [this, port] {
+            held_[port].fallback = 0;
+            release_held(port);
+          });
+      ++in_flight_;
+      return;
+    default:
+      break;
   }
 
+  if (d.kind == FaultKind::kDuplicate) {
+    schedule_delivery(port, frame, 0);  // copy: the original departs below
+  }
+  schedule_delivery(port, std::move(frame),
+                    d.kind == FaultKind::kDelay ? d.arg : 0);
+  release_held(port);
+}
+
+void Wire::schedule_delivery(int port, std::vector<std::uint8_t> frame,
+                             std::uint64_t extra_us) {
   const int dst = 1 - port;
   // Half-duplex Ethernet: a frame must wait for the medium.  Serialization
   // occupies the wire for frame_time; the controller overhead then runs at
-  // the receiver, off the medium.
+  // the receiver, off the medium.  An injected delay models a controller
+  // hiccup on the receive side: it pushes out the interrupt without
+  // holding the wire busy.
   const auto frame_us =
       static_cast<std::uint64_t>(params_.frame_time_us(frame.size()));
   const auto ctrl_us =
@@ -35,10 +67,24 @@ void Wire::transmit(int port, std::vector<std::uint8_t> frame) {
   const std::uint64_t depart =
       std::max(events_.now(), busy_until_us_) + frame_us;
   busy_until_us_ = depart;
-  events_.schedule_at(depart + ctrl_us,
+  ++in_flight_;
+  events_.schedule_at(depart + ctrl_us + extra_us,
                       [this, dst, f = std::move(frame)]() mutable {
+                        --in_flight_;
+                        ++delivered_;
                         if (endpoints_[dst]) endpoints_[dst](std::move(f));
                       });
+}
+
+void Wire::release_held(int port) {
+  if (!held_[port].active) return;
+  held_[port].active = false;
+  if (held_[port].fallback != 0) {
+    events_.cancel(held_[port].fallback);
+    held_[port].fallback = 0;
+  }
+  --in_flight_;
+  schedule_delivery(port, std::move(held_[port].frame), 0);
 }
 
 }  // namespace l96::net

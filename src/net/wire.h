@@ -5,14 +5,18 @@
 // wire for 57.6 us; the LANCE controller adds another ~47 us between being
 // handed a frame and raising the "transmission complete" interrupt — the
 // paper measures the combined 105 us per message and subtracts 210 us per
-// roundtrip in Table 5.  The wire also supports fault injection (drop /
-// corrupt) for the protocol reliability tests.
+// roundtrip in Table 5.  The wire also hosts the deterministic fault
+// injector (net/fault.h): every transmit consults the installed FaultPlan
+// and may drop, corrupt, duplicate, reorder, or delay the frame, with full
+// conservation accounting (frames offered + duplicates injected ==
+// delivered + dropped + in flight).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <vector>
 
+#include "net/fault.h"
 #include "xkernel/event.h"
 
 namespace l96::net {
@@ -47,23 +51,57 @@ class Wire {
   /// Transmit from `port` to the other endpoint.
   void transmit(int port, std::vector<std::uint8_t> frame);
 
-  // Fault injection (consumed in transmit order).
-  void drop_next(int count = 1) { drop_ += count; }
-  void corrupt_next(int count = 1) { corrupt_ += count; }
+  // Legacy one-shot fault API (thin wrappers over the injector; consumed
+  // in transmit order, either direction).
+  void drop_next(int count = 1) { injector_.force_drop(count); }
+  void corrupt_next(int count = 1) { injector_.force_corrupt(count); }
+
+  /// Install a fault plan (resets injector state, counters, and log).
+  void set_fault_plan(const FaultPlan& plan) { injector_.set_plan(plan); }
+  FaultInjector& injector() noexcept { return injector_; }
+  const FaultCounters& fault_counters() const noexcept {
+    return injector_.counters();
+  }
+  const std::vector<FaultRecord>& fault_log() const noexcept {
+    return injector_.log();
+  }
 
   std::uint64_t frames_carried() const noexcept { return frames_; }
+  std::uint64_t frames_delivered() const noexcept { return delivered_; }
   std::uint64_t frames_dropped() const noexcept { return dropped_; }
+  /// Scheduled deliveries not yet fired plus frames in a reorder hold.
+  std::uint64_t frames_in_flight() const noexcept { return in_flight_; }
+  /// Frame conservation: everything offered (plus injected duplicates) is
+  /// delivered, dropped, or still in flight.
+  bool conserved() const noexcept {
+    return frames_ + injector_.counters().duplicates ==
+           delivered_ + dropped_ + in_flight_;
+  }
   const WireParams& params() const noexcept { return params_; }
 
  private:
+  void schedule_delivery(int port, std::vector<std::uint8_t> frame,
+                         std::uint64_t extra_us);
+  /// Flush the reorder hold slot for `port` (the held frame departs after
+  /// whatever was just scheduled).
+  void release_held(int port);
+
+  struct Held {
+    std::vector<std::uint8_t> frame;
+    xk::EventManager::EventId fallback = 0;
+    bool active = false;
+  };
+
   xk::EventManager& events_;
   WireParams params_;
   DeliverFn endpoints_[2];
   std::uint64_t busy_until_us_ = 0;  ///< half-duplex medium serialization
-  int drop_ = 0;
-  int corrupt_ = 0;
+  FaultInjector injector_;
+  Held held_[2];  ///< one reorder hold slot per transmitting port
   std::uint64_t frames_ = 0;
+  std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t in_flight_ = 0;
 };
 
 }  // namespace l96::net

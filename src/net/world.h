@@ -33,9 +33,19 @@ class World {
 
   std::uint64_t client_roundtrips() const;
 
+  /// Install a fault plan on the wire (resets counters and replay log).
+  void set_fault_plan(const FaultPlan& plan) { wire_.set_fault_plan(plan); }
+  const FaultCounters& fault_counters() const noexcept {
+    return wire_.fault_counters();
+  }
+  const std::vector<FaultRecord>& fault_log() const noexcept {
+    return wire_.fault_log();
+  }
+
   Host& client() noexcept { return *client_; }
   Host& server() noexcept { return *server_; }
   Wire& wire() noexcept { return wire_; }
+  const Wire& wire() const noexcept { return wire_; }
   xk::EventManager& events() noexcept { return events_; }
   StackKind kind() const noexcept { return kind_; }
 

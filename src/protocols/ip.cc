@@ -16,11 +16,12 @@ constexpr std::uint16_t kFragOffsetMask = 0x1FFF;
 }  // namespace
 
 Ip::Ip(xk::ProtoCtx& ctx, VNet& vnet, std::uint32_t self_addr,
-       std::uint16_t mtu)
+       std::uint16_t mtu, std::uint64_t reass_timeout_us)
     : Protocol("ip", ctx),
       vnet_(vnet),
       self_(self_addr),
       mtu_(mtu),
+      reass_timeout_us_(reass_timeout_us),
       uppers_(ctx.arena, 16),
       fn_output_(fn("ip_output")),
       fn_demux_(fn("ip_demux")),
@@ -168,7 +169,14 @@ void Ip::demux(xk::Message& m) {
   // Reassembly: the outlined cold path.
   rec.block(fn_demux_, blk::kIpDemuxReass);
   const ReassemblyKey key{info.src, get_be16(hdr, 4)};
-  ReassemblyState& st = reass_[key];
+  auto [itr, inserted] = reass_.try_emplace(key);
+  ReassemblyState& st = itr->second;
+  if (inserted) {
+    // Bound the lifetime of partial state: if the rest of the datagram
+    // never arrives (peer moved on to a fresh IP id), expire the entry.
+    st.timeout_event = ctx_.events.schedule_in(
+        reass_timeout_us_, [this, key] { reass_expire(key); });
+  }
   st.proto = info.proto;
   st.frags[off_units] =
       std::vector<std::uint8_t>(m.view().begin(), m.view().end());
@@ -179,19 +187,37 @@ void Ip::demux(xk::Message& m) {
   }
   if (!st.have_last) return;
 
-  // Complete?
-  std::size_t have = 0;
-  for (const auto& [off, bytes] : st.frags) have += bytes.size();
-  if (have < st.total_len) return;
+  // Complete only when the fragments tile [0, total_len) contiguously — a
+  // byte-count check alone would let a corrupt offset copy past the end of
+  // the reassembled buffer.
+  std::size_t expect = 0;
+  bool contiguous = true;
+  for (const auto& [off, bytes] : st.frags) {
+    if (std::size_t{off} * 8 != expect) {
+      contiguous = false;
+      break;
+    }
+    expect += bytes.size();
+  }
+  if (!contiguous || expect != st.total_len) return;
 
   xk::Message whole(ctx_.arena, 64, st.total_len);
   for (const auto& [off, bytes] : st.frags) {
     std::copy(bytes.begin(), bytes.end(), whole.data() + off * 8);
   }
   info.payload_len = st.total_len;
+  if (st.timeout_event != 0) ctx_.events.cancel(st.timeout_event);
   reass_.erase(key);
   ++reassemblies_;
   deliver(info, whole);
+}
+
+void Ip::reass_expire(ReassemblyKey key) {
+  auto it = reass_.find(key);
+  if (it == reass_.end()) return;
+  it->second.timeout_event = 0;
+  ++reass_expired_;
+  reass_.erase(it);
 }
 
 }  // namespace l96::proto

@@ -38,7 +38,7 @@ class IpUpper {
 class Ip final : public xk::Protocol {
  public:
   Ip(xk::ProtoCtx& ctx, VNet& vnet, std::uint32_t self_addr,
-     std::uint16_t mtu = 1500);
+     std::uint16_t mtu = 1500, std::uint64_t reass_timeout_us = 500'000);
 
   void attach(std::uint8_t proto, IpUpper* upper);
 
@@ -54,6 +54,11 @@ class Ip final : public xk::Protocol {
   std::uint64_t no_proto_drops() const noexcept { return no_proto_; }
   std::uint64_t fragments_sent() const noexcept { return fragments_sent_; }
   std::uint64_t reassemblies() const noexcept { return reassemblies_; }
+  std::size_t reassemblies_pending() const noexcept { return reass_.size(); }
+  /// Reassemblies abandoned because the rest of the datagram never came.
+  std::uint64_t reassemblies_expired() const noexcept {
+    return reass_expired_;
+  }
 
  private:
   struct ReassemblyKey {
@@ -67,15 +72,18 @@ class Ip final : public xk::Protocol {
     bool have_last = false;
     std::uint16_t total_len = 0;
     std::uint8_t proto = 0;
+    std::uint64_t timeout_event = 0;
   };
 
   void send_one(std::uint32_t dst, std::uint8_t proto, xk::Message& m,
                 std::uint16_t frag_off_units, bool more_frags);
   void deliver(const IpInfo& info, xk::Message& m);
+  void reass_expire(ReassemblyKey key);
 
   VNet& vnet_;
   std::uint32_t self_;
   std::uint16_t mtu_;
+  std::uint64_t reass_timeout_us_;
   std::uint16_t next_id_ = 1;
   xk::Map<IpUpper*> uppers_;
   std::map<ReassemblyKey, ReassemblyState> reass_;
@@ -84,6 +92,7 @@ class Ip final : public xk::Protocol {
   std::uint64_t no_proto_ = 0;
   std::uint64_t fragments_sent_ = 0;
   std::uint64_t reassemblies_ = 0;
+  std::uint64_t reass_expired_ = 0;
 
   code::FnId fn_output_;
   code::FnId fn_demux_;

@@ -38,6 +38,9 @@ void Blast::send_fragment(std::uint32_t msg_id, std::uint16_t ix,
   put_be16(hdr, 6, nfrags);
   put_be32(hdr, 8, total_len);
   put_be16(hdr, 12, 0);  // flags
+  put_be16(hdr, 14,
+           inet_checksum(payload, checksum_accumulate(
+                                      std::span(hdr.data(), 14))));
   {
     code::TracedCall tp(rec, fn_msg_push_);
     rec.block(fn_msg_push_, blk::kMsgPushMain);
@@ -129,7 +132,13 @@ void Blast::reass_timeout(std::uint32_t msg_id) {
   std::array<std::uint8_t, kHeaderBytes> hdr{};
   put_be32(hdr, 0, msg_id);
   put_be16(hdr, 6, r.nfrags);
+  // The length field carries the missing-list size so the receiver can
+  // strip minimum-frame padding before parsing the indices.
+  put_be32(hdr, 8, static_cast<std::uint32_t>(missing.size()));
   put_be16(hdr, 12, kFlagNack);
+  put_be16(hdr, 14,
+           inet_checksum(missing, checksum_accumulate(
+                                      std::span(hdr.data(), 14))));
   m.push(hdr);
   ++nacks_sent_;
   eth_.send(peer_, kEtherTypeBlast, m);
@@ -142,13 +151,32 @@ void Blast::complete(std::uint32_t msg_id, Reassembly& r) {
   xk::Message whole(ctx_.arena, 64, r.total_len);
   std::size_t off = 0;
   for (auto& [ix, bytes] : r.frags) {
+    if (off + bytes.size() > r.total_len) break;  // corrupt state guard
     std::copy(bytes.begin(), bytes.end(), whole.data() + off);
     off += bytes.size();
   }
   if (r.timeout_event != 0) ctx_.events.cancel(r.timeout_event);
   reass_.erase(msg_id);
   ++reassembled_;
+  // Remember the id: late duplicates of its fragments must not open a
+  // fresh (and forever-incomplete) reassembly.
+  completed_.insert(msg_id);
+  completed_fifo_.push_back(msg_id);
+  while (completed_fifo_.size() > kCompletedRetained) {
+    completed_.erase(completed_fifo_.front());
+    completed_fifo_.pop_front();
+  }
   if (upper_ != nullptr) upper_->demux(whole);
+}
+
+void Blast::flush() {
+  for (auto& [id, r] : reass_) {
+    if (r.timeout_event != 0) ctx_.events.cancel(r.timeout_event);
+  }
+  reass_.clear();
+  sent_.clear();
+  completed_.clear();
+  completed_fifo_.clear();
 }
 
 void Blast::demux(xk::Message& m) {
@@ -156,7 +184,10 @@ void Blast::demux(xk::Message& m) {
   code::TracedCall tc(rec, fn_demux_);
   rec.block(fn_demux_, blk::kBlastDemuxParse);
 
-  if (m.length() < kHeaderBytes) return;
+  if (m.length() < kHeaderBytes) {
+    ++bad_frames_;
+    return;
+  }
   std::array<std::uint8_t, kHeaderBytes> hdr{};
   {
     code::TracedCall tp(rec, fn_msg_pop_);
@@ -169,30 +200,71 @@ void Blast::demux(xk::Message& m) {
   const std::uint16_t nfrags = get_be16(hdr, 6);
   const std::uint32_t total_len = get_be32(hdr, 8);
   const std::uint16_t flags = get_be16(hdr, 12);
+  const std::uint16_t cksum = get_be16(hdr, 14);
 
-  if ((flags & kFlagNack) != 0) {
+  // Validate the header before touching any state: every field a corrupt
+  // frame could abuse is checked against what it implies for the payload.
+  const bool is_nack = (flags & kFlagNack) != 0;
+  bool ok = true;
+  std::size_t expected = 0;
+  if (is_nack) {
+    expected = total_len;
+    ok = total_len % 2 == 0 && total_len <= 2 * kMaxFragments;
+  } else if (nfrags <= 1) {
+    expected = total_len;
+    ok = total_len <= frag_payload_;
+  } else {
+    ok = nfrags <= kMaxFragments && ix < nfrags &&
+         total_len > (std::size_t{nfrags} - 1) * frag_payload_ &&
+         total_len <= std::size_t{nfrags} * frag_payload_;
+    if (ok) {
+      expected = (ix + 1u < nfrags)
+                     ? frag_payload_
+                     : total_len - std::size_t{ix} * frag_payload_;
+    }
+  }
+  if (!ok || expected > m.length()) {
+    ++bad_frames_;
+    return;
+  }
+  // Strip the Ethernet minimum-frame padding, then verify the checksum
+  // the sender computed over the first 14 header bytes plus the exact
+  // payload.
+  if (m.length() > expected) m.trim_back(m.length() - expected);
+  if (inet_checksum(m.view(),
+                    checksum_accumulate(std::span(hdr.data(), 14))) != cksum) {
+    ++bad_cksum_;
+    return;
+  }
+
+  if (is_nack) {
     rec.block(fn_demux_, blk::kBlastDemuxNack);
     handle_nack(msg_id, m.view());
     return;
   }
 
   if (nfrags <= 1) {
-    // Single-fragment message: strip the Ethernet minimum-frame padding and
-    // deliver directly.
+    // Single-fragment message: the padding is already stripped; deliver
+    // directly.
     rec.block(fn_demux_, blk::kBlastDemuxSingle);
-    if (m.length() > total_len) m.trim_back(m.length() - total_len);
     if (upper_ != nullptr) upper_->demux(m);
     return;
   }
 
   // Multi-fragment reassembly: the cold path.
   rec.block(fn_demux_, blk::kBlastDemuxReass);
-  Reassembly& r = reass_[msg_id];
+  if (completed_.contains(msg_id)) {
+    ++late_frags_;
+    return;
+  }
+  auto [itr, inserted] = reass_.try_emplace(msg_id);
+  Reassembly& r = itr->second;
+  if (!inserted && (r.nfrags != nfrags || r.total_len != total_len)) {
+    ++bad_frames_;  // inconsistent with the fragments already held
+    return;
+  }
   r.nfrags = nfrags;
   r.total_len = total_len;
-  std::size_t expected =
-      (ix + 1u < nfrags) ? frag_payload_ : total_len - std::size_t{ix} * frag_payload_;
-  if (m.length() > expected) m.trim_back(m.length() - expected);
   r.frags[ix] =
       std::vector<std::uint8_t>(m.view().begin(), m.view().end());
   if (r.frags.size() == nfrags) {

@@ -9,8 +9,10 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
+#include <set>
 #include <vector>
 
 #include "protocols/eth.h"
@@ -22,6 +24,9 @@ class Blast final : public xk::Protocol {
  public:
   static constexpr std::size_t kHeaderBytes = 16;
   static constexpr std::uint16_t kFlagNack = 0x0001;
+  /// Upper bound on fragments per message; a frame claiming more is
+  /// rejected as corrupt before any reassembly state is allocated.
+  static constexpr std::size_t kMaxFragments = 64;
 
   Blast(xk::ProtoCtx& ctx, Eth& eth, MacAddr peer,
         std::uint16_t frag_payload = 1024,
@@ -42,6 +47,17 @@ class Blast final : public xk::Protocol {
   std::uint64_t reassemblies_abandoned() const noexcept {
     return reassemblies_abandoned_;
   }
+  std::size_t reassemblies_pending() const noexcept { return reass_.size(); }
+  /// Frames rejected by header validation (impossible nfrags/ix/length).
+  std::uint64_t bad_frames() const noexcept { return bad_frames_; }
+  /// Frames rejected by the BLAST header+payload checksum.
+  std::uint64_t bad_checksum_drops() const noexcept { return bad_cksum_; }
+  /// Duplicate fragments arriving after their message completed.
+  std::uint64_t late_fragments() const noexcept { return late_frags_; }
+
+  /// Drop all in-progress reassembly and NACK-service state, cancelling
+  /// any pending timeout events (peer reboot / teardown).
+  void flush();
 
  private:
   struct Reassembly {
@@ -75,12 +91,21 @@ class Blast final : public xk::Protocol {
   std::map<std::uint32_t, SentMessage> sent_;  // kept for NACK service
   static constexpr std::size_t kSentRetained = 8;
   static constexpr int kMaxNackTries = 8;
+  // Recently completed message ids: a duplicated last fragment must not
+  // recreate a reassembly entry (it would NACK forever for the fragments
+  // it never saw).
+  std::set<std::uint32_t> completed_;
+  std::deque<std::uint32_t> completed_fifo_;
+  static constexpr std::size_t kCompletedRetained = 16;
 
   std::uint64_t frags_sent_ = 0;
   std::uint64_t reassembled_ = 0;
   std::uint64_t nacks_sent_ = 0;
   std::uint64_t nacks_received_ = 0;
   std::uint64_t reassemblies_abandoned_ = 0;
+  std::uint64_t bad_frames_ = 0;
+  std::uint64_t bad_cksum_ = 0;
+  std::uint64_t late_frags_ = 0;
 
   code::FnId fn_push_;
   code::FnId fn_demux_;

@@ -1,5 +1,7 @@
 #include "protocols/rpc/xrpctest.h"
 
+#include <algorithm>
+
 #include "protocols/stack_code.h"
 
 namespace l96::proto {
@@ -14,22 +16,56 @@ XRpcTest::XRpcTest(xk::ProtoCtx& ctx, MSelect& mselect, bool is_client)
 }
 
 void XRpcTest::serve() {
-  mselect_.register_service(kEchoProc, [this](xk::Message&) {
-    // Zero-sized reply.
-    return xk::Message(ctx_.arena, 0, 0);
+  mselect_.register_service(kEchoProc, [this](xk::Message& req) {
+    if (!integrity_) {
+      // Zero-sized reply.
+      return xk::Message(ctx_.arena, 0, 0);
+    }
+    // Soak mode: echo the request payload byte for byte.
+    xk::Message reply(ctx_.arena, 96, req.length());
+    const auto v = req.view();
+    std::copy(v.begin(), v.end(), reply.data());
+    return reply;
   });
+}
+
+void XRpcTest::enable_integrity(std::size_t msg_bytes) {
+  integrity_ = true;
+  msg_bytes_ = msg_bytes;
+}
+
+std::vector<std::uint8_t> XRpcTest::pattern(std::uint64_t seq,
+                                            std::size_t n) {
+  std::vector<std::uint8_t> p(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p[i] = static_cast<std::uint8_t>(seq * 131 + i * 17 + 7);
+  }
+  return p;
 }
 
 void XRpcTest::issue_call() {
   auto& rec = ctx_.rec;
   code::TracedCall tc(rec, fn_call_);
   rec.block(fn_call_, blk::kXRpcCallMain);
-  xk::Message req(ctx_.arena, 96, 0);  // zero-sized request
-  mselect_.call(kEchoProc, req, [this](xk::Message&) {
+  xk::Message req(ctx_.arena, 96, integrity_ ? msg_bytes_ : 0);
+  if (integrity_) {
+    const auto p = pattern(roundtrips_, msg_bytes_);
+    std::copy(p.begin(), p.end(), req.data());
+  }
+  const std::uint64_t expect_seq = roundtrips_;
+  mselect_.call(kEchoProc, req, [this, expect_seq](xk::Message& reply) {
     auto& r2 = ctx_.rec;
     {
       code::TracedCall tr(r2, fn_reply_);
       r2.block(fn_reply_, blk::kXRpcReplyMain);
+    }
+    if (integrity_) {
+      const auto want = pattern(expect_seq, msg_bytes_);
+      const auto v = reply.view();
+      if (v.size() != want.size() ||
+          !std::equal(want.begin(), want.end(), v.begin())) {
+        ++integrity_failures_;
+      }
     }
     ++roundtrips_;
     if (!done()) issue_call();

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "protocols/rpc/mselect.h"
 
@@ -25,6 +26,15 @@ class XRpcTest final : public xk::Protocol {
   std::uint64_t roundtrips() const noexcept { return roundtrips_; }
   bool done() const noexcept { return target_ != 0 && roundtrips_ >= target_; }
 
+  /// Soak mode: requests carry a sequence-tagged payload of `msg_bytes`;
+  /// the server echoes it and the client verifies every byte of the reply.
+  void enable_integrity(std::size_t msg_bytes);
+  std::uint64_t integrity_failures() const noexcept {
+    return integrity_failures_;
+  }
+  /// The expected payload of roundtrip `seq`.
+  static std::vector<std::uint8_t> pattern(std::uint64_t seq, std::size_t n);
+
  private:
   void issue_call();
 
@@ -32,6 +42,9 @@ class XRpcTest final : public xk::Protocol {
   bool is_client_;
   std::uint64_t roundtrips_ = 0;
   std::uint64_t target_ = 0;
+  bool integrity_ = false;
+  std::size_t msg_bytes_ = 0;
+  std::uint64_t integrity_failures_ = 0;
 
   code::FnId fn_call_;
   code::FnId fn_reply_;

@@ -124,9 +124,15 @@ Tcp::Tcp(xk::ProtoCtx& ctx, Ip& ip, TcpParams params)
 }
 
 Tcp::~Tcp() {
+  for (TcpConn* c : connections()) destroy(c);
+}
+
+std::vector<TcpConn*> Tcp::connections() {
   std::vector<TcpConn*> all;
   conns_.for_each([&](const xk::MapKey&, TcpConn*& c) { all.push_back(c); });
-  for (TcpConn* c : all) destroy(c);
+  listeners_.for_each(
+      [&](const xk::MapKey&, TcpConn*& c) { all.push_back(c); });
+  return all;
 }
 
 std::uint32_t Tcp::tcb_bytes() const {
@@ -272,19 +278,18 @@ void Tcp::ip_deliver(const IpInfo& info, xk::Message& m) {
     arm_rexmt(*c);
     return;
   }
-  if ((seg.flags & kRst) == 0) send_rst(info, seg);
+  if ((seg.flags & kRst) == 0) send_rst(info, seg, sport, dport);
 }
 
-void Tcp::send_rst(const IpInfo& info, const Segment& seg) {
+void Tcp::send_rst(const IpInfo& info, const Segment& seg,
+                   std::uint16_t sport, std::uint16_t dport) {
   ++rst_out_;
   std::array<std::uint8_t, kTcpHeaderBytes> hdr{};
   // Swapped ports; ack the offending segment.
   // (Built by hand: there is no connection to run send_segment on.)
   xk::Message m(ctx_.arena, 64, 0);
-  const std::uint16_t sport = 0;  // placeholder fields read from seg below
-  (void)sport;
-  put_be16(hdr, 0, 0);
-  put_be16(hdr, 2, 0);
+  put_be16(hdr, 0, dport);
+  put_be16(hdr, 2, sport);
   put_be32(hdr, 4, seg.ack);
   put_be32(hdr, 8, seg.seq + seg.payload_len + ((seg.flags & kSyn) ? 1 : 0));
   hdr[12] = 5 << 4;

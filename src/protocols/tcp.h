@@ -160,6 +160,10 @@ class Tcp final : public xk::Protocol, public IpUpper {
   /// Destroy a connection object (tests / teardown).
   void destroy(TcpConn* conn);
 
+  /// Snapshot of every live connection object, listeners included
+  /// (teardown sweeps).
+  std::vector<TcpConn*> connections();
+
   /// Test/diagnostic hook: clamp the advertised receive window (simulates a
   /// slow application not draining its socket buffer).  Pass ~0u to clear.
   void set_receive_window_override(std::uint32_t w) {
@@ -201,7 +205,8 @@ class Tcp final : public xk::Protocol, public IpUpper {
   void output(TcpConn& c, bool force_ack);
   void send_segment(TcpConn& c, std::uint32_t seq, std::uint8_t flags,
                     std::span<const std::uint8_t> payload);
-  void send_rst(const IpInfo& info, const Segment& seg);
+  void send_rst(const IpInfo& info, const Segment& seg, std::uint16_t sport,
+                std::uint16_t dport);
   /// The receiver-window advertisement + "significant update" rule.
   std::uint32_t receive_window(TcpConn& c) const;
   bool window_update_due(TcpConn& c);

@@ -1,5 +1,6 @@
 #include "protocols/tcptest.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "protocols/stack_code.h"
@@ -25,11 +26,27 @@ void TcpTest::start(std::uint32_t peer_ip, std::uint16_t lport,
 
 void TcpTest::serve(std::uint16_t port) { tcp_.listen(port, this); }
 
+void TcpTest::enable_integrity(std::size_t msg_bytes) {
+  integrity_ = true;
+  msg_bytes_ = msg_bytes;
+}
+
+std::vector<std::uint8_t> TcpTest::pattern(std::uint64_t seq, std::size_t n) {
+  std::vector<std::uint8_t> p(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p[i] = static_cast<std::uint8_t>(seq * 131 + i * 17 + 7);
+  }
+  return p;
+}
+
 void TcpTest::send_ping(TcpConn& c) {
   auto& rec = ctx_.rec;
   code::TracedCall tc(rec, fn_send_);
   rec.block(fn_send_, blk::kTtSendMain);
-  std::vector<std::uint8_t> payload(msg_bytes_, 0x42);
+  std::vector<std::uint8_t> payload = integrity_
+                                          ? pattern(roundtrips_, msg_bytes_)
+                                          : std::vector<std::uint8_t>(
+                                                msg_bytes_, 0x42);
   c.send(payload);
 }
 
@@ -43,6 +60,29 @@ void TcpTest::tcp_receive(TcpConn& c, xk::Message& payload) {
   {
     code::TracedCall tc(rec, fn_recv_);
     rec.block(fn_recv_, blk::kTtRecvMain);
+  }
+  if (integrity_) {
+    // Soak mode: reassemble the byte stream, then consume and verify (or
+    // echo) whole messages.
+    const auto v = payload.view();
+    stream_.insert(stream_.end(), v.begin(), v.end());
+    while (stream_.size() >= msg_bytes_) {
+      if (is_client_) {
+        const auto want = pattern(roundtrips_, msg_bytes_);
+        if (!std::equal(want.begin(), want.end(), stream_.begin())) {
+          ++integrity_failures_;
+        }
+        stream_.erase(stream_.begin(), stream_.begin() + msg_bytes_);
+        ++roundtrips_;
+        if (!done()) send_ping(c);
+      } else {
+        code::TracedCall tc(rec, fn_send_);
+        rec.block(fn_send_, blk::kTtSendMain);
+        c.send({stream_.data(), msg_bytes_});  // echo the actual bytes
+        stream_.erase(stream_.begin(), stream_.begin() + msg_bytes_);
+      }
+    }
+    return;
   }
   (void)payload;
   if (is_client_) {
@@ -58,6 +98,11 @@ void TcpTest::tcp_receive(TcpConn& c, xk::Message& payload) {
 }
 
 void TcpTest::tcp_closed(TcpConn& c) {
+  if (close_on_peer_close_ && !is_client_ &&
+      c.state() == TcpState::kCloseWait) {
+    c.close();
+    return;
+  }
   if (conn_ == &c) conn_ = nullptr;
 }
 

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "protocols/tcp.h"
 #include "xkernel/protocol.h"
@@ -35,6 +36,19 @@ class TcpTest final : public xk::Protocol, public TcpUpper {
   }
   TcpConn* connection() noexcept { return conn_; }
 
+  /// Soak mode: send sequence-tagged payloads of `msg_bytes` and verify
+  /// every echoed byte (the stream is reassembled across segment
+  /// boundaries, so retransmission and coalescing are tolerated).
+  void enable_integrity(std::size_t msg_bytes);
+  /// Server option: answer the peer's FIN with our own close (so a soak
+  /// teardown converges to zero live connections from one side).
+  void set_close_on_peer_close(bool v) noexcept { close_on_peer_close_ = v; }
+  std::uint64_t integrity_failures() const noexcept {
+    return integrity_failures_;
+  }
+  /// The expected payload of roundtrip `seq`.
+  static std::vector<std::uint8_t> pattern(std::uint64_t seq, std::size_t n);
+
  private:
   void send_ping(TcpConn& c);
 
@@ -44,6 +58,10 @@ class TcpTest final : public xk::Protocol, public TcpUpper {
   std::uint64_t roundtrips_ = 0;
   std::uint64_t target_ = 0;
   TcpConn* conn_ = nullptr;
+  bool integrity_ = false;
+  bool close_on_peer_close_ = false;
+  std::uint64_t integrity_failures_ = 0;
+  std::vector<std::uint8_t> stream_;  ///< in-order bytes not yet consumed
 
   code::FnId fn_send_;
   code::FnId fn_recv_;

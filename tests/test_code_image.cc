@@ -20,7 +20,7 @@ Function make_fn(std::string name, FnKind kind,
   int i = 0;
   for (auto [n, cls] : blocks) {
     BasicBlock b;
-    b.label = "b" + std::to_string(i++);
+    b.label = std::string("b") + std::to_string(i++);
     b.cls = cls;
     b.instructions = n;
     f.blocks.push_back(b);

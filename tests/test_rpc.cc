@@ -182,16 +182,21 @@ TEST_F(RpcWorld, BidDetectsPeerReboot) {
   f.insert(f.end(), smac.begin(), smac.end());
   f.push_back(0x88);
   f.push_back(0xB5);
-  // BLAST single-fragment header.
+  // BID header with a DIFFERENT boot id.
+  std::array<std::uint8_t, proto::Bid::kHeaderBytes> bid{};
+  proto::put_be32(bid, 0, 0xCAFE);
+  // BLAST single-fragment header (checksum over the first 14 header bytes
+  // plus the payload).
   std::array<std::uint8_t, proto::Blast::kHeaderBytes> bh{};
   proto::put_be32(bh, 0, 0xFFFF);  // fresh msg id
   proto::put_be16(bh, 4, 0);
   proto::put_be16(bh, 6, 1);
   proto::put_be32(bh, 8, proto::Bid::kHeaderBytes);
+  proto::put_be16(bh, 14,
+                  proto::inet_checksum(
+                      bid, proto::checksum_accumulate(
+                               std::span(bh.data(), 14))));
   f.insert(f.end(), bh.begin(), bh.end());
-  // BID header with a DIFFERENT boot id.
-  std::array<std::uint8_t, proto::Bid::kHeaderBytes> bid{};
-  proto::put_be32(bid, 0, 0xCAFE);
   f.insert(f.end(), bid.begin(), bid.end());
   f.resize(std::max<std::size_t>(f.size(), 64), 0);
 

@@ -1,0 +1,105 @@
+// Chaos soak: thousands of roundtrips under a seeded fault schedule with
+// end-to-end payload integrity, clean teardown (zero pending events, zero
+// live connections), frame conservation, and byte-identical replay.
+// These are the PR's acceptance-criteria runs: >= 5000 roundtrips per
+// stack at >= 5% combined drop+corrupt+duplicate.
+#include <gtest/gtest.h>
+
+#include "harness/soak.h"
+
+namespace l96 {
+namespace {
+
+harness::SoakSpec chaos_spec(net::StackKind kind, std::uint64_t roundtrips,
+                             std::uint64_t seed) {
+  harness::SoakSpec s;
+  s.kind = kind;
+  s.roundtrips = roundtrips;
+  s.msg_bytes = 32;
+  s.plan.seed = seed;
+  s.plan.start_after_frames = 4;  // let the handshake establish cleanly
+  for (int p = 0; p < 2; ++p) {
+    s.plan.rates[p] = {.drop = 0.02, .corrupt = 0.02, .duplicate = 0.01};
+  }
+  return s;
+}
+
+TEST(Soak, TcpFiveThousandRoundtripsAtFivePercent) {
+  harness::SoakRunner runner(chaos_spec(net::StackKind::kTcpIp, 5000, 7));
+  const auto r = runner.run();
+  EXPECT_TRUE(r.ok()) << r.summary();
+  EXPECT_EQ(r.roundtrips, 5000u);
+  EXPECT_EQ(r.integrity_failures, 0u);
+  EXPECT_EQ(r.pending_events, 0u);
+  EXPECT_EQ(r.live_connections, 0u);
+  EXPECT_EQ(r.reassemblies_pending, 0u);
+  EXPECT_TRUE(r.conserved);
+  // The schedule actually bit: faults fired and TCP recovered from them.
+  EXPECT_GT(r.faults.drops, 0u);
+  EXPECT_GT(r.faults.corrupts, 0u);
+  EXPECT_GT(r.faults.duplicates, 0u);
+  EXPECT_GT(r.tcp_retransmits, 0u);
+  EXPECT_GT(r.tcp_bad_checksums, 0u);
+}
+
+TEST(Soak, RpcFiveThousandRoundtripsAtFivePercent) {
+  harness::SoakRunner runner(chaos_spec(net::StackKind::kRpc, 5000, 7));
+  const auto r = runner.run();
+  EXPECT_TRUE(r.ok()) << r.summary();
+  EXPECT_EQ(r.roundtrips, 5000u);
+  EXPECT_EQ(r.integrity_failures, 0u);
+  EXPECT_EQ(r.failed_calls, 0u);
+  EXPECT_EQ(r.pending_events, 0u);
+  EXPECT_EQ(r.busy_channels, 0u);
+  EXPECT_TRUE(r.conserved);
+  EXPECT_GT(r.chan_retransmits, 0u);
+  EXPECT_GT(r.blast_bad_frames, 0u);
+}
+
+TEST(Soak, RpcMultiFragmentMessagesSurviveFaults) {
+  // 2500-byte arguments traverse BLAST fragmentation + NACK recovery.
+  auto s = chaos_spec(net::StackKind::kRpc, 800, 11);
+  s.msg_bytes = 2500;
+  harness::SoakRunner runner(s);
+  const auto r = runner.run();
+  EXPECT_TRUE(r.ok()) << r.summary();
+  EXPECT_EQ(r.integrity_failures, 0u);
+  EXPECT_EQ(r.reassemblies_pending, 0u);
+  EXPECT_GT(r.blast_nacks, 0u);
+}
+
+TEST(Soak, ReplayIsByteIdentical) {
+  // Same (seed, plan) => same virtual timeline, same fault log, same
+  // recovery counts: the whole report reproduces, not just the outcome.
+  const auto spec = chaos_spec(net::StackKind::kTcpIp, 800, 1234);
+  const auto r1 = harness::SoakRunner(spec).run();
+  const auto r2 = harness::SoakRunner(spec).run();
+  ASSERT_TRUE(r1.ok()) << r1.summary();
+  EXPECT_EQ(r1.summary(), r2.summary());
+  EXPECT_EQ(r1.fault_log_hash, r2.fault_log_hash);
+  EXPECT_EQ(r1.virtual_us, r2.virtual_us);
+}
+
+TEST(Soak, DifferentSeedsProduceDifferentSchedules) {
+  auto s1 = chaos_spec(net::StackKind::kTcpIp, 400, 1);
+  auto s2 = chaos_spec(net::StackKind::kTcpIp, 400, 2);
+  const auto r1 = harness::SoakRunner(s1).run();
+  const auto r2 = harness::SoakRunner(s2).run();
+  EXPECT_TRUE(r1.ok()) << r1.summary();
+  EXPECT_TRUE(r2.ok()) << r2.summary();
+  EXPECT_NE(r1.fault_log_hash, r2.fault_log_hash);
+}
+
+TEST(Soak, CleanRunHasNoFaultsAndNoRecovery) {
+  harness::SoakSpec s;
+  s.kind = net::StackKind::kTcpIp;
+  s.roundtrips = 400;
+  const auto r = harness::SoakRunner(s).run();
+  EXPECT_TRUE(r.ok()) << r.summary();
+  EXPECT_EQ(r.faults.total(), 0u);
+  EXPECT_EQ(r.tcp_retransmits, 0u);
+  EXPECT_EQ(r.fault_log_hash, harness::SoakRunner(s).run().fault_log_hash);
+}
+
+}  // namespace
+}  // namespace l96
