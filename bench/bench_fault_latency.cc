@@ -15,8 +15,9 @@
 //    activation verifies the checksum, takes the outlined kInBadCksum
 //    block, and drops the segment.  That activation is captured once per
 //    side and replayed under the *mainline* profile's image
-//    (measure_side_with_profile), i.e. the error path runs under a layout
-//    optimized for the clean path — exactly what happens in production.
+//    (MeasureSpec::profile pointing at the clean capture), i.e. the error
+//    path runs under a layout optimized for the clean path — exactly what
+//    happens in production.
 //
 // TCP/IP only: the RPC stack's BLAST checksum-drop path is structurally
 // identical (an outlined early return) and adds no layout variety, while
@@ -30,7 +31,8 @@
 // once retransmission recovery is charged.  A soak pair (faults off vs.
 // 5% combined drop+corrupt+duplicate) cross-checks the model with
 // end-to-end measured means.  JSON: bench/out/bench_fault_latency.json
-// (schema l96.sweep.v1, deltas in each faulted row's "extra" map).
+// (schema l96.sweep.v1; deltas in each faulted row's flat "extra" map and,
+// typed, in its "fault" section, schema l96.fault.v1).
 #include <cstdio>
 #include <memory>
 #include <stdexcept>
@@ -178,20 +180,32 @@ int main() {
     const auto& creg = b.world->client().registry();
     const auto& sreg = b.world->server().registry();
 
-    const auto clean_c = harness::measure_side(
-        net::StackKind::kTcpIp, cfg, creg, b.clean.client,
-        b.clean.client_split, 0, params);
-    const auto clean_s = harness::measure_side(
-        net::StackKind::kTcpIp, cfg, sreg, b.clean.server,
-        b.clean.server_split, 1, params);
+    harness::MeasureSpec cspec;
+    cspec.kind = net::StackKind::kTcpIp;
+    cspec.cfg = cfg;
+    cspec.registry = &creg;
+    cspec.trace = &b.clean.client;
+    cspec.split = b.clean.client_split;
+    cspec.seed_offset = 0;
+    cspec.params = params;
+    harness::MeasureSpec sspec = cspec;
+    sspec.registry = &sreg;
+    sspec.trace = &b.clean.server;
+    sspec.split = b.clean.server_split;
+    sspec.seed_offset = 1;
+
+    const auto clean_c = harness::measure_side(cspec);
+    const auto clean_s = harness::measure_side(sspec);
     // The error activation replayed under the image the *clean* profile
     // laid out: off-profile execution, the paper's outlining worst case.
-    const auto err_c = harness::measure_side_with_profile(
-        net::StackKind::kTcpIp, cfg, creg, b.clean.client, b.err.client,
-        b.err.client_split, 0, params);
-    const auto err_s = harness::measure_side_with_profile(
-        net::StackKind::kTcpIp, cfg, sreg, b.clean.server, b.err.server,
-        b.err.server_split, 1, params);
+    cspec.profile = &b.clean.client;
+    cspec.trace = &b.err.client;
+    cspec.split = b.err.client_split;
+    sspec.profile = &b.clean.server;
+    sspec.trace = &b.err.server;
+    sspec.split = b.err.server_split;
+    const auto err_c = harness::measure_side(cspec);
+    const auto err_s = harness::measure_side(sspec);
 
     harness::SweepOutcome clean_o;
     clean_o.label = cfg.name;
@@ -228,6 +242,32 @@ int main() {
         {"soak_mean_us_clean", soak_clean},
         {"soak_mean_us_faulted", soak_fault},
     };
+    // Same numbers, typed and schema-versioned (the "extra" doubles stay
+    // for consumers of the flat map).
+    fault_o.extra_json(
+        "fault",
+        harness::json_section("l96.fault.v1")
+            .set("corrupt_offset", std::uint64_t{kCorruptOffset})
+            .set("rto_us", kRtoUs)
+            .set("penalty",
+                 harness::Json::object()
+                     .set("client",
+                          harness::Json::object()
+                              .set("cycles", err_c.steady.cycles())
+                              .set("us", err_c.tp_us)
+                              .set("icpi_delta", icpi_dc)
+                              .set("mcpi_delta", mcpi_dc))
+                     .set("server",
+                          harness::Json::object()
+                              .set("cycles", err_s.steady.cycles())
+                              .set("us", err_s.tp_us)
+                              .set("icpi_delta", icpi_ds)
+                              .set("mcpi_delta", mcpi_ds)))
+            .set("expected_te_us_at_5pct", te_at_5pct)
+            .set("soak_mean_us",
+                 harness::Json::object()
+                     .set("clean", soak_clean)
+                     .set("faulted", soak_fault)));
 
     if (cfg.name == std::string("OUT") && err_c.steady.cycles() > 0 &&
         (icpi_dc != 0.0 || mcpi_dc != 0.0 || icpi_ds != 0.0 ||

@@ -1,0 +1,158 @@
+// bench_miss_attribution: who misses, and whose lines they evict.
+//
+// The paper's cache-layout story (Section 4) is told in aggregates: Table 6
+// counts replacement misses, Table 7 turns them into mCPI.  This bench adds
+// the attribution behind those aggregates for all six configurations: the
+// per-function miss counts and mCPI contributions, and the i-cache conflict
+// matrix (victim function <- evicting function) that the bipartite layout
+// is designed to empty.
+//
+// Verified property: the pessimal BAD layout packs hot functions onto the
+// same cache sets, so its steady-state client i-cache profile has a
+// dominant function-vs-function conflict pair.  The bipartite CLO layout
+// places the same functions contiguously by profile order, which must
+// split that pair — its (victim, evictor) eviction count under CLO, summed
+// over both directions, has to fall to a small fraction of BAD's.  The
+// bench exits 1 when it does not.
+//
+// Output: one table per replay kind (steady/cold) with per-config i-cache
+// attribution summaries, plus bench/out/bench_miss_attribution.json
+// (schema l96.sweep.v1; each row carries an l96.missmap.v1 "missmap"
+// section with the full function/conflict/set breakdown).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/missmap.h"
+#include "harness/sweep.h"
+#include "harness/tables.h"
+
+using namespace l96;
+
+namespace {
+
+/// First steady i-cache conflict pair between two distinct, known function
+/// owners (conflict rows are sorted by count desc, so this is the dominant
+/// one); nullptr when the profile has none.
+const sim::MissProfile::ConflictRow* top_function_pair(
+    const sim::MissProfile::Section& s) {
+  for (const auto& c : s.conflicts) {
+    if (c.victim == c.evictor) continue;
+    if (c.victim == sim::kUnknownOwner || c.evictor == sim::kUnknownOwner) {
+      continue;
+    }
+    if (c.victim_name.rfind("data:", 0) == 0 ||
+        c.evictor_name.rfind("data:", 0) == 0) {
+      continue;
+    }
+    return &c;
+  }
+  return nullptr;
+}
+
+/// Eviction count between two named owners, both directions summed.
+std::uint64_t pair_count(const sim::MissProfile::Section& s,
+                         const std::string& a, const std::string& b) {
+  std::uint64_t n = 0;
+  for (const auto& c : s.conflicts) {
+    if ((c.victim_name == a && c.evictor_name == b) ||
+        (c.victim_name == b && c.evictor_name == a)) {
+      n += c.count;
+    }
+  }
+  return n;
+}
+
+std::string pair_label(const sim::MissProfile::ConflictRow* c) {
+  if (c == nullptr) return "-";
+  return c->victim_name + "<-" + c->evictor_name;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<harness::SweepJob> jobs;
+  for (const auto& cfg : harness::paper_configs()) {
+    harness::SweepJob j;
+    j.kind = net::StackKind::kTcpIp;
+    j.client = cfg;
+    j.server = cfg;
+    j.profile_misses = true;
+    jobs.push_back(std::move(j));
+  }
+  harness::SweepRunner runner;
+  const auto outcomes = runner.run(jobs);
+
+  const sim::MissProfile::Section* bad_steady = nullptr;
+  const sim::MissProfile::Section* clo_steady = nullptr;
+
+  for (const char* replay : {"steady", "cold"}) {
+    harness::Table t(std::string("Miss attribution (client i-cache, ") +
+                     replay + " replay)");
+    t.columns({"Version", "misses", "repl", "cold", "mCPI(i)", "fns",
+               "top conflict pair", "count"});
+    for (const auto& o : outcomes) {
+      const harness::SideMeasurement& m = o.result.client;
+      const auto& prof =
+          std::string(replay) == "cold" ? m.miss_cold : m.miss_steady;
+      if (!prof) {
+        std::fprintf(stderr, "FAIL: %s has no %s miss profile\n",
+                     o.label.c_str(), replay);
+        return 1;
+      }
+      const sim::MissProfile::Section& s = prof->icache;
+      if (std::string(replay) == "steady") {
+        if (o.label == "BAD") bad_steady = &s;
+        if (o.label == "CLO") clo_steady = &s;
+      }
+      const auto* top = top_function_pair(s);
+      t.row({o.label, std::to_string(s.misses),
+             std::to_string(s.repl_misses),
+             std::to_string(s.misses - s.repl_misses),
+             harness::fmt(m.instructions == 0
+                              ? 0.0
+                              : static_cast<double>(s.stall_cycles) /
+                                    static_cast<double>(m.instructions),
+                          4),
+             std::to_string(s.owners.size()), pair_label(top),
+             top != nullptr ? std::to_string(top->count) : "-"});
+    }
+    t.print();
+  }
+
+  harness::write_sweep_metrics("bench_miss_attribution", runner, jobs,
+                               outcomes);
+
+  // --- verification: CLO splits BAD's dominant conflict pair -------------
+  if (bad_steady == nullptr || clo_steady == nullptr) {
+    std::fprintf(stderr, "FAIL: BAD or CLO profile missing\n");
+    return 1;
+  }
+  const auto* bad_top = top_function_pair(*bad_steady);
+  if (bad_top == nullptr || bad_top->count == 0) {
+    std::fprintf(stderr,
+                 "FAIL: BAD steady replay has no function-vs-function "
+                 "i-cache conflict pair — the pessimal layout is not "
+                 "creating conflicts\n");
+    return 1;
+  }
+  const std::uint64_t bad_n = pair_count(*bad_steady, bad_top->victim_name,
+                                         bad_top->evictor_name);
+  const std::uint64_t clo_n = pair_count(*clo_steady, bad_top->victim_name,
+                                         bad_top->evictor_name);
+  std::printf(
+      "BAD dominant i-cache conflict pair: %s <- %s, %llu evictions "
+      "(both directions); same pair under CLO: %llu\n",
+      bad_top->victim_name.c_str(), bad_top->evictor_name.c_str(),
+      static_cast<unsigned long long>(bad_n),
+      static_cast<unsigned long long>(clo_n));
+  if (clo_n * 10 > bad_n) {
+    std::fprintf(stderr,
+                 "FAIL: bipartite layout did not split BAD's dominant "
+                 "conflict pair (CLO %llu > 10%% of BAD %llu)\n",
+                 static_cast<unsigned long long>(clo_n),
+                 static_cast<unsigned long long>(bad_n));
+    return 1;
+  }
+  return 0;
+}

@@ -43,6 +43,44 @@ int CodeImage::composite_of(FnId fn) const noexcept {
   return it == member_of_.end() ? -1 : it->second;
 }
 
+void CodeImage::export_regions(const CodeRegistry& reg,
+                               sim::OwnerMap& map) const {
+  using sim::OwnerSegment;
+
+  // Owner ids in registry order, independent of placement-map iteration
+  // order, so two exports of the same image are byte-identical.
+  for (const Function& fn : reg.functions()) map.add_owner(fn.name);
+
+  auto add_placement = [&](FnId f, const FnPlacement& pl,
+                           bool standalone_copy) {
+    const sim::OwnerId owner = map.add_owner(reg.fn(f).name);
+    const OwnerSegment body =
+        standalone_copy ? OwnerSegment::kStandalone : OwnerSegment::kHot;
+    map.add_region(pl.entry, pl.entry + 4ull * pl.prologue_words, owner, body);
+    for (BlockId b = 0; b < pl.blocks.size(); ++b) {
+      const BlockPlacement& bp = pl.blocks[b];
+      if (bp.words == 0 && bp.slack == 0) continue;
+      const OwnerSegment seg = standalone_copy ? OwnerSegment::kStandalone
+                               : bp.outlined   ? OwnerSegment::kOutlined
+                                               : OwnerSegment::kHot;
+      map.add_region(bp.addr, bp.end(), owner, seg,
+                     static_cast<std::int32_t>(b));
+    }
+    map.add_region(pl.epilogue_addr,
+                   pl.epilogue_addr + 4ull * pl.epilogue_words, owner, body);
+  };
+
+  for (FnId f = 0; f < standalone_.size(); ++f) {
+    add_placement(f, standalone_[f], member_of_.contains(f));
+  }
+  for (const Function& fn : reg.functions()) {
+    auto it = composite_.find(fn.id);
+    if (it != composite_.end()) {
+      add_placement(fn.id, it->second, /*standalone_copy=*/false);
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // ImageBuilder
 // ---------------------------------------------------------------------------

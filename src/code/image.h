@@ -30,6 +30,7 @@
 #include "code/model.h"
 #include "code/trace.h"
 #include "sim/cache.h"
+#include "sim/miss_profiler.h"
 
 namespace l96::code {
 
@@ -74,6 +75,15 @@ class CodeImage {
   /// Simulated GOT slot of a function (a data address: the load emitted for
   /// a non-pc-relative call reads this slot).
   sim::Addr got_addr(FnId fn) const noexcept { return got_base_ + 8ull * fn; }
+
+  /// Export every placed instruction region (prologue, basic blocks,
+  /// epilogue — composite and standalone placements alike) into `map`, one
+  /// owner per function named after it.  Regions carry the basic-block
+  /// index and segment (hot / outlined / cold-segment standalone copy), so
+  /// a cache-miss profiler can attribute any fetched address back to the
+  /// function and block that own it.  Data regions are the caller's job
+  /// (see build_owner_map in code/lower.h); call map.seal() when done.
+  void export_regions(const CodeRegistry& reg, sim::OwnerMap& map) const;
 
  private:
   friend class ImageBuilder;

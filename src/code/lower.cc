@@ -286,4 +286,29 @@ sim::MachineTrace Lowering::lower(const PathTrace& trace) const {
   return st.run(trace);
 }
 
+sim::OwnerMap build_owner_map(const CodeRegistry& reg, const CodeImage& img,
+                              const LowerParams& params,
+                              const std::vector<DataRegionSpec>& extra) {
+  sim::OwnerMap map;
+  img.export_regions(reg, map);
+
+  auto add_data = [&map](const std::string& name, sim::Addr lo, sim::Addr hi) {
+    map.add_region(lo, hi, map.add_owner(name), sim::OwnerSegment::kData);
+  };
+  // Stack frames nest downward from stack_top (call depth is bounded far
+  // below this window); the trailing block covers frame_base slots at the
+  // top frame itself.
+  add_data("data:stack", params.stack_top - 0x8'0000,
+           params.stack_top + 0x1000);
+  add_data("data:globals", params.globals_base,
+           params.globals_base +
+               sim::Addr{reg.size()} * params.globals_span_bytes);
+  add_data("data:got", img.got_base(), img.got_addr(static_cast<FnId>(
+                                           reg.size())));
+  for (const DataRegionSpec& r : extra) add_data(r.name, r.lo, r.hi);
+
+  map.seal();
+  return map;
+}
+
 }  // namespace l96::code

@@ -14,6 +14,8 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "code/image.h"
 #include "code/model.h"
@@ -40,6 +42,24 @@ struct LowerParams {
   sim::Addr globals_base = 0xB004'0000;
   std::uint32_t globals_span_bytes = 256;
 };
+
+/// A named data region for the load/store side of an OwnerMap (e.g. the
+/// SimAlloc message-buffer arena, which code/ cannot name itself).
+struct DataRegionSpec {
+  std::string name;
+  sim::Addr lo = 0;
+  sim::Addr hi = 0;  ///< exclusive
+};
+
+/// Build the full address→owner map for `img`: every placed instruction
+/// region (CodeImage::export_regions) plus the data regions lowering
+/// synthesizes traffic against — the stack frames below params.stack_top,
+/// the per-function globals windows, and the GOT — plus any caller-supplied
+/// extra regions.  The returned map is sealed and ready for a
+/// sim::MissProfiler.
+sim::OwnerMap build_owner_map(const CodeRegistry& reg, const CodeImage& img,
+                              const LowerParams& params = {},
+                              const std::vector<DataRegionSpec>& extra = {});
 
 class Lowering {
  public:

@@ -90,38 +90,47 @@ code::CodeImage build_image(net::StackKind kind, const code::StackConfig& cfg,
   return b.build();
 }
 
-SideMeasurement measure_side(net::StackKind kind, const code::StackConfig& cfg,
-                             const code::CodeRegistry& reg,
-                             const code::PathTrace& trace, std::size_t split,
-                             std::uint64_t seed_offset,
-                             const MachineParams& params) {
-  return measure_side_with_profile(kind, cfg, reg, trace, trace, split,
-                                   seed_offset, params);
-}
+SideMeasurement measure_side(const MeasureSpec& spec) {
+  if (spec.registry == nullptr || spec.trace == nullptr) {
+    throw std::invalid_argument(
+        "MeasureSpec requires a registry and a trace");
+  }
+  const code::CodeRegistry& reg = *spec.registry;
+  const code::PathTrace& trace = *spec.trace;
+  const code::PathTrace& profile =
+      spec.profile != nullptr ? *spec.profile : trace;
+  const MachineParams& params = spec.params;
 
-SideMeasurement measure_side_with_profile(
-    net::StackKind kind, const code::StackConfig& cfg,
-    const code::CodeRegistry& reg, const code::PathTrace& profile,
-    const code::PathTrace& trace, std::size_t split,
-    std::uint64_t seed_offset, const MachineParams& params) {
   SideMeasurement m;
-  m.config_name = cfg.name;
+  m.config_name = spec.cfg.name;
 
-  const code::CodeImage image = build_image(kind, cfg, reg, profile, params);
+  const code::CodeImage image =
+      build_image(spec.kind, spec.cfg, reg, profile, params);
   m.static_hot_words = image.hot_words();
   m.static_total_words = image.total_words();
 
-  code::Lowering lower(reg, image, cfg);
+  code::Lowering lower(reg, image, spec.cfg);
   const sim::MachineTrace full = lower.lower(trace);
   m.instructions = full.size();
 
   code::PathTrace critical_trace;
-  critical_trace.events.assign(trace.events.begin(),
-                               trace.events.begin() +
-                                   static_cast<std::ptrdiff_t>(
-                                       std::min(split, trace.events.size())));
+  critical_trace.events.assign(
+      trace.events.begin(),
+      trace.events.begin() + static_cast<std::ptrdiff_t>(
+                                 std::min(spec.split, trace.events.size())));
   const sim::MachineTrace critical = lower.lower(critical_trace);
   m.critical_instructions = critical.size();
+
+  // Miss attribution: one profiler (owner map shared) drives both full
+  // replays; Machine::run resets it at measurement start, so each snapshot
+  // covers exactly one replay and conserves to that replay's CacheStats.
+  std::unique_ptr<sim::MissProfiler> prof;
+  if (spec.profile_misses) {
+    prof = std::make_unique<sim::MissProfiler>(code::build_owner_map(
+        reg, image, code::LowerParams{},
+        {{"data:arena", xk::SimAlloc::kArenaBase,
+          xk::SimAlloc::kArenaBase + 0x100'0000}}));
+  }
 
   // Cold replay: the paper's trace-driven cache simulation (Table 6).
   {
@@ -129,7 +138,12 @@ SideMeasurement measure_side_with_profile(
     sim::Machine::Options opts;
     opts.cold_start = true;
     opts.warmup_passes = 0;
+    opts.miss_profiler = prof.get();
     m.cold = machine.run(full, opts);
+    if (prof) {
+      m.miss_cold =
+          std::make_shared<const sim::MissProfile>(prof->snapshot());
+    }
   }
   // Steady replay: processing time and CPI (Table 7).
   sim::Machine::Options steady;
@@ -137,11 +151,17 @@ SideMeasurement measure_side_with_profile(
   steady.warmup_passes = params.warmup_passes;
   steady.scrub_fraction = params.scrub_fraction;
   steady.scrub_fraction_d = params.scrub_fraction_d;
-  steady.scrub_seed = params.scrub_seed + seed_offset;
+  steady.scrub_seed = params.scrub_seed + spec.seed_offset;
   {
     sim::Machine machine(params.mem, params.cpu);
-    m.steady = machine.run(full, steady);
+    sim::Machine::Options opts = steady;
+    opts.miss_profiler = prof.get();
+    m.steady = machine.run(full, opts);
     m.tp_us = m.steady.processing_us(params.cpu.frequency_hz);
+    if (prof) {
+      m.miss_steady =
+          std::make_shared<const sim::MissProfile>(prof->snapshot());
+    }
   }
   {
     sim::Machine machine(params.mem, params.cpu);
@@ -151,6 +171,39 @@ SideMeasurement measure_side_with_profile(
 
   m.footprint = code::footprint_stats(full, image, params.mem.block_bytes);
   return m;
+}
+
+SideMeasurement measure_side(net::StackKind kind, const code::StackConfig& cfg,
+                             const code::CodeRegistry& reg,
+                             const code::PathTrace& trace, std::size_t split,
+                             std::uint64_t seed_offset,
+                             const MachineParams& params) {
+  MeasureSpec spec;
+  spec.kind = kind;
+  spec.cfg = cfg;
+  spec.registry = &reg;
+  spec.trace = &trace;
+  spec.split = split;
+  spec.seed_offset = seed_offset;
+  spec.params = params;
+  return measure_side(spec);
+}
+
+SideMeasurement measure_side_with_profile(
+    net::StackKind kind, const code::StackConfig& cfg,
+    const code::CodeRegistry& reg, const code::PathTrace& profile,
+    const code::PathTrace& trace, std::size_t split,
+    std::uint64_t seed_offset, const MachineParams& params) {
+  MeasureSpec spec;
+  spec.kind = kind;
+  spec.cfg = cfg;
+  spec.registry = &reg;
+  spec.profile = &profile;
+  spec.trace = &trace;
+  spec.split = split;
+  spec.seed_offset = seed_offset;
+  spec.params = params;
+  return measure_side(spec);
 }
 
 ConfigResult combine_sides(SideMeasurement client, SideMeasurement server,
@@ -171,10 +224,10 @@ ConfigResult combine_sides(SideMeasurement client, SideMeasurement server,
 ConfigResult Experiment::run() {
   capture();
 
-  auto c = measure_side(kind_, client_cfg_, world_->client().registry(),
-                        client_trace_, client_split_, 0, params_);
-  auto s = measure_side(kind_, server_cfg_, world_->server().registry(),
-                        server_trace_, server_split_, 1, params_);
+  MeasureSpec cspec = client_spec();
+  MeasureSpec sspec = server_spec();
+  auto c = measure_side(cspec);
+  auto s = measure_side(sspec);
   const double controller =
       2.0 * world_->wire().params().one_way_us(proto::Lance::kMinFrame);
   return combine_sides(std::move(c), std::move(s), controller,
@@ -187,14 +240,40 @@ std::vector<double> Experiment::te_samples(std::uint64_t n_samples) {
   std::vector<double> out;
   const double controller =
       2.0 * world_->wire().params().one_way_us(proto::Lance::kMinFrame);
+  MeasureSpec cspec = client_spec();
+  MeasureSpec sspec = server_spec();
   for (std::uint64_t i = 0; i < n_samples; ++i) {
-    auto c = measure_side(kind_, client_cfg_, world_->client().registry(),
-                          client_trace_, client_split_, 100 + i * 7, params_);
-    auto s = measure_side(kind_, server_cfg_, world_->server().registry(),
-                          server_trace_, server_split_, 200 + i * 13, params_);
+    cspec.seed_offset = 100 + i * 7;
+    sspec.seed_offset = 200 + i * 13;
+    auto c = measure_side(cspec);
+    auto s = measure_side(sspec);
     out.push_back(controller + c.critical_us + s.critical_us);
   }
   return out;
+}
+
+MeasureSpec Experiment::client_spec() const {
+  MeasureSpec spec;
+  spec.kind = kind_;
+  spec.cfg = client_cfg_;
+  spec.registry = &world_->client().registry();
+  spec.trace = &client_trace_;
+  spec.split = client_split_;
+  spec.seed_offset = 0;
+  spec.params = params_;
+  return spec;
+}
+
+MeasureSpec Experiment::server_spec() const {
+  MeasureSpec spec;
+  spec.kind = kind_;
+  spec.cfg = server_cfg_;
+  spec.registry = &world_->server().registry();
+  spec.trace = &server_trace_;
+  spec.split = server_split_;
+  spec.seed_offset = 1;
+  spec.params = params_;
+  return spec;
 }
 
 sim::MachineTrace Experiment::lower_client(

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -69,6 +70,11 @@ struct SideMeasurement {
   double critical_us = 0;                ///< pre-transmit processing time
   std::uint64_t static_hot_words = 0;    ///< image hot-segment size
   std::uint64_t static_total_words = 0;
+  /// Miss-attribution snapshots of the cold and steady full replays; null
+  /// unless MeasureSpec::profile_misses was set.  shared_ptr keeps the
+  /// struct cheap to copy (benches pass SideMeasurements around by value).
+  std::shared_ptr<const sim::MissProfile> miss_cold;
+  std::shared_ptr<const sim::MissProfile> miss_steady;
 };
 
 struct ConfigResult {
@@ -102,20 +108,49 @@ code::CodeImage build_image(net::StackKind kind, const code::StackConfig& cfg,
                             const code::PathTrace& profile,
                             const MachineParams& params);
 
-/// Lower `trace` under `cfg`'s image and replay it cold + steady: the
-/// measurement kernel shared by Experiment and SweepRunner.  Reads `reg`
-/// and `trace` only — safe to call concurrently from multiple threads over
-/// the same registry and trace.
+/// Everything measure_side() needs for one side of one configuration,
+/// bundled.  The former positional signatures grew to 7-8 parameters (and a
+/// second entry point for off-profile replays); the struct form names every
+/// field, defaults the profile to the replayed trace, and leaves room for
+/// measurement options like profile_misses without another signature.
+struct MeasureSpec {
+  net::StackKind kind = net::StackKind::kTcpIp;
+  code::StackConfig cfg;
+  /// Registry the trace's function ids refer to (the owning World's).
+  const code::CodeRegistry* registry = nullptr;
+  /// The activation to lower and replay.
+  const code::PathTrace* trace = nullptr;
+  /// Layout profile the image is built from; nullptr means `trace` itself
+  /// (the mainline case).  Point it at a different capture to replay an
+  /// off-profile activation (e.g. an error path) under the mainline image.
+  const code::PathTrace* profile = nullptr;
+  /// Events of `trace` preceding the transmit point (critical path).
+  std::size_t split = 0;
+  /// Per-side scrub-seed offset (client 0 / server 1 by convention).
+  std::uint64_t seed_offset = 0;
+  MachineParams params = MachineParams::defaults();
+  /// Attach a sim::MissProfiler to the cold and steady full replays and
+  /// store snapshots in SideMeasurement::miss_cold / miss_steady.
+  bool profile_misses = false;
+};
+
+/// Lower spec.trace under spec.cfg's image and replay it cold + steady: the
+/// measurement kernel shared by Experiment, SweepRunner and the benches.
+/// Pure function of the spec; reads the registry and traces only — safe to
+/// call concurrently from multiple threads over the same registry/trace.
+/// Throws std::invalid_argument when registry or trace is null.
+SideMeasurement measure_side(const MeasureSpec& spec);
+
+/// Deprecated positional wrapper around measure_side(MeasureSpec); produces
+/// byte-identical numbers (tested).  Prefer the struct form.
 SideMeasurement measure_side(net::StackKind kind, const code::StackConfig& cfg,
                              const code::CodeRegistry& reg,
                              const code::PathTrace& trace, std::size_t split,
                              std::uint64_t seed_offset,
                              const MachineParams& params);
 
-/// Like measure_side, but lays the image out from `profile` while replaying
-/// `trace` — measuring an off-profile activation (e.g. an error path) under
-/// the image the mainline profile produced.  measure_side is the special
-/// case profile == trace.
+/// Deprecated positional wrapper for the off-profile case (MeasureSpec with
+/// `profile` pointing at the mainline capture).  Prefer the struct form.
 SideMeasurement measure_side_with_profile(
     net::StackKind kind, const code::StackConfig& cfg,
     const code::CodeRegistry& reg, const code::PathTrace& profile,
@@ -158,6 +193,13 @@ class Experiment {
   /// Index of the first kCall event naming `fn_name` in the client trace,
   /// or npos.
   std::size_t find_client_call(std::string_view fn_name) const;
+
+  /// MeasureSpec for this experiment's client/server side (capture() must
+  /// have run; the spec borrows the world's registry and this object's
+  /// trace).  Exposed so callers can tweak one field (seed, profiling)
+  /// without re-deriving the rest.
+  MeasureSpec client_spec() const;
+  MeasureSpec server_spec() const;
 
  private:
   void capture();

@@ -1,0 +1,118 @@
+#include "harness/json.h"
+
+#include <cstdio>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace l96::harness {
+
+Json& Json::push_back(Json v) {
+  if (std::holds_alternative<std::nullptr_t>(v_)) v_ = Array{};
+  std::get<Array>(v_).push_back(std::move(v));
+  return *this;
+}
+
+Json& Json::set(const std::string& key, Json v) {
+  if (std::holds_alternative<std::nullptr_t>(v_)) v_ = Object{};
+  Object& o = std::get<Object>(v_);
+  for (auto& [k, existing] : o) {
+    if (k == key) {
+      existing = std::move(v);
+      return *this;
+    }
+  }
+  o.emplace_back(key, std::move(v));
+  return *this;
+}
+
+const Json* Json::find(const std::string& key) const noexcept {
+  const Object* o = std::get_if<Object>(&v_);
+  if (o == nullptr) return nullptr;
+  for (const auto& [k, v] : *o) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Json::Object* Json::as_object() const noexcept {
+  return std::get_if<Object>(&v_);
+}
+
+const std::string* Json::as_string() const noexcept {
+  return std::get_if<std::string>(&v_);
+}
+
+std::size_t Json::size() const noexcept {
+  if (const Array* a = std::get_if<Array>(&v_)) return a->size();
+  if (const Object* o = std::get_if<Object>(&v_)) return o->size();
+  return 0;
+}
+
+std::string Json::escape(const std::string& s) {
+  std::string r;
+  r.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': r += "\\\""; break;
+      case '\\': r += "\\\\"; break;
+      case '\n': r += "\\n"; break;
+      case '\t': r += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          r += buf;
+        } else {
+          r.push_back(c);
+        }
+    }
+  }
+  return r;
+}
+
+std::string Json::number(double v) {
+  std::ostringstream ss;
+  ss << std::setprecision(12) << v;
+  return ss.str();
+}
+
+void Json::dump(std::ostream& os) const {
+  struct Visitor {
+    std::ostream& os;
+    void operator()(std::nullptr_t) const { os << "null"; }
+    void operator()(bool b) const { os << (b ? "true" : "false"); }
+    void operator()(double d) const { os << number(d); }
+    void operator()(std::int64_t i) const { os << i; }
+    void operator()(std::uint64_t u) const { os << u; }
+    void operator()(const std::string& s) const {
+      os << '"' << escape(s) << '"';
+    }
+    void operator()(const Array& a) const {
+      os << '[';
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (i != 0) os << ',';
+        a[i].dump(os);
+      }
+      os << ']';
+    }
+    void operator()(const Object& o) const {
+      os << '{';
+      for (std::size_t i = 0; i < o.size(); ++i) {
+        if (i != 0) os << ',';
+        os << '"' << escape(o[i].first) << "\":";
+        o[i].second.dump(os);
+      }
+      os << '}';
+    }
+  };
+  std::visit(Visitor{os}, v_);
+}
+
+std::string Json::dump() const {
+  std::ostringstream ss;
+  dump(ss);
+  return ss.str();
+}
+
+}  // namespace l96::harness

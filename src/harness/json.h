@@ -1,0 +1,95 @@
+// A minimal ordered JSON value for the harness's structured metrics.
+//
+// The sweep writer originally hand-built every JSON string; bench-specific
+// sections (the fault bench's penalty deltas, the miss-attribution maps)
+// now build a typed Json tree instead and share one emission code path.
+// Objects preserve insertion order, numbers are emitted with the same
+// formatting the sweep writer always used (12 significant digits for
+// doubles, exact integers for counters), so output stays deterministic and
+// byte-stable across runs.
+//
+// This is deliberately an emitter, not a parser: bench output is consumed
+// by external tooling, nothing in-tree reads it back.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace l96::harness {
+
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() : v_(nullptr) {}
+  Json(std::nullptr_t) : v_(nullptr) {}
+  Json(bool b) : v_(b) {}
+  Json(double d) : v_(d) {}
+  Json(int i) : v_(static_cast<std::int64_t>(i)) {}
+  Json(std::int64_t i) : v_(i) {}
+  Json(std::uint64_t u) : v_(u) {}
+  Json(std::string s) : v_(std::move(s)) {}
+  Json(const char* s) : v_(std::string(s)) {}
+
+  static Json array() {
+    Json j;
+    j.v_ = Array{};
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.v_ = Object{};
+    return j;
+  }
+
+  bool is_object() const noexcept {
+    return std::holds_alternative<Object>(v_);
+  }
+  bool is_array() const noexcept { return std::holds_alternative<Array>(v_); }
+
+  /// Append to an array (converts a null value to an array first).
+  Json& push_back(Json v);
+
+  /// Set a key on an object (converts a null value to an object first).
+  /// Keys keep insertion order; setting an existing key overwrites in
+  /// place.  Returns *this for chaining.
+  Json& set(const std::string& key, Json v);
+
+  /// Object lookup; nullptr when absent or not an object.
+  const Json* find(const std::string& key) const noexcept;
+
+  /// Object entries in insertion order; nullptr when not an object.
+  const Object* as_object() const noexcept;
+  /// The string payload; nullptr when not a string.
+  const std::string* as_string() const noexcept;
+
+  std::size_t size() const noexcept;
+
+  void dump(std::ostream& os) const;
+  std::string dump() const;
+
+  /// JSON string escaping (shared with the sweep writer).
+  static std::string escape(const std::string& s);
+  /// Double formatting (12 significant digits, shared with the sweep
+  /// writer's historical `num()` helper).
+  static std::string number(double v);
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::int64_t, std::uint64_t,
+               std::string, Array, Object>
+      v_;
+};
+
+/// A schema-versioned section: `{"schema": "<name>", ...}`.  Every section
+/// attached to a SweepOutcome via extra_json() must start from one of
+/// these, so external consumers can dispatch on the schema field.
+inline Json json_section(const std::string& schema) {
+  return Json::object().set("schema", schema);
+}
+
+}  // namespace l96::harness

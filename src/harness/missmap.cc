@@ -1,0 +1,130 @@
+#include "harness/missmap.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+
+namespace l96::harness {
+
+namespace {
+
+double per_instruction(std::uint64_t cycles, std::uint64_t instructions) {
+  return instructions == 0
+             ? 0.0
+             : static_cast<double>(cycles) / static_cast<double>(instructions);
+}
+
+Json section_json(const sim::MissProfile::Section& s,
+                  std::uint64_t instructions, std::size_t top_conflicts) {
+  Json j = Json::object()
+               .set("misses", s.misses)
+               .set("repl_misses", s.repl_misses)
+               .set("stall_cycles", s.stall_cycles)
+               .set("mcpi_contrib",
+                    per_instruction(s.stall_cycles, instructions));
+
+  Json fns = Json::array();
+  for (const auto& o : s.owners) {
+    fns.push_back(Json::object()
+                      .set("name", o.name)
+                      .set("misses", o.misses)
+                      .set("repl_misses", o.repl_misses)
+                      .set("cold_misses", o.cold_misses())
+                      .set("stall_cycles", o.stall_cycles)
+                      .set("mcpi_contrib",
+                           per_instruction(o.stall_cycles, instructions)));
+  }
+  j.set("functions", std::move(fns));
+
+  Json conflicts = Json::array();
+  const std::size_t n = std::min(top_conflicts, s.conflicts.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& c = s.conflicts[i];
+    conflicts.push_back(Json::object()
+                            .set("victim", c.victim_name)
+                            .set("evictor", c.evictor_name)
+                            .set("count", c.count));
+  }
+  j.set("conflicts", std::move(conflicts));
+  j.set("conflicts_total", std::uint64_t{s.conflicts.size()});
+
+  Json sets = Json::array();
+  for (const auto& row : s.sets) {
+    sets.push_back(Json::object()
+                       .set("set", std::uint64_t{row.set})
+                       .set("misses", row.misses)
+                       .set("owners", std::uint64_t{row.owners}));
+  }
+  j.set("sets", std::move(sets));
+  return j;
+}
+
+}  // namespace
+
+Json miss_profile_json(const sim::MissProfile& p, std::uint64_t instructions,
+                       std::size_t top_conflicts) {
+  return Json::object()
+      .set("instructions", instructions)
+      .set("icache", section_json(p.icache, instructions, top_conflicts))
+      .set("dcache", section_json(p.dcache, instructions, top_conflicts));
+}
+
+Json missmap_json(const ConfigResult& r, std::size_t top_conflicts) {
+  Json section = json_section("l96.missmap.v1");
+  auto add_side = [&](const char* key, const SideMeasurement& m) {
+    if (!m.miss_cold && !m.miss_steady) return;
+    Json side = Json::object();
+    if (m.miss_cold) {
+      side.set("cold", miss_profile_json(*m.miss_cold, m.instructions,
+                                         top_conflicts));
+    }
+    if (m.miss_steady) {
+      side.set("steady", miss_profile_json(*m.miss_steady, m.instructions,
+                                           top_conflicts));
+    }
+    section.set(key, std::move(side));
+  };
+  add_side("client", r.client);
+  add_side("server", r.server);
+  return section;
+}
+
+void print_miss_section(std::ostream& os, const sim::MissProfile::Section& s,
+                        std::uint64_t instructions, std::size_t top) {
+  os << "  misses " << s.misses << " (repl " << s.repl_misses << ", cold "
+     << (s.misses - s.repl_misses) << "), stall cycles " << s.stall_cycles
+     << ", mCPI contribution " << std::fixed << std::setprecision(4)
+     << per_instruction(s.stall_cycles, instructions) << "\n";
+
+  const std::size_t n_fn = std::min(top, s.owners.size());
+  if (n_fn != 0) {
+    os << "  " << std::left << std::setw(34) << "function" << std::right
+       << std::setw(9) << "misses" << std::setw(9) << "repl" << std::setw(9)
+       << "cold" << std::setw(10) << "mCPI" << "\n";
+    for (std::size_t i = 0; i < n_fn; ++i) {
+      const auto& o = s.owners[i];
+      os << "  " << std::left << std::setw(34) << o.name << std::right
+         << std::setw(9) << o.misses << std::setw(9) << o.repl_misses
+         << std::setw(9) << o.cold_misses() << std::setw(10) << std::fixed
+         << std::setprecision(4)
+         << per_instruction(o.stall_cycles, instructions) << "\n";
+    }
+  }
+
+  const std::size_t n_cf = std::min(top, s.conflicts.size());
+  if (n_cf != 0) {
+    os << "  top conflict pairs (victim <- evictor):\n";
+    for (std::size_t i = 0; i < n_cf; ++i) {
+      const auto& c = s.conflicts[i];
+      os << "    " << std::left << std::setw(30) << c.victim_name << " <- "
+         << std::setw(30) << c.evictor_name << std::right << std::setw(8)
+         << c.count << "\n";
+    }
+    if (s.conflicts.size() > n_cf) {
+      os << "    ... " << (s.conflicts.size() - n_cf) << " more pairs\n";
+    }
+  }
+  os.unsetf(std::ios::floatfield);
+}
+
+}  // namespace l96::harness

@@ -3,17 +3,15 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <cstdio>
 #include <filesystem>
 #include <fstream>
-#include <iomanip>
 #include <mutex>
 #include <ostream>
 #include <set>
-#include <sstream>
 #include <stdexcept>
 #include <thread>
 
+#include "harness/missmap.h"
 #include "protocols/lance.h"
 
 namespace l96::harness {
@@ -40,6 +38,22 @@ void append_functional_fields(std::string& key, const code::StackConfig& c) {
 }
 
 }  // namespace
+
+void SweepOutcome::extra_json(const std::string& key, Json section) {
+  if (!section.is_object()) {
+    throw std::invalid_argument("extra_json('" + key +
+                                "'): section must be a JSON object");
+  }
+  const Json* schema = section.find("schema");
+  if (schema == nullptr || schema->as_string() == nullptr ||
+      schema->as_string()->empty()) {
+    throw std::invalid_argument(
+        "extra_json('" + key +
+        "'): section must carry a string \"schema\" field "
+        "(start from json_section())");
+  }
+  sections_.set(key, std::move(section));
+}
 
 std::string capture_key(net::StackKind kind, const code::StackConfig& ccfg,
                         const code::StackConfig& scfg,
@@ -117,27 +131,44 @@ std::vector<SweepOutcome> SweepRunner::run(const std::vector<SweepJob>& jobs) {
       const TraceCaptureCache::Entry& e = *entries[i];
       const auto t0 = std::chrono::steady_clock::now();
       try {
-        auto c = measure_side(job.kind, job.client,
-                              e.world->client().registry(), e.traces.client,
-                              e.traces.client_split, 0, job.params);
-        auto s = measure_side(job.kind, job.server,
-                              e.world->server().registry(), e.traces.server,
-                              e.traces.server_split, 1, job.params);
+        MeasureSpec cspec;
+        cspec.kind = job.kind;
+        cspec.cfg = job.client;
+        cspec.registry = &e.world->client().registry();
+        cspec.trace = &e.traces.client;
+        cspec.split = e.traces.client_split;
+        cspec.seed_offset = 0;
+        cspec.params = job.params;
+        cspec.profile_misses = job.profile_misses;
+
+        MeasureSpec sspec;
+        sspec.kind = job.kind;
+        sspec.cfg = job.server;
+        sspec.registry = &e.world->server().registry();
+        sspec.trace = &e.traces.server;
+        sspec.split = e.traces.server_split;
+        sspec.seed_offset = 1;
+        sspec.params = job.params;
+        sspec.profile_misses = job.profile_misses;
+
+        auto c = measure_side(cspec);
+        auto s = measure_side(sspec);
         out[i].result = combine_sides(std::move(c), std::move(s),
                                       e.controller_us,
                                       job.client.path_inlining,
                                       job.server.path_inlining, job.params);
+        // te samples vary only the scrub seed; never profiled.
+        cspec.profile_misses = sspec.profile_misses = false;
         for (std::uint64_t k = 0; k < job.te_sample_count; ++k) {
-          auto sc = measure_side(job.kind, job.client,
-                                 e.world->client().registry(),
-                                 e.traces.client, e.traces.client_split,
-                                 100 + k * 7, job.params);
-          auto ss = measure_side(job.kind, job.server,
-                                 e.world->server().registry(),
-                                 e.traces.server, e.traces.server_split,
-                                 200 + k * 13, job.params);
+          cspec.seed_offset = 100 + k * 7;
+          sspec.seed_offset = 200 + k * 13;
+          auto sc = measure_side(cspec);
+          auto ss = measure_side(sspec);
           out[i].te_samples.push_back(e.controller_us + sc.critical_us +
                                       ss.critical_us);
+        }
+        if (job.profile_misses) {
+          out[i].extra_json("missmap", missmap_json(out[i].result));
         }
       } catch (const std::exception& ex) {
         errors[i] = ex.what();
@@ -171,33 +202,10 @@ std::vector<SweepOutcome> SweepRunner::run(const std::vector<SweepJob>& jobs) {
 
 namespace {
 
-std::string json_escape(const std::string& s) {
-  std::string r;
-  r.reserve(s.size() + 2);
-  for (char c : s) {
-    switch (c) {
-      case '"': r += "\\\""; break;
-      case '\\': r += "\\\\"; break;
-      case '\n': r += "\\n"; break;
-      case '\t': r += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          r += buf;
-        } else {
-          r.push_back(c);
-        }
-    }
-  }
-  return r;
-}
-
-std::string num(double v) {
-  std::ostringstream ss;
-  ss << std::setprecision(12) << v;
-  return ss.str();
-}
+// The hand-built fast emission below predates the Json class; it shares the
+// escaping and number formatting so both paths stay byte-compatible.
+std::string json_escape(const std::string& s) { return Json::escape(s); }
+std::string num(double v) { return Json::number(v); }
 
 void write_cache(std::ostream& os, const char* name,
                  const sim::CacheStats& s) {
@@ -277,6 +285,12 @@ void write_sweep_json(std::ostream& os, const std::string& bench,
         os << '"' << json_escape(k) << "\":" << num(v);
       }
       os << '}';
+    }
+    if (const Json::Object* sections = o.sections().as_object()) {
+      for (const auto& [k, v] : *sections) {
+        os << ",\"" << json_escape(k) << "\":";
+        v.dump(os);
+      }
     }
     os << '}';
   }

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "harness/experiment.h"
+#include "harness/json.h"
 
 namespace l96::harness {
 
@@ -48,6 +49,10 @@ struct SweepJob {
   /// When > 0, also collect this many end-to-end samples with the varied
   /// scrub seeds Experiment::te_samples uses (Table 4's mean +/- stddev).
   std::uint64_t te_sample_count = 0;
+  /// Attach a miss-attribution profiler to both sides' replays and emit an
+  /// `l96.missmap.v1` section on the row.  Deliberately NOT part of the
+  /// trace-capture key: profiling never changes the captured trace.
+  bool profile_misses = false;
 };
 
 /// Everything measured for one job.
@@ -59,8 +64,23 @@ struct SweepOutcome {
   double capture_wall_ms = 0;  ///< wall clock of this job's capture (0 if reused)
   double measure_wall_ms = 0;  ///< wall clock of lowering + simulation
   /// Bench-specific scalars appended verbatim to the row's JSON (e.g. the
-  /// fault bench's cold-path penalty deltas).
+  /// fault bench's cold-path penalty deltas).  Kept for flat numeric
+  /// metrics; structured data goes through extra_json().
   std::map<std::string, double> extra;
+
+  /// Attach a schema-versioned structured section, emitted at the row level
+  /// under `key`.  The value must be a JSON object carrying a string
+  /// "schema" field (start from json_section()); throws
+  /// std::invalid_argument otherwise.  Keys keep insertion order; setting a
+  /// key twice overwrites in place.
+  void extra_json(const std::string& key, Json section);
+
+  /// The attached sections as an ordered JSON object (empty object when
+  /// none were attached).
+  const Json& sections() const noexcept { return sections_; }
+
+ private:
+  Json sections_ = Json::object();
 };
 
 /// Functional fingerprint of a capture; see the header comment for which

@@ -42,10 +42,13 @@ DirectMappedCache::AccessResult DirectMappedCache::access(Addr addr,
   const bool allocate =
       !is_write || cfg_.write_policy == WritePolicy::kWriteBack;
   if (allocate) {
-    if (line.valid && line.dirty) {
-      r.writeback = true;
+    if (line.valid) {
+      r.evicted = true;
       r.evicted_block = line.block;
-      ++stats_.writebacks;
+      if (line.dirty) {
+        r.writeback = true;
+        ++stats_.writebacks;
+      }
     }
     line.valid = true;
     line.dirty = is_write && cfg_.write_policy == WritePolicy::kWriteBack;
@@ -102,7 +105,7 @@ void DirectMappedCache::invalidate_line(std::uint32_t index) noexcept {
   lines_[index].valid = false;
 }
 
-void DirectMappedCache::reset() {
+void DirectMappedCache::reset_cold() {
   for (Line& l : lines_) l = Line{};
   ever_seen_.clear();
   stats_.reset();

@@ -21,6 +21,8 @@ struct RunResult {
   CacheStats icache;
   CacheStats dcache_combined;  ///< d-cache reads + write-buffer writes, as in
                                ///< Table 6's combined d-cache/wr-buffer column
+  CacheStats dcache_reads;     ///< d-cache read path alone (no write buffer);
+                               ///< what MissProfiler d-cache totals conserve to
   CacheStats bcache;
   MemStallStats stalls;
   BcacheTraffic traffic;
@@ -62,6 +64,11 @@ class Machine {
     double scrub_fraction = 0.0;
     double scrub_fraction_d = -1.0;  ///< < 0: use scrub_fraction
     std::uint64_t scrub_seed = 0x9E3779B97F4A7C15ULL;
+    /// Optional attribution sink for the measured replay.  Warm-up passes
+    /// are not profiled; the profiler is reset at measurement start, so its
+    /// per-owner counts conserve exactly to the returned cache statistics.
+    /// Not owned; must outlive the run() call.
+    MissProfiler* miss_profiler = nullptr;
   };
 
   Machine() = default;

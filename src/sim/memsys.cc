@@ -63,6 +63,11 @@ std::uint32_t MemorySystem::ifetch(Addr pc) {
     }
   }
   stalls_.ifetch_stall_cycles += stall;
+  if (profiler_ != nullptr) {
+    profiler_->on_miss(ProfiledCache::kICache, pc, block,
+                       icache_->line_index(pc), r.replacement_miss, r.evicted,
+                       r.evicted_block, stall);
+  }
   return stall;
 }
 
@@ -72,6 +77,11 @@ std::uint32_t MemorySystem::load(Addr addr) {
   const std::uint32_t stall = bcache_read_penalty(addr);
   ++traffic_.from_data;
   stalls_.load_stall_cycles += stall;
+  if (profiler_ != nullptr) {
+    profiler_->on_miss(ProfiledCache::kDCache, addr, dcache_->block_of(addr),
+                       dcache_->line_index(addr), r.replacement_miss,
+                       r.evicted, r.evicted_block, stall);
+  }
   return stall;
 }
 
@@ -118,10 +128,10 @@ void MemorySystem::scrub_primary(double ifraction, double dfraction,
   }
 }
 
-void MemorySystem::reset() {
-  icache_->reset();
-  dcache_->reset();
-  bcache_->reset();
+void MemorySystem::reset_cold() {
+  icache_->reset_cold();
+  dcache_->reset_cold();
+  bcache_->reset_cold();
   wbuf_->reset();
   stalls_.reset();
   traffic_.reset();

@@ -17,6 +17,7 @@
 #include <memory>
 
 #include "sim/cache.h"
+#include "sim/miss_profiler.h"
 #include "sim/write_buffer.h"
 
 namespace l96::sim {
@@ -101,10 +102,20 @@ class MemorySystem {
   /// than d-cache lines.
   void scrub_primary(double ifraction, double dfraction, std::uint64_t seed);
 
-  /// Cold restart: drop all cache state and statistics.
-  void reset();
-  /// Zero statistics but keep cache contents (for warm-up then measure).
+  /// Full cold restart: drop all cache state, residency history and
+  /// statistics (the Table 6 cold-replay starting point).
+  void reset_cold();
+  /// Deprecated alias for reset_cold(); prefer the explicit name.
+  void reset() { reset_cold(); }
+  /// Zero statistics but keep cache contents and the ever-seen history
+  /// (post-warm-up measurement, Table 7): later misses on warmed blocks
+  /// still classify as replacement misses.
   void reset_stats();
+
+  /// Attach an attribution sink called on every i-/d-cache miss (nullptr
+  /// detaches).  Not owned; the profiler must outlive the attachment.
+  void attach_miss_profiler(MissProfiler* p) noexcept { profiler_ = p; }
+  MissProfiler* miss_profiler() const noexcept { return profiler_; }
 
   const DirectMappedCache& icache() const noexcept { return *icache_; }
   const DirectMappedCache& dcache() const noexcept { return *dcache_; }
@@ -125,6 +136,7 @@ class MemorySystem {
   MemStallStats stalls_;
   BcacheTraffic traffic_;
   Addr last_imiss_block_ = 0;
+  MissProfiler* profiler_ = nullptr;
 };
 
 }  // namespace l96::sim

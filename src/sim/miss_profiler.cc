@@ -1,0 +1,187 @@
+#include "sim/miss_profiler.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace l96::sim {
+
+const char* segment_name(OwnerSegment s) noexcept {
+  switch (s) {
+    case OwnerSegment::kHot: return "hot";
+    case OwnerSegment::kOutlined: return "outlined";
+    case OwnerSegment::kStandalone: return "standalone";
+    case OwnerSegment::kData: return "data";
+    case OwnerSegment::kUnknown: break;
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// OwnerMap
+// ---------------------------------------------------------------------------
+
+OwnerMap::OwnerMap() {
+  names_.push_back("?");
+  by_name_.emplace("?", kUnknownOwner);
+}
+
+OwnerId OwnerMap::add_owner(const std::string& name) {
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) return it->second;
+  const OwnerId id = static_cast<OwnerId>(names_.size());
+  names_.push_back(name);
+  by_name_.emplace(name, id);
+  return id;
+}
+
+void OwnerMap::add_region(Addr lo, Addr hi, OwnerId owner,
+                          OwnerSegment segment, std::int32_t block) {
+  if (hi <= lo) return;
+  assert(owner < names_.size());
+  regions_.push_back(Region{lo, hi, owner, segment, block});
+  sealed_ = false;
+}
+
+void OwnerMap::seal() {
+  std::sort(regions_.begin(), regions_.end(),
+            [](const Region& a, const Region& b) {
+              return a.lo != b.lo ? a.lo < b.lo : a.hi < b.hi;
+            });
+  sealed_ = true;
+}
+
+const OwnerMap::Region* OwnerMap::region_of(Addr a) const noexcept {
+  assert(sealed_);
+  // First region with lo > a, then step back: regions are sorted by lo and
+  // non-overlapping by construction of the image placements.
+  auto it = std::upper_bound(
+      regions_.begin(), regions_.end(), a,
+      [](Addr v, const Region& r) { return v < r.lo; });
+  if (it == regions_.begin()) return nullptr;
+  --it;
+  return (a >= it->lo && a < it->hi) ? &*it : nullptr;
+}
+
+OwnerId OwnerMap::owner_of(Addr a) const noexcept {
+  const Region* r = region_of(a);
+  return r ? r->owner : kUnknownOwner;
+}
+
+std::string OwnerMap::describe(Addr a) const {
+  const Region* r = region_of(a);
+  if (r == nullptr) return "?";
+  std::string s = names_.at(r->owner);
+  if (r->block >= 0) s += "+b" + std::to_string(r->block);
+  s += "@";
+  s += segment_name(r->segment);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// MissProfiler
+// ---------------------------------------------------------------------------
+
+MissProfiler::MissProfiler(OwnerMap map) : map_(std::move(map)) {
+  if (!map_.sealed()) map_.seal();
+  reset();
+}
+
+void MissProfiler::reset() {
+  for (CacheAccum& a : caches_) {
+    a.misses = 0;
+    a.repl_misses = 0;
+    a.stall_cycles = 0;
+    a.by_owner.assign(map_.owner_count(), OwnerCounts{});
+    a.conflicts.clear();
+    a.evicted_by.clear();
+    a.set_misses.clear();
+    a.set_owners.clear();
+  }
+}
+
+void MissProfiler::on_miss(ProfiledCache cache, Addr addr, Addr block,
+                           std::uint32_t set, bool replacement,
+                           bool had_victim, Addr victim_block,
+                           std::uint32_t stall_cycles) {
+  CacheAccum& a = caches_[static_cast<std::size_t>(cache)];
+  const OwnerId owner = map_.owner_of(addr);
+
+  ++a.misses;
+  a.stall_cycles += stall_cycles;
+  OwnerCounts& oc = a.by_owner[owner];
+  ++oc.misses;
+  oc.stall_cycles += stall_cycles;
+  if (replacement) {
+    ++a.repl_misses;
+    ++oc.repl_misses;
+    // Charge the re-fetch to whoever displaced this block.  A displacement
+    // outside the profiled window (warm-up, scrub) has no record and is
+    // charged to the unknown owner.
+    OwnerId evictor = kUnknownOwner;
+    if (auto it = a.evicted_by.find(block); it != a.evicted_by.end()) {
+      evictor = it->second;
+    }
+    ++a.conflicts[(std::uint64_t{owner} << 32) | evictor];
+  }
+
+  if (had_victim) {
+    a.evicted_by[victim_block] = owner;
+  }
+  a.evicted_by.erase(block);  // the block is resident again
+
+  if (set >= a.set_misses.size()) {
+    a.set_misses.resize(set + 1, 0);
+    a.set_owners.resize(set + 1);
+  }
+  ++a.set_misses[set];
+  a.set_owners[set].insert(owner);
+}
+
+void MissProfiler::fill_section(const CacheAccum& a, const OwnerMap& map,
+                                MissProfile::Section& out) {
+  out.misses = a.misses;
+  out.repl_misses = a.repl_misses;
+  out.stall_cycles = a.stall_cycles;
+
+  for (OwnerId id = 0; id < a.by_owner.size(); ++id) {
+    const OwnerCounts& oc = a.by_owner[id];
+    if (oc.misses == 0) continue;
+    out.owners.push_back(MissProfile::OwnerRow{
+        id, map.name(id), oc.misses, oc.repl_misses, oc.stall_cycles});
+  }
+  std::sort(out.owners.begin(), out.owners.end(),
+            [](const MissProfile::OwnerRow& x, const MissProfile::OwnerRow& y) {
+              return x.misses != y.misses ? x.misses > y.misses
+                                          : x.owner < y.owner;
+            });
+
+  for (const auto& [key, count] : a.conflicts) {
+    const OwnerId victim = static_cast<OwnerId>(key >> 32);
+    const OwnerId evictor = static_cast<OwnerId>(key & 0xFFFF'FFFFu);
+    out.conflicts.push_back(MissProfile::ConflictRow{
+        victim, evictor, map.name(victim), map.name(evictor), count});
+  }
+  std::sort(out.conflicts.begin(), out.conflicts.end(),
+            [](const MissProfile::ConflictRow& x,
+               const MissProfile::ConflictRow& y) {
+              if (x.count != y.count) return x.count > y.count;
+              if (x.victim != y.victim) return x.victim < y.victim;
+              return x.evictor < y.evictor;
+            });
+
+  for (std::uint32_t s = 0; s < a.set_misses.size(); ++s) {
+    if (a.set_misses[s] == 0) continue;
+    out.sets.push_back(MissProfile::SetRow{
+        s, a.set_misses[s],
+        static_cast<std::uint32_t>(a.set_owners[s].size())});
+  }
+}
+
+MissProfile MissProfiler::snapshot() const {
+  MissProfile p;
+  fill_section(caches_[0], map_, p.icache);
+  fill_section(caches_[1], map_, p.dcache);
+  return p;
+}
+
+}  // namespace l96::sim

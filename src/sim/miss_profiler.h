@@ -1,0 +1,199 @@
+// Cache-miss attribution: who misses, and whose lines they evict.
+//
+// Aggregate CacheStats reproduce the paper's totals (Table 6) but not the
+// explanation: the replacement-miss accounting, the bipartite layout's
+// path/library partition and micro-positioning all rest on knowing *which
+// function's lines evict which other function's lines*.  MissProfiler is an
+// opt-in attribution sink the MemorySystem drives on every primary-cache
+// miss.  It resolves the missing address and the displaced victim block to
+// symbolic owners through an OwnerMap (functions and named data regions,
+// exported from a code::CodeImage by code::build_owner_map) and accumulates
+//
+//   (a) per-owner miss / replacement-miss counts and stall cycles (the
+//       owner's mCPI contribution once divided by the trace length),
+//   (b) a conflict matrix charged at replacement-miss time: when an owner
+//       re-misses a block it had resident before, the profiler blames the
+//       owner whose earlier miss displaced that block — so only evictions
+//       that actually cost a re-fetch are counted, and the matrix total
+//       equals the replacement-miss count exactly,
+//   (c) a per-set miss histogram with distinct-owner occupancy counts.
+//
+// The profiler is conservative by construction: it increments exactly once
+// per cache miss, so the per-owner counts sum to the aggregate CacheStats
+// of the profiled replay (enforced by tests/test_missmap.cc).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/cache.h"
+
+namespace l96::sim {
+
+using OwnerId = std::uint32_t;
+/// Owner 0 is the catch-all for addresses no registered region covers.
+inline constexpr OwnerId kUnknownOwner = 0;
+
+/// Where an instruction region lives in the image (data regions use kData).
+enum class OwnerSegment : std::uint8_t {
+  kUnknown,
+  kHot,         ///< mainline code (function or path composite)
+  kOutlined,    ///< PREDICT_FALSE blocks moved out of line
+  kStandalone,  ///< cold-segment copy of a path member (classifier miss)
+  kData,        ///< named data region (arena, stack, globals, GOT)
+};
+
+const char* segment_name(OwnerSegment s) noexcept;
+
+/// Flat interval map from simulated addresses to symbolic owners.
+///
+/// Regions are half-open [lo, hi), registered in any order and sorted by
+/// seal(); lookups binary-search the sealed vector.  Instruction regions
+/// carry the basic-block index they cover (-1 for prologue/epilogue/data),
+/// so describe() can name an address down to the block.
+class OwnerMap {
+ public:
+  struct Region {
+    Addr lo = 0;
+    Addr hi = 0;  ///< exclusive
+    OwnerId owner = kUnknownOwner;
+    OwnerSegment segment = OwnerSegment::kUnknown;
+    std::int32_t block = -1;  ///< basic-block index, -1 if not a block body
+  };
+
+  OwnerMap();
+
+  /// Register an owner name; returns the existing id when already present.
+  OwnerId add_owner(const std::string& name);
+
+  /// Register a region.  Zero-length regions are ignored.
+  void add_region(Addr lo, Addr hi, OwnerId owner, OwnerSegment segment,
+                  std::int32_t block = -1);
+
+  /// Sort the regions; must be called before any lookup.
+  void seal();
+
+  OwnerId owner_of(Addr a) const noexcept;
+  const Region* region_of(Addr a) const noexcept;
+
+  const std::string& name(OwnerId id) const { return names_.at(id); }
+  std::size_t owner_count() const noexcept { return names_.size(); }
+  std::size_t region_count() const noexcept { return regions_.size(); }
+  bool sealed() const noexcept { return sealed_; }
+
+  /// Human-readable symbolization, e.g. "tcp_input+b3@hot" or "?".
+  std::string describe(Addr a) const;
+
+ private:
+  std::vector<Region> regions_;
+  std::vector<std::string> names_;
+  std::map<std::string, OwnerId> by_name_;
+  bool sealed_ = false;
+};
+
+/// Primary cache levels the profiler attributes (the b-cache is untracked:
+/// the whole kernel fits in it and its misses are almost all cold).
+enum class ProfiledCache : std::uint8_t { kICache = 0, kDCache = 1 };
+
+/// Deterministic, self-contained snapshot of one profiled replay.
+struct MissProfile {
+  struct OwnerRow {
+    OwnerId owner = kUnknownOwner;
+    std::string name;
+    std::uint64_t misses = 0;
+    std::uint64_t repl_misses = 0;
+    std::uint64_t stall_cycles = 0;
+    std::uint64_t cold_misses() const noexcept { return misses - repl_misses; }
+  };
+  struct ConflictRow {
+    /// Owner that suffered the replacement misses (its block came back).
+    OwnerId victim = kUnknownOwner;
+    /// Owner whose earlier miss displaced the victim's block; kUnknownOwner
+    /// when the displacement predates the profiled window (warm-up passes,
+    /// the untraced-code scrub) or came from unmapped code.
+    OwnerId evictor = kUnknownOwner;
+    std::string victim_name;
+    std::string evictor_name;
+    std::uint64_t count = 0;  ///< replacement misses charged to this pair
+  };
+  struct SetRow {
+    std::uint32_t set = 0;
+    std::uint64_t misses = 0;
+    std::uint32_t owners = 0;  ///< distinct owners that missed into this set
+  };
+  struct Section {
+    std::uint64_t misses = 0;
+    std::uint64_t repl_misses = 0;
+    std::uint64_t stall_cycles = 0;
+    /// Owners with at least one miss, sorted by misses desc then id asc.
+    std::vector<OwnerRow> owners;
+    /// Conflict pairs, sorted by count desc then (victim, evictor) asc.
+    /// Counts sum to repl_misses exactly (every replacement miss is charged
+    /// to one pair).
+    std::vector<ConflictRow> conflicts;
+    /// Sets with at least one miss, ascending set index.
+    std::vector<SetRow> sets;
+  };
+
+  Section icache;
+  Section dcache;
+
+  const Section& cache(ProfiledCache c) const noexcept {
+    return c == ProfiledCache::kICache ? icache : dcache;
+  }
+};
+
+/// The attribution sink.  Attach to a MemorySystem (attach_miss_profiler);
+/// reset() zeroes the accumulators while keeping the owner map, mirroring
+/// CacheStats::reset() so warm-up passes can be excluded.
+class MissProfiler {
+ public:
+  explicit MissProfiler(OwnerMap map);
+
+  /// Record one primary-cache miss.  `addr` is the missing address and
+  /// `block` its block-aligned base; `set` is the direct-mapped line index,
+  /// `victim_block` the block address the allocation displaced (meaningful
+  /// only when `had_victim`), and `stall_cycles` the stall the memory
+  /// system charged for the fill.
+  void on_miss(ProfiledCache cache, Addr addr, Addr block, std::uint32_t set,
+               bool replacement, bool had_victim, Addr victim_block,
+               std::uint32_t stall_cycles);
+
+  void reset();
+
+  const OwnerMap& owners() const noexcept { return map_; }
+
+  /// Deterministic snapshot (stable ordering; see MissProfile field docs).
+  MissProfile snapshot() const;
+
+ private:
+  struct OwnerCounts {
+    std::uint64_t misses = 0;
+    std::uint64_t repl_misses = 0;
+    std::uint64_t stall_cycles = 0;
+  };
+  struct CacheAccum {
+    std::uint64_t misses = 0;
+    std::uint64_t repl_misses = 0;
+    std::uint64_t stall_cycles = 0;
+    std::vector<OwnerCounts> by_owner;                  // indexed by OwnerId
+    std::map<std::uint64_t, std::uint64_t> conflicts;   // victim<<32|evictor
+    /// Who displaced each block, recorded at eviction time so the next
+    /// replacement miss on the block can be charged to the right evictor.
+    std::unordered_map<Addr, OwnerId> evicted_by;
+    std::vector<std::uint64_t> set_misses;              // grown on demand
+    std::vector<std::set<OwnerId>> set_owners;
+  };
+
+  static void fill_section(const CacheAccum& a, const OwnerMap& map,
+                           MissProfile::Section& out);
+
+  OwnerMap map_;
+  CacheAccum caches_[2];
+};
+
+}  // namespace l96::sim

@@ -138,6 +138,49 @@ TEST(Cache, FlushKeepsHistoryResetForgets) {
   EXPECT_EQ(c.stats().accesses, 1u);
 }
 
+TEST(Cache, ResetColdVersusResetStats) {
+  // reset_cold() (Table 6 start state) forgets residency, history and
+  // stats; reset_stats() (Table 7: between warm-up and the measured pass)
+  // zeroes counters ONLY, so residency survives and post-reset misses on
+  // previously-seen blocks still classify as replacement misses.
+  auto c = make_cache();
+  c.read(0x100);
+  c.read(0x200);
+  c.invalidate(0x200);
+
+  c.reset_stats();
+  EXPECT_EQ(c.stats().accesses, 0u);
+  EXPECT_EQ(c.stats().misses, 0u);
+  EXPECT_TRUE(c.contains(0x100));          // residency kept
+  auto r = c.read(0x100);
+  EXPECT_TRUE(r.hit);
+  r = c.read(0x200);
+  EXPECT_TRUE(r.replacement_miss);         // ever-seen history kept
+  EXPECT_EQ(c.stats().repl_misses, 1u);
+
+  c.reset_cold();
+  EXPECT_EQ(c.stats().accesses, 0u);
+  EXPECT_FALSE(c.contains(0x100));         // residency gone
+  r = c.read(0x200);
+  EXPECT_FALSE(r.replacement_miss);        // history gone: cold miss again
+  EXPECT_EQ(c.stats().cold_misses(), 1u);
+}
+
+TEST(Cache, EvictionReportsVictimBlock) {
+  // The profiler's conflict matrix depends on the access result naming any
+  // displaced block, whether or not the miss was a replacement miss.
+  auto c = make_cache();
+  c.read(0x100);
+  auto r = c.read(0x100 + 8 * 1024);  // same set, different block
+  EXPECT_FALSE(r.hit);
+  EXPECT_FALSE(r.replacement_miss);   // never seen before -> cold miss
+  EXPECT_TRUE(r.evicted);
+  EXPECT_EQ(r.evicted_block, 0x100u & ~31ull);
+  // A miss into an empty line displaces nothing.
+  r = c.read(0x4000);
+  EXPECT_FALSE(r.evicted);
+}
+
 TEST(Cache, InvalidateLine) {
   auto c = make_cache();
   c.read(0x100);

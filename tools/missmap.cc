@@ -1,0 +1,153 @@
+// missmap: cache-miss attribution maps for the paper configurations.
+//
+// Runs the usual capture + replay with a sim::MissProfiler attached and
+// prints, per configuration, which functions miss, whose lines they evict
+// (the conflict matrix behind the bipartite layout), and each owner's mCPI
+// contribution.
+//
+// Usage: missmap [options]
+//   --stack tcpip|rpc     protocol stack (default tcpip)
+//   --config NAME|all     one of BAD/STD/OUT/CLO/PIN/ALL, or all (default STD)
+//   --side client|server  which host's replay to print (default client)
+//   --replay steady|cold  which replay's profile (default steady)
+//   --cache i|d           instruction or data cache (default i)
+//   --top N               rows per table (default 10)
+//   --json                emit the l96.missmap.v1 sections as JSON instead
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/missmap.h"
+#include "harness/sweep.h"
+
+using namespace l96;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--stack tcpip|rpc] [--config NAME|all] "
+               "[--side client|server] [--replay steady|cold] [--cache i|d] "
+               "[--top N] [--json]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  net::StackKind kind = net::StackKind::kTcpIp;
+  std::string config = "STD";
+  std::string side = "client";
+  std::string replay = "steady";
+  std::string cache = "i";
+  std::size_t top = 10;
+  bool json = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto val = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "--stack") {
+      const char* v = val();
+      if (v == nullptr) return usage(argv[0]);
+      kind = std::strcmp(v, "rpc") == 0 ? net::StackKind::kRpc
+                                        : net::StackKind::kTcpIp;
+    } else if (a == "--config") {
+      const char* v = val();
+      if (v == nullptr) return usage(argv[0]);
+      config = v;
+    } else if (a == "--side") {
+      const char* v = val();
+      if (v == nullptr || (std::strcmp(v, "client") != 0 &&
+                           std::strcmp(v, "server") != 0)) {
+        return usage(argv[0]);
+      }
+      side = v;
+    } else if (a == "--replay") {
+      const char* v = val();
+      if (v == nullptr ||
+          (std::strcmp(v, "steady") != 0 && std::strcmp(v, "cold") != 0)) {
+        return usage(argv[0]);
+      }
+      replay = v;
+    } else if (a == "--cache") {
+      const char* v = val();
+      if (v == nullptr || (std::strcmp(v, "i") != 0 &&
+                           std::strcmp(v, "d") != 0)) {
+        return usage(argv[0]);
+      }
+      cache = v;
+    } else if (a == "--top") {
+      const char* v = val();
+      if (v == nullptr) return usage(argv[0]);
+      top = static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
+      if (top == 0) return usage(argv[0]);
+    } else if (a == "--json") {
+      json = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  std::vector<code::StackConfig> cfgs;
+  if (config == "all") {
+    cfgs = harness::paper_configs();
+  } else {
+    for (const auto& c : harness::paper_configs()) {
+      if (c.name == config) cfgs.push_back(c);
+    }
+    if (cfgs.empty()) {
+      std::fprintf(stderr, "unknown config '%s' (try BAD/STD/OUT/CLO/PIN/ALL "
+                           "or all)\n",
+                   config.c_str());
+      return 2;
+    }
+  }
+
+  std::vector<harness::SweepJob> jobs;
+  for (const auto& c : cfgs) {
+    harness::SweepJob j;
+    j.kind = kind;
+    j.client = c;
+    j.server = c;
+    j.profile_misses = true;
+    jobs.push_back(std::move(j));
+  }
+  harness::SweepRunner runner;
+  const auto outcomes = runner.run(jobs);
+
+  if (json) {
+    harness::Json out = harness::Json::array();
+    for (const auto& o : outcomes) {
+      out.push_back(harness::Json::object()
+                        .set("label", o.label)
+                        .set("missmap", harness::missmap_json(o.result, top)));
+    }
+    out.dump(std::cout);
+    std::cout << "\n";
+    return 0;
+  }
+
+  const char* stack_name = kind == net::StackKind::kRpc ? "rpc" : "tcpip";
+  for (const auto& o : outcomes) {
+    const harness::SideMeasurement& m =
+        side == "server" ? o.result.server : o.result.client;
+    const auto& profile = replay == "cold" ? m.miss_cold : m.miss_steady;
+    if (!profile) {
+      std::fprintf(stderr, "no %s profile for %s\n", replay.c_str(),
+                   o.label.c_str());
+      return 1;
+    }
+    const sim::MissProfile::Section& s =
+        cache == "d" ? profile->dcache : profile->icache;
+    std::cout << o.label << " (" << stack_name << ", " << side << ", "
+              << replay << " replay, " << cache << "-cache)\n";
+    harness::print_miss_section(std::cout, s, m.instructions, top);
+    std::cout << "\n";
+  }
+  return 0;
+}
