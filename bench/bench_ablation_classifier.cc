@@ -6,6 +6,16 @@
 // entire advantage over CLO — quantifying the paper's caveat.  Classifier
 // overhead is a replay-time parameter, so fifteen jobs need only two
 // captures (CLO's and PIN/ALL's functional traces).
+//
+// The bench also audits its own cost accounting: the overhead must be
+// charged on every inbound packet of every path-inlined side — one per
+// side per roundtrip — in both the headline te and the per-sample means.
+// Two path-inlined sides at overhead `ov` must therefore shift each
+// sampled roundtrip by exactly 2*ov relative to the ov=0 row (and CLO
+// rows, with no inlined side, by exactly 0); any drift exits nonzero.
+#include <cmath>
+#include <cstdio>
+
 #include "harness/sweep.h"
 #include "harness/tables.h"
 
@@ -24,12 +34,46 @@ int main() {
       j.label = cfg.name + std::string("/ov") + harness::fmt(ov, 1);
       j.client = j.server = cfg;
       j.params = params;
+      j.te_sample_count = 2;
       jobs.push_back(std::move(j));
     }
   }
 
   harness::SweepRunner runner;
   const auto outcomes = runner.run(jobs);
+
+  // Audit: per-packet charging.  Jobs are laid out as 3 configs per
+  // overhead; the traces and scrub seeds are identical across overhead
+  // values, so each sample must differ from its ov=0 counterpart by the
+  // overhead times the number of path-inlined sides — exactly.
+  int audit_failures = 0;
+  for (std::size_t i = 0; i < std::size(overheads); ++i) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      const auto& base = outcomes[c];            // ov = 0 row, same config
+      const auto& row = outcomes[3 * i + c];
+      const int inlined_sides = c == 0 ? 0 : 2;  // CLO vs PIN/ALL
+      const double want = overheads[i] * inlined_sides;
+      for (std::size_t s = 0; s < row.te_samples.size(); ++s) {
+        const double got = row.te_samples[s] - base.te_samples[s];
+        if (std::fabs(got - want) > 1e-9) {
+          std::fprintf(stderr,
+                       "FAIL: %s sample %zu charges %.12f us of classifier "
+                       "overhead, want %.12f (%d inlined side(s) x %.1f)\n",
+                       row.label.c_str(), s, got, want, inlined_sides,
+                       overheads[i]);
+          ++audit_failures;
+        }
+      }
+      const double te_delta = row.result.te_us - base.result.te_us;
+      if (std::fabs(te_delta - want) > 1e-9) {
+        std::fprintf(stderr,
+                     "FAIL: %s te_us charges %.12f us of classifier "
+                     "overhead, want %.12f\n",
+                     row.label.c_str(), te_delta, want);
+        ++audit_failures;
+      }
+    }
+  }
 
   harness::Table t(
       "Ablation: classifier overhead vs path-inlining benefit (TCP/IP)");
@@ -46,5 +90,5 @@ int main() {
   t.print();
 
   harness::write_sweep_metrics("ablation_classifier", runner, jobs, outcomes);
-  return 0;
+  return audit_failures == 0 ? 0 : 1;
 }

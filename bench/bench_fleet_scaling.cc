@@ -1,0 +1,201 @@
+// bench_fleet_scaling: flow-cache schemes under a multi-connection fleet.
+//
+// The paper's classifier guard is priced per packet; Jain (DEC-TR-592)
+// shows that with many flows the classification cost hinges on the
+// locality cache in front of the rule scan.  This bench sweeps the three
+// cache schemes (one-behind / direct-mapped / true LRU) over a grid of
+// connection counts x Zipf popularity skews, with periodic connection
+// churn so stale hits (and their slow-path fallback replays) appear in the
+// latency tail.
+//
+// Outputs:
+//  * bench/out/fleet_scaling.json — l96.sweep.v1 rows (one per scheme,
+//    sharing a single ALL/ALL trace capture) each carrying an l96.fleet.v1
+//    section with that scheme's grid rows.
+//  * bench/out/fleet_summary.json — the same l96.fleet.v1 data standalone.
+//    A pure function of the seeds: byte-identical across runs and across
+//    FleetRunner worker counts (verify with sha256sum).
+//
+// Exit status enforces the Jain ordering on every skewed grid row: the
+// true-LRU hit ratio must be >= one-behind's, churned rows must show stale
+// hits, and the stale fallback must be priced above the inlined fast path
+// (costs.slow_us > costs.fast_us).
+//
+//   bench_fleet_scaling [packets-per-row] [out-dir]
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/fleet.h"
+#include "harness/sweep.h"
+#include "harness/tables.h"
+
+using namespace l96;
+
+int main(int argc, char** argv) {
+  std::uint64_t packets = 192;
+  std::string out_dir = "bench/out";
+  if (argc > 1) packets = std::strtoull(argv[1], nullptr, 10);
+  if (argc > 2) out_dir = argv[2];
+  if (packets == 0) {
+    std::fprintf(stderr, "usage: bench_fleet_scaling [packets>0] [out-dir]\n");
+    return 2;
+  }
+
+  const code::StackConfig cfg = code::StackConfig::All();
+  const harness::FleetCosts costs =
+      harness::measure_fleet_costs(net::StackKind::kTcpIp, cfg);
+
+  const code::FlowCacheScheme schemes[] = {
+      code::FlowCacheScheme::kOneBehind, code::FlowCacheScheme::kDirectMapped,
+      code::FlowCacheScheme::kLru};
+  const std::size_t conn_counts[] = {4, 16};
+  const double skews[] = {0.0, 1.2};
+
+  std::vector<harness::FleetSpec> specs;
+  for (auto scheme : schemes) {
+    for (std::size_t conns : conn_counts) {
+      for (double s : skews) {
+        harness::FleetSpec spec;
+        spec.kind = net::StackKind::kTcpIp;
+        spec.config = cfg;
+        spec.scheme = scheme;
+        spec.connections = conns;
+        spec.packets = packets;
+        spec.zipf_s = s;
+        spec.seed = 42;
+        spec.cache_capacity = 8;
+        spec.churn_every = packets / 4 == 0 ? 1 : packets / 4;
+        char label[96];
+        std::snprintf(label, sizeof(label), "%s/c%zu/s%.1f",
+                      code::to_string(scheme), conns, s);
+        spec.label = label;
+        specs.push_back(std::move(spec));
+      }
+    }
+  }
+
+  harness::FleetRunner fleet_runner;
+  const std::vector<harness::FleetResult> rows =
+      fleet_runner.run(specs, costs);
+
+  harness::Table t(
+      "Fleet scaling: flow-cache schemes, " + std::to_string(packets) +
+      " packets/row (TCP/IP ALL, capacity 8, churn every " +
+      std::to_string(specs.front().churn_every) + ")");
+  t.columns({"row", "hit%", "stale%", "slow", "p50 [us]", "p99 [us]",
+             "p999 [us]", "mean [us]"});
+  for (const auto& r : rows) {
+    t.row({r.spec.label, harness::fmt(100.0 * r.cache.hit_ratio(), 1),
+           harness::fmt(100.0 * r.cache.stale_ratio(), 2),
+           std::to_string(r.slow_packets), harness::fmt(r.latency.p50, 1),
+           harness::fmt(r.latency.p99, 1), harness::fmt(r.latency.p999, 1),
+           harness::fmt(r.latency.mean, 1)});
+  }
+  t.print();
+  std::printf("costs: controller %.1f us, fast path %.2f us, slow path "
+              "%.2f us per packet\n",
+              costs.controller_us, costs.fast_us, costs.slow_us);
+
+  // l96.sweep.v1 emission: one row per scheme over the shared ALL/ALL
+  // capture, each carrying its grid slice as an l96.fleet.v1 section.
+  std::vector<harness::SweepJob> jobs;
+  for (auto scheme : schemes) {
+    harness::SweepJob j;
+    j.label = std::string("fleet/") + code::to_string(scheme);
+    j.kind = net::StackKind::kTcpIp;
+    j.client = j.server = cfg;
+    jobs.push_back(std::move(j));
+  }
+  harness::SweepRunner sweep_runner;
+  auto outcomes = sweep_runner.run(jobs);
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    std::vector<harness::FleetResult> slice;
+    for (const auto& r : rows) {
+      if (r.spec.scheme == schemes[i]) slice.push_back(r);
+    }
+    outcomes[i].extra_json("fleet", harness::fleet_json(costs, slice));
+  }
+  const std::string sweep_path = harness::write_sweep_metrics(
+      "fleet_scaling", sweep_runner, jobs, outcomes, out_dir);
+  std::printf("wrote %s\n", sweep_path.c_str());
+
+  // Deterministic standalone summary (no wall-clock fields): byte-identical
+  // for a fixed seed, whatever the worker count.
+  const std::filesystem::path summary_path =
+      std::filesystem::path(out_dir) / "fleet_summary.json";
+  std::filesystem::create_directories(summary_path.parent_path());
+  {
+    std::ofstream os(summary_path);
+    harness::fleet_json(costs, rows).dump(os);
+    os << "\n";
+  }
+  std::printf("wrote %s\n", summary_path.string().c_str());
+
+  // --- invariants ----------------------------------------------------------
+  int failures = 0;
+  if (!(costs.slow_us > costs.fast_us)) {
+    std::fprintf(stderr,
+                 "FAIL: slow-path fallback (%.3f us) is not priced above "
+                 "the inlined fast path (%.3f us)\n",
+                 costs.slow_us, costs.fast_us);
+    ++failures;
+  }
+  // Jain ordering: per (connections, skew>0) cell, LRU >= one-behind.
+  std::map<std::string, const harness::FleetResult*> by_label;
+  for (const auto& r : rows) by_label[r.spec.label] = &r;
+  for (std::size_t conns : conn_counts) {
+    for (double s : skews) {
+      if (s <= 0.0) continue;
+      char ob[96], lru[96];
+      std::snprintf(ob, sizeof(ob), "%s/c%zu/s%.1f",
+                    code::to_string(code::FlowCacheScheme::kOneBehind), conns,
+                    s);
+      std::snprintf(lru, sizeof(lru), "%s/c%zu/s%.1f",
+                    code::to_string(code::FlowCacheScheme::kLru), conns, s);
+      const double hr_ob = by_label.at(ob)->cache.hit_ratio();
+      const double hr_lru = by_label.at(lru)->cache.hit_ratio();
+      if (hr_lru + 1e-12 < hr_ob) {
+        std::fprintf(stderr,
+                     "FAIL: %s hit ratio %.4f < %s hit ratio %.4f\n", lru,
+                     hr_lru, ob, hr_ob);
+        ++failures;
+      }
+    }
+  }
+  // Stale-hit accounting.  Every stale hit must have fallen back to the
+  // slow path; and in churned LRU rows whose whole fleet fits in the cache
+  // the churned flow's entry is guaranteed still resident, so each churn
+  // must produce an observed stale hit.  (Smaller schemes may legitimately
+  // evict the stale entry before the flow returns — a silent miss, not a
+  // stale hit — so no presence check there.)
+  for (const auto& r : rows) {
+    if (r.slow_packets < r.cache.stale_hits) {
+      std::fprintf(stderr,
+                   "FAIL: %s shows %llu stale hits but only %llu slow-path "
+                   "packets — a stale hit did not fall back\n",
+                   r.spec.label.c_str(),
+                   static_cast<unsigned long long>(r.cache.stale_hits),
+                   static_cast<unsigned long long>(r.slow_packets));
+      ++failures;
+    }
+    const bool resident = r.spec.scheme == code::FlowCacheScheme::kLru &&
+                          r.spec.connections <= r.spec.cache_capacity;
+    if (resident && r.churns != 0 &&
+        (r.cache.stale_hits == 0 || r.slow_packets == 0)) {
+      std::fprintf(stderr,
+                   "FAIL: %s churned %llu times but shows %llu stale hits / "
+                   "%llu slow packets\n",
+                   r.spec.label.c_str(),
+                   static_cast<unsigned long long>(r.churns),
+                   static_cast<unsigned long long>(r.cache.stale_hits),
+                   static_cast<unsigned long long>(r.slow_packets));
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}

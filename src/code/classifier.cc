@@ -1,9 +1,27 @@
 #include "code/classifier.h"
 
+#include <stdexcept>
+#include <string>
+
 namespace l96::code {
 
 void PacketClassifier::add_path(std::string name, int path_id,
                                 std::vector<ClassifierRule> rules) {
+  for (const ClassifierRule& r : rules) {
+    if (r.size != 1 && r.size != 2 && r.size != 4) {
+      throw std::invalid_argument(
+          "PacketClassifier::add_path('" + name + "'): rule size " +
+          std::to_string(r.size) + " is not 1, 2 or 4");
+    }
+  }
+  for (const PathEntry& p : paths_) {
+    if (p.id == path_id) {
+      throw std::invalid_argument(
+          "PacketClassifier::add_path('" + name + "'): path id " +
+          std::to_string(path_id) + " already registered as '" + p.name +
+          "'");
+    }
+  }
   paths_.push_back({std::move(name), path_id, std::move(rules)});
 }
 
@@ -19,17 +37,27 @@ bool PacketClassifier::rule_matches(const ClassifierRule& r,
 
 std::optional<int> PacketClassifier::classify(
     std::span<const std::uint8_t> frame) const {
+  return classify_scan(frame).path_id;
+}
+
+ClassifyScan PacketClassifier::classify_scan(
+    std::span<const std::uint8_t> frame) const {
+  ClassifyScan scan;
   for (const PathEntry& p : paths_) {
     bool ok = true;
     for (const ClassifierRule& r : p.rules) {
+      ++scan.rules_examined;
       if (!rule_matches(r, frame)) {
         ok = false;
         break;
       }
     }
-    if (ok) return p.id;
+    if (ok) {
+      scan.path_id = p.id;
+      return scan;
+    }
   }
-  return std::nullopt;
+  return scan;
 }
 
 const std::string* PacketClassifier::path_name(int path_id) const {

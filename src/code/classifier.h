@@ -24,16 +24,34 @@ struct ClassifierRule {
   std::uint32_t value = 0;
 };
 
+/// Result of a counted classification: the matching path id (or nullopt)
+/// plus how many rules the linear scan examined before deciding — the cost
+/// driver for the flow-cache lookup model (code/flow_cache.h).
+struct ClassifyScan {
+  std::optional<int> path_id;
+  std::size_t rules_examined = 0;
+};
+
 class PacketClassifier {
  public:
   /// Register a path; returns nothing — `path_id` is caller-chosen and is
   /// what classify() returns on a match.  Paths are tried in registration
   /// order (most specific first, caller's responsibility).
+  ///
+  /// Throws std::invalid_argument when a rule's `size` is not 1, 2 or 4
+  /// (larger sizes would overflow the 32-bit accumulator in rule_matches
+  /// and silently mismatch) or when `path_id` is already registered
+  /// (duplicates would make path_name()/classify() order-dependent).
   void add_path(std::string name, int path_id,
                 std::vector<ClassifierRule> rules);
 
   /// Classify a frame; returns the matching path id or std::nullopt.
   std::optional<int> classify(std::span<const std::uint8_t> frame) const;
+
+  /// Classify and report how many rules the scan examined (every rule
+  /// evaluated across all paths tried, including the failing one that
+  /// rejects a path).
+  ClassifyScan classify_scan(std::span<const std::uint8_t> frame) const;
 
   /// Name of a registered path id (for diagnostics).
   const std::string* path_name(int path_id) const;

@@ -1,0 +1,200 @@
+#include "code/flow_cache.h"
+
+#include <stdexcept>
+#include <string_view>
+
+namespace l96::code {
+
+namespace {
+
+/// splitmix64 finalizer: spreads flow keys over direct-mapped slots so
+/// structured keys (sequential ports) don't all land in one slot.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fold_field(FlowKey key, std::uint32_t value,
+                         std::uint8_t size) {
+  // Shift-concatenate, truncating the value to the field width; the same
+  // fold runs for frame-extracted and caller-supplied values so the two
+  // key constructions agree.
+  const std::uint32_t masked =
+      size >= 4 ? value : (value & ((1u << (8 * size)) - 1u));
+  return (key << (8 * size)) | masked;
+}
+
+}  // namespace
+
+std::optional<FlowKey> FlowKeySpec::key_of(
+    std::span<const std::uint8_t> frame) const {
+  FlowKey key = 0;
+  for (const FlowField& f : fields) {
+    if (static_cast<std::size_t>(f.offset) + f.size > frame.size()) {
+      return std::nullopt;
+    }
+    std::uint32_t v = 0;
+    for (std::uint8_t i = 0; i < f.size; ++i) {
+      v = (v << 8) | frame[f.offset + i];
+    }
+    key = fold_field(key, v, f.size);
+  }
+  return key;
+}
+
+FlowKey FlowKeySpec::key_of_values(
+    std::span<const std::uint32_t> values) const {
+  FlowKey key = 0;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    const std::uint32_t v = i < values.size() ? values[i] : 0;
+    key = fold_field(key, v, fields[i].size);
+  }
+  return key;
+}
+
+const char* to_string(FlowCacheScheme s) {
+  switch (s) {
+    case FlowCacheScheme::kOneBehind: return "one-behind";
+    case FlowCacheScheme::kDirectMapped: return "direct";
+    case FlowCacheScheme::kLru: return "lru";
+  }
+  return "?";
+}
+
+std::optional<FlowCacheScheme> flow_cache_scheme_from_string(
+    std::string_view s) {
+  if (s == "one-behind" || s == "onebehind") {
+    return FlowCacheScheme::kOneBehind;
+  }
+  if (s == "direct" || s == "direct-mapped") {
+    return FlowCacheScheme::kDirectMapped;
+  }
+  if (s == "lru") return FlowCacheScheme::kLru;
+  return std::nullopt;
+}
+
+FlowCache::FlowCache(FlowKeySpec spec, FlowCacheScheme scheme,
+                     std::size_t capacity, FlowCacheCosts costs)
+    : spec_(std::move(spec)), scheme_(scheme), costs_(costs) {
+  if (capacity == 0) {
+    throw std::invalid_argument("FlowCache: capacity must be > 0");
+  }
+  entries_.resize(scheme_ == FlowCacheScheme::kOneBehind ? 1 : capacity);
+}
+
+std::size_t FlowCache::slot_of(FlowKey key) const noexcept {
+  return static_cast<std::size_t>(mix64(key) % entries_.size());
+}
+
+FlowCache::Entry* FlowCache::probe(FlowKey key) {
+  switch (scheme_) {
+    case FlowCacheScheme::kOneBehind: {
+      Entry& e = entries_[0];
+      return e.valid && e.key == key ? &e : nullptr;
+    }
+    case FlowCacheScheme::kDirectMapped: {
+      Entry& e = entries_[slot_of(key)];
+      return e.valid && e.key == key ? &e : nullptr;
+    }
+    case FlowCacheScheme::kLru: {
+      for (Entry& e : entries_) {
+        if (e.valid && e.key == key) return &e;
+      }
+      return nullptr;
+    }
+  }
+  return nullptr;
+}
+
+FlowCache::Entry* FlowCache::victim(FlowKey key) {
+  switch (scheme_) {
+    case FlowCacheScheme::kOneBehind:
+      return &entries_[0];
+    case FlowCacheScheme::kDirectMapped:
+      return &entries_[slot_of(key)];
+    case FlowCacheScheme::kLru: {
+      Entry* best = &entries_[0];
+      for (Entry& e : entries_) {
+        if (!e.valid) return &e;
+        if (e.last_used < best->last_used) best = &e;
+      }
+      return best;
+    }
+  }
+  return &entries_[0];
+}
+
+FlowLookupResult FlowCache::lookup(const PacketClassifier& classifier,
+                                   std::span<const std::uint8_t> frame) {
+  ++stats_.lookups;
+  ++clock_;
+  FlowLookupResult r;
+
+  const std::optional<FlowKey> key = spec_.key_of(frame);
+  if (!key.has_value()) {
+    // No key: classify directly, nothing to memoize.
+    ++stats_.unkeyed;
+    const ClassifyScan scan = classifier.classify_scan(frame);
+    r.path_id = scan.path_id;
+    r.rules_examined = scan.rules_examined;
+    r.cost_us = costs_.probe_us +
+                costs_.per_rule_us * static_cast<double>(scan.rules_examined);
+    stats_.rules_examined += scan.rules_examined;
+    stats_.cost_us += r.cost_us;
+    return r;
+  }
+
+  Entry* e = probe(*key);
+  if (e != nullptr && !e->stale) {
+    ++stats_.hits;
+    e->last_used = clock_;
+    r.cache_hit = true;
+    r.path_id = e->has_path ? std::optional<int>(e->path_id) : std::nullopt;
+    r.cost_us = costs_.hit_us;
+    stats_.cost_us += r.cost_us;
+    return r;
+  }
+
+  // Miss, or a hit on an entry invalidated by connection churn (stale).
+  // Either way the full linear scan runs; a stale hit additionally fails
+  // the inlined composite's guard, so the caller must route this packet
+  // through the standalone slow path.
+  const bool stale = e != nullptr;
+  if (stale) {
+    ++stats_.stale_hits;
+    r.cache_hit = true;
+    r.stale = true;
+  } else {
+    ++stats_.misses;
+  }
+
+  const ClassifyScan scan = classifier.classify_scan(frame);
+  r.path_id = scan.path_id;
+  r.rules_examined = scan.rules_examined;
+  r.cost_us = costs_.probe_us +
+              costs_.per_rule_us * static_cast<double>(scan.rules_examined);
+  stats_.rules_examined += scan.rules_examined;
+  stats_.cost_us += r.cost_us;
+
+  if (e == nullptr) e = victim(*key);
+  e->key = *key;
+  e->path_id = scan.path_id.value_or(0);
+  e->has_path = scan.path_id.has_value();
+  e->valid = true;
+  e->stale = false;
+  e->last_used = clock_;
+  return r;
+}
+
+void FlowCache::invalidate(FlowKey key) {
+  if (Entry* e = probe(key)) e->stale = true;
+}
+
+void FlowCache::clear() {
+  for (Entry& e : entries_) e = Entry{};
+  clock_ = 0;
+}
+
+}  // namespace l96::code

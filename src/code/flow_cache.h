@@ -1,0 +1,159 @@
+// Flow-aware classification cache (Section 3.3 + Jain, DEC-TR-592).
+//
+// Path-inlined inbound code is guarded by a packet classifier; the
+// classifier itself is a linear rule scan whose cost grows with the number
+// of registered paths.  Jain's *Characteristics of Destination Address
+// Locality* (DEC-TR-592, 1989) studies exactly this structure — a small
+// cache front-ending a slow lookup — and compares three schemes:
+//
+//   * one-behind:    remember only the last flow (a single register);
+//   * direct-mapped: an array indexed by a hash of the flow key;
+//   * true LRU:      a fully-associative cache with least-recently-used
+//                    replacement (the upper bound for a given capacity).
+//
+// A FlowCache extracts a flow key from configurable frame fields and
+// memoizes classify() results per flow.  Each lookup is priced by an
+// explicit cost model — a cache hit costs `hit_us`; a miss pays the probe
+// plus the linear scan at `per_rule_us` per rule examined — replacing the
+// single flat `overhead_us` knob of the bare classifier.
+//
+// Connection churn makes cached flow bindings *stale*: when a connection
+// closes and its flow key is later rebound, a path-inlined composite
+// specialized on the old connection must not run.  invalidate(key) marks
+// matching entries stale; a subsequent lookup that hits a stale entry
+// reports `stale = true` (the caller routes the packet through the
+// standalone slow path), re-scans, and refreshes the entry.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "code/classifier.h"
+
+namespace l96::code {
+
+/// One field of the flow key: `size` bytes at `offset` into the raw frame,
+/// big-endian (same addressing as ClassifierRule).
+struct FlowField {
+  std::uint16_t offset = 0;
+  std::uint8_t size = 1;  ///< 1, 2 or 4 bytes
+};
+
+using FlowKey = std::uint64_t;
+
+/// Which frame fields identify a flow.  The per-stack specs live with the
+/// protocol code (proto::tcpip_flow_key_spec / rpc_flow_key_spec).
+struct FlowKeySpec {
+  std::vector<FlowField> fields;
+
+  /// Extract the key from a frame; nullopt when the frame is too short for
+  /// any field (such packets bypass the cache).
+  std::optional<FlowKey> key_of(std::span<const std::uint8_t> frame) const;
+
+  /// The key for explicit field values, in field order — for invalidation
+  /// by connection tuple (the caller has no frame in hand at close time).
+  /// Values are truncated to each field's width, mirroring extraction.
+  FlowKey key_of_values(std::span<const std::uint32_t> values) const;
+};
+
+enum class FlowCacheScheme : std::uint8_t {
+  kOneBehind,
+  kDirectMapped,
+  kLru,
+};
+
+const char* to_string(FlowCacheScheme s);
+/// Parse "one-behind" / "direct" / "lru" (CLI surface); nullopt otherwise.
+std::optional<FlowCacheScheme> flow_cache_scheme_from_string(
+    std::string_view s);
+
+/// Per-lookup cost model, in microseconds (replaces the bare classifier's
+/// flat overhead_us when a FlowCache is installed).
+struct FlowCacheCosts {
+  double hit_us = 0.2;       ///< cache hit: probe + guard check
+  double probe_us = 0.2;     ///< paid on every miss before the scan starts
+  double per_rule_us = 0.4;  ///< linear scan, per rule examined
+};
+
+struct FlowLookupResult {
+  std::optional<int> path_id;
+  bool cache_hit = false;
+  bool stale = false;  ///< hit on an entry invalidated by connection churn
+  std::size_t rules_examined = 0;
+  double cost_us = 0;
+};
+
+struct FlowCacheStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;        ///< fresh hits (stale hits excluded)
+  std::uint64_t misses = 0;      ///< key absent; full scan performed
+  std::uint64_t stale_hits = 0;  ///< key present but invalidated; full scan
+  std::uint64_t unkeyed = 0;     ///< frame too short for the key spec
+  std::uint64_t rules_examined = 0;
+  double cost_us = 0;            ///< total modeled classification cost
+
+  double hit_ratio() const noexcept {
+    return lookups != 0 ? static_cast<double>(hits) / lookups : 0.0;
+  }
+  double stale_ratio() const noexcept {
+    return lookups != 0 ? static_cast<double>(stale_hits) / lookups : 0.0;
+  }
+};
+
+class FlowCache {
+ public:
+  /// `capacity` is the entry count for direct-mapped and LRU schemes;
+  /// one-behind always holds exactly one entry.  Throws
+  /// std::invalid_argument when capacity is 0.
+  FlowCache(FlowKeySpec spec, FlowCacheScheme scheme, std::size_t capacity,
+            FlowCacheCosts costs = {});
+
+  /// Classify `frame` through the cache: extract the key, probe, and on a
+  /// miss or stale hit run (and memoize) the full linear scan.
+  FlowLookupResult lookup(const PacketClassifier& classifier,
+                          std::span<const std::uint8_t> frame);
+
+  /// Connection churn: mark any cached entry for `key` stale.  The entry
+  /// stays resident — the next lookup on that flow *hits* it, detects the
+  /// invalidation, and must take the slow path (a stale hit).
+  void invalidate(FlowKey key);
+
+  /// Drop all entries and invalidations (not the counters).
+  void clear();
+
+  const FlowCacheStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = FlowCacheStats{}; }
+  FlowCacheScheme scheme() const noexcept { return scheme_; }
+  std::size_t capacity() const noexcept { return entries_.size(); }
+  const FlowKeySpec& key_spec() const noexcept { return spec_; }
+  const FlowCacheCosts& costs() const noexcept { return costs_; }
+
+  /// Direct-mapped slot index for `key` (exposed so tests can construct
+  /// analytic conflict pairs).
+  std::size_t slot_of(FlowKey key) const noexcept;
+
+ private:
+  struct Entry {
+    FlowKey key = 0;
+    int path_id = 0;
+    bool has_path = false;  ///< scan found a path (vs memoized "no match")
+    bool valid = false;
+    bool stale = false;
+    std::uint64_t last_used = 0;  ///< logical clock, LRU only
+  };
+
+  Entry* probe(FlowKey key);
+  Entry* victim(FlowKey key);
+
+  FlowKeySpec spec_;
+  FlowCacheScheme scheme_;
+  FlowCacheCosts costs_;
+  std::vector<Entry> entries_;
+  std::uint64_t clock_ = 0;
+  FlowCacheStats stats_;
+};
+
+}  // namespace l96::code

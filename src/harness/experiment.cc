@@ -240,6 +240,13 @@ std::vector<double> Experiment::te_samples(std::uint64_t n_samples) {
   std::vector<double> out;
   const double controller =
       2.0 * world_->wire().params().one_way_us(proto::Lance::kMinFrame);
+  // Same per-inbound-packet classifier charge as combine_sides(): every
+  // sampled roundtrip classifies one packet on each path-inlined side.
+  // (Samples used to omit this, so Table 4's mean disagreed with te_us as
+  // soon as classifier_overhead_us was nonzero.)
+  const double classify =
+      (client_cfg_.path_inlining ? params_.classifier_overhead_us : 0.0) +
+      (server_cfg_.path_inlining ? params_.classifier_overhead_us : 0.0);
   MeasureSpec cspec = client_spec();
   MeasureSpec sspec = server_spec();
   for (std::uint64_t i = 0; i < n_samples; ++i) {
@@ -247,7 +254,7 @@ std::vector<double> Experiment::te_samples(std::uint64_t n_samples) {
     sspec.seed_offset = 200 + i * 13;
     auto c = measure_side(cspec);
     auto s = measure_side(sspec);
-    out.push_back(controller + c.critical_us + s.critical_us);
+    out.push_back(controller + classify + c.critical_us + s.critical_us);
   }
   return out;
 }

@@ -171,6 +171,12 @@ class Experiment {
   /// Run the world, capture, lower, replay; fills a ConfigResult.
   ConfigResult run();
 
+  /// Warm up and capture both sides' traces without measuring anything
+  /// (idempotent; run() and the accessors below trigger it implicitly).
+  /// Exposed for callers that want the traces/specs but will run their own
+  /// measure_side() variants (e.g. the fleet engine's slow-path pricing).
+  void capture();
+
   /// Per-sample end-to-end latency with varied scrub seeds (for the
   /// mean +/- stddev the paper reports).
   std::vector<double> te_samples(std::uint64_t n_samples);
@@ -202,8 +208,6 @@ class Experiment {
   MeasureSpec server_spec() const;
 
  private:
-  void capture();
-
   net::StackKind kind_;
   code::StackConfig client_cfg_;
   code::StackConfig server_cfg_;

@@ -1,0 +1,400 @@
+#include "harness/fleet.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "protocols/lance.h"
+#include "protocols/tcp.h"
+
+namespace l96::harness {
+
+FleetCosts measure_fleet_costs(net::StackKind kind,
+                               const code::StackConfig& cfg,
+                               const MachineParams& params) {
+  Experiment e(kind, cfg, cfg, params);
+  e.capture();
+
+  FleetCosts costs;
+  costs.controller_us =
+      e.world().wire().params().one_way_us(proto::Lance::kMinFrame);
+
+  // Fast path: the server's receive activation as captured (the inlined
+  // composite when path_inlining is on).
+  MeasureSpec sspec = e.server_spec();
+  costs.fast_us = measure_side(sspec).tp_us;
+
+  // Slow path: the same activation bracketed by slow-path markers, lowered
+  // under the same (fast-trace-profiled) image — the lowering then uses the
+  // cold-segment standalone placements, which is what executes when the
+  // composite's guard fails on a stale flow.
+  code::PathTrace slow_trace;
+  slow_trace.events.push_back({code::EventKind::kMarker, code::kInvalidFn, 0,
+                               code::Marker::kSlowPathBegin, 0});
+  slow_trace.events.insert(slow_trace.events.end(),
+                           e.server_trace().events.begin(),
+                           e.server_trace().events.end());
+  slow_trace.events.push_back({code::EventKind::kMarker, code::kInvalidFn, 0,
+                               code::Marker::kSlowPathEnd, 0});
+  MeasureSpec slow_spec = sspec;
+  slow_spec.trace = &slow_trace;
+  slow_spec.profile = &e.server_trace();
+  slow_spec.split = sspec.split + 1;  // one marker prepended
+  costs.slow_us = measure_side(slow_spec).tp_us;
+  return costs;
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double s, std::uint64_t seed)
+    : state_(seed != 0 ? seed : 0x9E3779B97F4A7C15ULL) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n must be > 0");
+  cdf_.resize(n);
+  double total = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = total;
+  }
+  for (std::size_t k = 0; k < n; ++k) cdf_[k] /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::size_t ZipfSampler::next() {
+  // xorshift64* — deterministic, seed-reproducible.
+  state_ ^= state_ >> 12;
+  state_ ^= state_ << 25;
+  state_ ^= state_ >> 27;
+  const std::uint64_t u = state_ * 0x2545F4914F6CDD1DULL;
+  const double r = static_cast<double>(u >> 11) * 0x1.0p-53;
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), r);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+namespace {
+
+constexpr std::uint16_t kFleetServerPort = 7000;
+constexpr std::uint16_t kFleetClientPortBase = 10'000;
+constexpr std::uint16_t kFleetRpcProcBase = 100;
+
+std::uint16_t client_port(std::size_t i) {
+  return static_cast<std::uint16_t>(kFleetClientPortBase + i);
+}
+
+/// Server-side sink: counts delivered messages (no echo — the schedule is
+/// client-driven; the server's TCP still ACKs).
+class FleetSink final : public proto::TcpUpper {
+ public:
+  void tcp_receive(proto::TcpConn&, xk::Message& m) override {
+    ++messages;
+    bytes += m.length();
+  }
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+class FleetSource final : public proto::TcpUpper {
+ public:
+  void tcp_receive(proto::TcpConn&, xk::Message&) override {}
+};
+
+[[noreturn]] void fleet_fail(const FleetSpec& spec, const char* what,
+                             std::uint64_t packet) {
+  throw std::runtime_error("fleet run stalled (" +
+                           (spec.label.empty() ? std::string("unlabeled")
+                                               : spec.label) +
+                           ", scheme=" + code::to_string(spec.scheme) +
+                           "): " + what + " at scheduled packet " +
+                           std::to_string(packet));
+}
+
+LatencyPercentiles percentiles(std::vector<double> s) {
+  LatencyPercentiles p;
+  if (s.empty()) return p;
+  std::sort(s.begin(), s.end());
+  const auto at = [&](double q) {
+    std::size_t i = static_cast<std::size_t>(q * static_cast<double>(s.size()));
+    if (i >= s.size()) i = s.size() - 1;
+    return s[i];
+  };
+  p.p50 = at(0.50);
+  p.p90 = at(0.90);
+  p.p99 = at(0.99);
+  p.p999 = at(0.999);
+  double sum = 0;
+  for (double v : s) sum += v;
+  p.mean = sum / static_cast<double>(s.size());
+  p.max = s.back();
+  return p;
+}
+
+std::uint64_t fnv1a_samples(const std::vector<double>& samples) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (double v : samples) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    for (int i = 0; i < 8; ++i) {
+      h ^= (bits >> (8 * i)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  }
+  return h;
+}
+
+FleetResult run_fleet_tcp(const FleetSpec& spec, const FleetCosts& costs) {
+  net::World world(net::StackKind::kTcpIp, spec.config, spec.config);
+  world.server().enable_flow_cache(spec.scheme, spec.cache_capacity,
+                                   spec.cache_costs);
+
+  FleetSink sink;
+  FleetSource source;
+  world.server().tcp()->listen(kFleetServerPort, &sink);
+
+  std::vector<proto::TcpConn*> conns(spec.connections, nullptr);
+  for (std::size_t i = 0; i < spec.connections; ++i) {
+    conns[i] = world.client().tcp()->connect(world.server().address().ip,
+                                             client_port(i), kFleetServerPort,
+                                             &source);
+  }
+  const auto all_established = [&] {
+    for (auto* c : conns) {
+      if (c->state() != proto::TcpState::kEstablished) return false;
+    }
+    return true;
+  };
+  if (!world.run_until(all_established, 60'000'000)) {
+    fleet_fail(spec, "connection fleet did not establish", 0);
+  }
+  // The last connection is established the instant the client processes
+  // its SYN-ACK — its handshake ACK is still in flight.  Let the world go
+  // quiet so those deliveries don't leak into the measured schedule.
+  world.run_until([] { return false; }, 500'000);
+
+  // Handshake traffic warmed the cache; measure the schedule only.
+  world.server().flow_cache()->reset_stats();
+  FleetResult r;
+  r.spec = spec;
+  std::vector<double> samples;
+  samples.reserve(spec.packets + spec.packets / 4);
+  world.server().set_deliver_hook(
+      [&](const code::FlowLookupResult& lr, bool slow) {
+        samples.push_back(costs.controller_us + lr.cost_us +
+                          (slow ? costs.slow_us : costs.fast_us));
+        if (slow) ++r.slow_packets;
+      });
+
+  ZipfSampler zipf(spec.connections, spec.zipf_s, spec.seed);
+  std::array<std::uint8_t, 32> payload{};
+  payload.fill(0x5A);
+  for (std::uint64_t p = 0; p < spec.packets; ++p) {
+    const std::size_t k = zipf.next();
+    conns[k]->send(payload);
+    const std::uint64_t want = p + 1;
+    if (!world.run_until([&] { return sink.messages >= want; }, 60'000'000)) {
+      fleet_fail(spec, "scheduled packet was not delivered", p);
+    }
+
+    if (spec.churn_every != 0 && (p + 1) % spec.churn_every == 0 &&
+        p + 1 < spec.packets) {
+      // Close and reopen the hottest flow.  Quiesce it first so no data is
+      // in flight, tear down both endpoints (the server-side unbind fires
+      // the demux hook and marks the flow's cache entry stale), then
+      // reconnect on the same 4-tuple: the reopened flow's first inbound
+      // frame is a stale hit and replays through the slow path.
+      if (!world.run_until([&] { return conns[0]->bytes_unacked() == 0; },
+                           60'000'000)) {
+        fleet_fail(spec, "churn victim did not quiesce", p);
+      }
+      for (auto* c : world.server().tcp()->connections()) {
+        if (c->remote_port() == client_port(0) &&
+            c->local_port() == kFleetServerPort) {
+          world.server().tcp()->destroy(c);
+          break;
+        }
+      }
+      world.client().tcp()->destroy(conns[0]);
+      conns[0] = world.client().tcp()->connect(world.server().address().ip,
+                                               client_port(0),
+                                               kFleetServerPort, &source);
+      if (!world.run_until(
+              [&] {
+                return conns[0]->state() == proto::TcpState::kEstablished;
+              },
+              60'000'000)) {
+        fleet_fail(spec, "churned connection did not re-establish", p);
+      }
+      ++r.churns;
+    }
+  }
+
+  r.packets_sampled = samples.size();
+  r.cache = world.server().flow_cache()->stats();
+  r.latency = percentiles(samples);
+  r.sim_us = static_cast<double>(world.events().now());
+  r.sample_digest = fnv1a_samples(samples);
+  return r;
+}
+
+FleetResult run_fleet_rpc(const FleetSpec& spec, const FleetCosts& costs) {
+  net::World world(net::StackKind::kRpc, spec.config, spec.config);
+  world.server().enable_flow_cache(spec.scheme, spec.cache_capacity,
+                                   spec.cache_costs);
+
+  for (std::size_t i = 0; i < spec.connections; ++i) {
+    world.server().mselect()->register_service(
+        static_cast<std::uint16_t>(kFleetRpcProcBase + i),
+        [&world](xk::Message& req) {
+          xk::Message reply(world.server().arena(), 0, 1);
+          reply.data()[0] = static_cast<std::uint8_t>(req.length() & 0xFF);
+          return reply;
+        });
+  }
+
+  FleetResult r;
+  r.spec = spec;
+  std::vector<double> samples;
+  samples.reserve(spec.packets + spec.packets / 4);
+  world.server().set_deliver_hook(
+      [&](const code::FlowLookupResult& lr, bool slow) {
+        samples.push_back(costs.controller_us + lr.cost_us +
+                          (slow ? costs.slow_us : costs.fast_us));
+        if (slow) ++r.slow_packets;
+      });
+
+  ZipfSampler zipf(spec.connections, spec.zipf_s, spec.seed);
+  std::uint64_t done = 0;
+  for (std::uint64_t p = 0; p < spec.packets; ++p) {
+    const std::size_t k = zipf.next();
+    xk::Message req(world.client().arena(), 128, 16);
+    world.client().mselect()->call(
+        static_cast<std::uint16_t>(kFleetRpcProcBase + k), req,
+        [&](xk::Message&) { ++done; });
+    const std::uint64_t want = p + 1;
+    if (!world.run_until([&] { return done >= want; }, 60'000'000)) {
+      fleet_fail(spec, "scheduled call did not complete", p);
+    }
+  }
+
+  r.packets_sampled = samples.size();
+  r.cache = world.server().flow_cache()->stats();
+  r.latency = percentiles(samples);
+  r.sim_us = static_cast<double>(world.events().now());
+  r.sample_digest = fnv1a_samples(samples);
+  return r;
+}
+
+}  // namespace
+
+FleetResult run_fleet(const FleetSpec& spec, const FleetCosts& costs) {
+  if (!spec.config.path_inlining) {
+    throw std::invalid_argument(
+        "run_fleet: spec.config must have path_inlining enabled (the flow "
+        "cache guards path-inlined inbound code)");
+  }
+  if (spec.connections == 0 || spec.packets == 0) {
+    throw std::invalid_argument(
+        "run_fleet: connections and packets must be > 0");
+  }
+  return spec.kind == net::StackKind::kTcpIp ? run_fleet_tcp(spec, costs)
+                                             : run_fleet_rpc(spec, costs);
+}
+
+FleetRunner::FleetRunner(unsigned threads)
+    : threads_(threads != 0
+                   ? threads
+                   : std::max(2u, std::thread::hardware_concurrency())) {}
+
+std::vector<FleetResult> FleetRunner::run(const std::vector<FleetSpec>& specs,
+                                          const FleetCosts& costs) {
+  std::vector<FleetResult> out(specs.size());
+  if (specs.empty()) {
+    workers_used_ = 0;
+    return out;
+  }
+
+  // Rows are independent simulations (one private World each); results are
+  // stored by index, so numbers are identical for any worker count.
+  std::atomic<std::size_t> next{0};
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  const unsigned n_workers = static_cast<unsigned>(
+      std::min<std::size_t>(threads_, specs.size()));
+  std::vector<char> worked(n_workers, 0);
+
+  auto worker = [&](unsigned wi) {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= specs.size()) return;
+      worked[wi] = 1;
+      try {
+        out[i] = run_fleet(specs[i], costs);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(err_mu);
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(n_workers);
+  for (unsigned wi = 0; wi < n_workers; ++wi) pool.emplace_back(worker, wi);
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+  workers_used_ = static_cast<std::size_t>(
+      std::count(worked.begin(), worked.end(), 1));
+  return out;
+}
+
+Json fleet_json(const FleetCosts& costs,
+                const std::vector<FleetResult>& rows) {
+  Json section = json_section("l96.fleet.v1");
+  section.set("costs", Json::object()
+                           .set("controller_us", costs.controller_us)
+                           .set("fast_us", costs.fast_us)
+                           .set("slow_us", costs.slow_us));
+  Json out_rows = Json::array();
+  for (const FleetResult& r : rows) {
+    const FleetSpec& s = r.spec;
+    Json row = Json::object();
+    row.set("label", s.label)
+        .set("kind", s.kind == net::StackKind::kTcpIp ? "tcpip" : "rpc")
+        .set("config", s.config.name)
+        .set("scheme", code::to_string(s.scheme))
+        .set("connections", static_cast<std::uint64_t>(s.connections))
+        .set("packets", s.packets)
+        .set("zipf_s", s.zipf_s)
+        .set("seed", s.seed)
+        .set("cache_capacity", static_cast<std::uint64_t>(s.cache_capacity))
+        .set("churn_every", s.churn_every)
+        .set("packets_sampled", r.packets_sampled)
+        .set("slow_packets", r.slow_packets)
+        .set("churns", r.churns)
+        .set("cache", Json::object()
+                          .set("lookups", r.cache.lookups)
+                          .set("hits", r.cache.hits)
+                          .set("misses", r.cache.misses)
+                          .set("stale_hits", r.cache.stale_hits)
+                          .set("unkeyed", r.cache.unkeyed)
+                          .set("rules_examined", r.cache.rules_examined)
+                          .set("hit_ratio", r.cache.hit_ratio())
+                          .set("stale_ratio", r.cache.stale_ratio())
+                          .set("cost_us", r.cache.cost_us))
+        .set("latency_us", Json::object()
+                               .set("p50", r.latency.p50)
+                               .set("p90", r.latency.p90)
+                               .set("p99", r.latency.p99)
+                               .set("p999", r.latency.p999)
+                               .set("mean", r.latency.mean)
+                               .set("max", r.latency.max))
+        .set("sim_us", r.sim_us)
+        .set("sample_digest", r.sample_digest);
+    out_rows.push_back(std::move(row));
+  }
+  section.set("rows", std::move(out_rows));
+  return section;
+}
+
+}  // namespace l96::harness

@@ -1,0 +1,135 @@
+// FleetRunner: many concurrent connections over one net::World, demuxed
+// through a flow cache (code/flow_cache.h) in front of the classifier's
+// rule scan.
+//
+// The single-connection Experiment measures the steady-state latency path;
+// a fleet run asks the orthogonal question the paper's Section 3.3
+// classifier discussion leaves open: what does demultiplexing cost when N
+// flows share one host and the classifier is front-ended by a
+// destination-locality cache (Jain, DEC-TR-592)?  The engine
+//
+//  * opens N client->server connections over one World,
+//  * drives a deterministic, Zipf-distributed packet schedule across them
+//    (seeded sampler; popularity skew is the sweep axis),
+//  * prices every inbound server frame as
+//        controller/wire + cache-lookup cost + processing time,
+//    where processing time is the steady replay of the server's receive
+//    activation — the inlined composite on a fresh classification, the
+//    standalone slow path when the cache hit is stale (connection churned
+//    and the inlined composite's guard fails), and
+//  * optionally churns the hottest connection every K packets (close +
+//    reopen), so the demux map's unbind hook invalidates the flow and the
+//    next frame takes a measured stale hit.
+//
+// Everything is a pure function of the spec: fixed seed + spec => byte-
+// identical samples, regardless of how many FleetRunner worker threads
+// measured the grid (results are stored by row index, one private World
+// per row).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "code/flow_cache.h"
+#include "harness/experiment.h"
+#include "harness/json.h"
+
+namespace l96::harness {
+
+/// Per-packet pricing inputs, measured once per (kind, config) and shared
+/// by every row of a fleet grid.
+struct FleetCosts {
+  double controller_us = 0;  ///< one controller+wire traversal (min frame)
+  double fast_us = 0;        ///< steady receive-activation processing time
+  double slow_us = 0;        ///< same activation through the standalone
+                             ///< slow path (guard failure / stale hit)
+};
+
+/// Measure FleetCosts for `cfg` on both sides of `kind`: capture the
+/// server's receive activation, replay it steadily as-is (fast), then
+/// bracket it in slow-path markers and replay it under the same image
+/// (slow) — the marker form lowers to the cold-segment standalone
+/// placements, exactly what a failed composite guard executes.
+FleetCosts measure_fleet_costs(net::StackKind kind,
+                               const code::StackConfig& cfg,
+                               const MachineParams& params =
+                                   MachineParams::defaults());
+
+/// Seeded Zipf(s) sampler over {0, ..., n-1}: P(k) proportional to
+/// 1/(k+1)^s (s = 0 is uniform).  Deterministic: xorshift64* over the
+/// seed, inverse-CDF lookup.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s, std::uint64_t seed);
+  std::size_t next();
+
+ private:
+  std::vector<double> cdf_;
+  std::uint64_t state_;
+};
+
+/// One fleet row: a population of connections under one cache scheme.
+struct FleetSpec {
+  std::string label;
+  net::StackKind kind = net::StackKind::kTcpIp;
+  /// Stack configuration for both hosts; must have path_inlining on for
+  /// the slow-path fallback to mean anything (PIN / ALL).
+  code::StackConfig config;
+  std::size_t connections = 8;
+  std::uint64_t packets = 256;    ///< scheduled client->server packets
+  double zipf_s = 1.1;            ///< flow-popularity skew (0 = uniform)
+  std::uint64_t seed = 1;
+  code::FlowCacheScheme scheme = code::FlowCacheScheme::kLru;
+  std::size_t cache_capacity = 8;
+  code::FlowCacheCosts cache_costs{};
+  /// Every `churn_every` scheduled packets, close and reopen the hottest
+  /// connection (TCP/IP only): the demux unbind invalidates its flow and
+  /// the reopened flow's next frame is a stale hit.  0 disables churn.
+  std::uint64_t churn_every = 0;
+};
+
+struct LatencyPercentiles {
+  double p50 = 0, p90 = 0, p99 = 0, p999 = 0;
+  double mean = 0, max = 0;
+};
+
+struct FleetResult {
+  FleetSpec spec;                   ///< echoed for reporting
+  std::uint64_t packets_sampled = 0;  ///< inbound frames priced at the server
+  std::uint64_t slow_packets = 0;     ///< routed through the slow path
+  std::uint64_t churns = 0;
+  code::FlowCacheStats cache;       ///< scheme hit/miss/stale counters
+  LatencyPercentiles latency;       ///< per-packet latency distribution (us)
+  double sim_us = 0;                ///< virtual time the fleet run consumed
+  std::uint64_t sample_digest = 0;  ///< FNV-1a over the per-packet samples
+};
+
+/// Run one fleet row.  Throws std::runtime_error (naming the row) if the
+/// world stalls before the schedule completes.
+FleetResult run_fleet(const FleetSpec& spec, const FleetCosts& costs);
+
+/// Worker pool over independent fleet rows; results ordered by row index
+/// and byte-identical for any thread count.
+class FleetRunner {
+ public:
+  /// `threads` = 0 picks the hardware concurrency, floored at 2.
+  explicit FleetRunner(unsigned threads = 0);
+
+  std::vector<FleetResult> run(const std::vector<FleetSpec>& specs,
+                               const FleetCosts& costs);
+
+  unsigned thread_count() const noexcept { return threads_; }
+  std::size_t workers_used() const noexcept { return workers_used_; }
+
+ private:
+  unsigned threads_;
+  std::size_t workers_used_ = 0;
+};
+
+/// The rows + shared costs as a schema-versioned section
+/// (`l96.fleet.v1`) for SweepOutcome::extra_json / standalone emission.
+Json fleet_json(const FleetCosts& costs,
+                const std::vector<FleetResult>& rows);
+
+}  // namespace l96::harness

@@ -157,15 +157,22 @@ std::vector<SweepOutcome> SweepRunner::run(const std::vector<SweepJob>& jobs) {
                                       e.controller_us,
                                       job.client.path_inlining,
                                       job.server.path_inlining, job.params);
-        // te samples vary only the scrub seed; never profiled.
+        // te samples vary only the scrub seed; never profiled.  They carry
+        // the same per-inbound-packet classifier charge as combine_sides()
+        // (and Experiment::te_samples), so sampled means agree with te_us.
         cspec.profile_misses = sspec.profile_misses = false;
+        const double classify =
+            (job.client.path_inlining ? job.params.classifier_overhead_us
+                                      : 0.0) +
+            (job.server.path_inlining ? job.params.classifier_overhead_us
+                                      : 0.0);
         for (std::uint64_t k = 0; k < job.te_sample_count; ++k) {
           cspec.seed_offset = 100 + k * 7;
           sspec.seed_offset = 200 + k * 13;
           auto sc = measure_side(cspec);
           auto ss = measure_side(sspec);
-          out[i].te_samples.push_back(e.controller_us + sc.critical_us +
-                                      ss.critical_us);
+          out[i].te_samples.push_back(e.controller_us + classify +
+                                      sc.critical_us + ss.critical_us);
         }
         if (job.profile_misses) {
           out[i].extra_json("missmap", missmap_json(out[i].result));

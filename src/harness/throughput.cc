@@ -37,8 +37,10 @@ class StreamSource final : public proto::TcpUpper {
 }  // namespace
 
 ThroughputResult measure_tcp_throughput(const code::StackConfig& cfg,
-                                        std::uint64_t bytes) {
+                                        std::uint64_t bytes,
+                                        const net::FaultPlan* faults) {
   net::World world(net::StackKind::kTcpIp, cfg, cfg);
+  if (faults != nullptr) world.set_fault_plan(*faults);
   CountingSink sink;
   StreamSource source(bytes);
   world.server().tcp()->listen(9000, &sink);
@@ -48,6 +50,11 @@ ThroughputResult measure_tcp_throughput(const code::StackConfig& cfg,
   const std::uint64_t deadline = 600'000'000;  // 10 minutes simulated
   while (sink.received < bytes && world.events().pending() > 0 &&
          world.events().now() < deadline) {
+    world.events().advance_to_next();
+  }
+  // Drain in-flight frames and pending ACK/retransmit events so the frame
+  // counters are settled (on a clean wire, carried == delivered).
+  while (world.events().pending() > 0 && world.events().now() < deadline) {
     world.events().advance_to_next();
   }
 
@@ -61,13 +68,23 @@ ThroughputResult measure_tcp_throughput(const code::StackConfig& cfg,
   r.wire_seconds = world.events().now() / 1e6;
   r.processing_us = lat.client.tp_us;
   r.frames = world.wire().frames_carried();
+  r.frames_delivered = world.wire().frames_delivered();
   r.retransmits = conn->retransmits();
-  // Effective time = wire time + processing per data-bearing frame on both
-  // hosts (which overlaps only partially with the wire).
-  const double proc_seconds =
-      (lat.client.tp_us + lat.server.tp_us) * 1e-6 * r.frames / 2.0;
+  // Effective time = wire time + processing per frame on both hosts (which
+  // overlaps only partially with the wire).  Each frame offered to the
+  // wire — retransmissions included — cost its sender an output-side share
+  // of the per-activation processing time, and each *delivered* frame cost
+  // its receiver the input-side share.  On a clean wire (frames ==
+  // frames_delivered) this reduces to the historical mean-tp-per-frame
+  // formula; under loss, retransmitted frames now charge processing
+  // instead of only wire time.
+  const double mean_tp_us = (lat.client.tp_us + lat.server.tp_us) / 2.0;
+  r.proc_seconds = mean_tp_us * 1e-6 *
+                   (static_cast<double>(r.frames) +
+                    static_cast<double>(r.frames_delivered)) /
+                   2.0;
   r.kbytes_per_second =
-      r.bytes / 1000.0 / (r.wire_seconds + proc_seconds);
+      r.bytes / 1000.0 / (r.wire_seconds + r.proc_seconds);
   return r;
 }
 

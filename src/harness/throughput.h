@@ -20,15 +20,25 @@ struct ThroughputResult {
   std::uint64_t bytes = 0;
   double wire_seconds = 0;        ///< simulated wire time
   double processing_us = 0;       ///< per-roundtrip processing (steady)
+  double proc_seconds = 0;        ///< total modeled per-packet processing
   double kbytes_per_second = 0;   ///< effective goodput
-  std::uint64_t frames = 0;
+  std::uint64_t frames = 0;           ///< frames offered to the wire
+  std::uint64_t frames_delivered = 0; ///< frames that reached a receiver
   std::uint64_t retransmits = 0;
 };
 
 /// Transfer `bytes` through a TCP bulk stream under `cfg`, then add the
 /// configuration's measured per-packet processing cost to the wire time.
+/// Every frame offered to the wire — retransmissions included — charges
+/// its sender's processing share; every delivered frame charges its
+/// receiver's share (dropped frames cost the sender real work too).
+/// `faults`, when non-null, installs a deterministic fault plan on the
+/// wire so lossy transfers (and their retransmission processing) can be
+/// measured.
 ThroughputResult measure_tcp_throughput(const code::StackConfig& cfg,
-                                        std::uint64_t bytes = 256 * 1024);
+                                        std::uint64_t bytes = 256 * 1024,
+                                        const net::FaultPlan* faults =
+                                            nullptr);
 
 /// Issue `calls` RPC calls of `bytes` each (BLAST-fragmented).
 ThroughputResult measure_rpc_throughput(const code::StackConfig& cfg,

@@ -83,6 +83,32 @@ void Host::arm_capture(code::PathTrace* sink) {
   tx_split_ = 0;
 }
 
+Host::~Host() {
+  if (tcp_ != nullptr) tcp_->set_conn_map_hook(nullptr);
+  deliver_hook_ = nullptr;
+}
+
+void Host::enable_flow_cache(code::FlowCacheScheme scheme,
+                             std::size_t capacity,
+                             code::FlowCacheCosts costs) {
+  flow_cache_ = std::make_unique<code::FlowCache>(
+      kind_ == StackKind::kTcpIp ? proto::tcpip_flow_key_spec()
+                                 : proto::rpc_flow_key_spec(),
+      scheme, capacity, costs);
+  if (kind_ == StackKind::kTcpIp) {
+    // Connection churn: when a connection leaves the demux map its flow
+    // key may be rebound later; any cached classification for it is then
+    // stale and must fail the inlined composite's guard.
+    tcp_->set_conn_map_hook([this](const proto::TcpConn& c, bool bound) {
+      if (bound) return;
+      const std::uint32_t vals[] = {c.remote_ip(), c.remote_port(),
+                                    c.local_port()};
+      flow_cache_->invalidate(
+          flow_cache_->key_spec().key_of_values(vals));
+    });
+  }
+}
+
 void Host::deliver(std::vector<std::uint8_t> frame) {
   const bool capturing = capture_sink_ != nullptr;
   if (capturing) {
@@ -91,16 +117,25 @@ void Host::deliver(std::vector<std::uint8_t> frame) {
   }
   // Section 3.3: with path-inlining the optimized inbound code handles only
   // packets that really follow the assumed path; everything else must take
-  // the standalone slow-path code.
+  // the standalone slow-path code.  A stale flow-cache hit (connection
+  // churn) also fails the composite's guard: the cached prediction refers
+  // to a binding that no longer exists.
   bool slow = false;
   if (cfg_.path_inlining) {
-    if (classifier_.classify(frame).has_value()) {
+    code::FlowLookupResult lr;
+    if (flow_cache_ != nullptr) {
+      lr = flow_cache_->lookup(classifier_, frame);
+    } else {
+      lr.path_id = classifier_.classify(frame);
+    }
+    if (lr.path_id.has_value() && !lr.stale) {
       ++classifier_hits_;
     } else {
       ++classifier_misses_;
       slow = true;
       recorder_.marker(code::Marker::kSlowPathBegin);
     }
+    if (flow_cache_ != nullptr && deliver_hook_) deliver_hook_(lr, slow);
   }
   lance_->rx_frame(frame);
   if (slow) recorder_.marker(code::Marker::kSlowPathEnd);

@@ -12,11 +12,13 @@
 // overlapped work.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 
 #include "code/classifier.h"
 #include "code/config.h"
+#include "code/flow_cache.h"
 #include "code/model.h"
 #include "code/trace.h"
 #include "net/wire.h"
@@ -49,6 +51,10 @@ class Host {
   Host(std::string name, StackKind kind, const code::StackConfig& cfg,
        HostAddress self, HostAddress peer, bool is_client,
        xk::EventManager& events, Wire& wire, int wire_port);
+  /// Detaches the flow-cache invalidation hook before members destruct:
+  /// ~Tcp() tears down live connections, and the hook must not touch the
+  /// already-destroyed cache (flow_cache_ is declared after tcp_).
+  ~Host();
 
   /// Frame delivery from the wire (the receive interrupt).
   void deliver(std::vector<std::uint8_t> frame);
@@ -68,6 +74,27 @@ class Host {
   std::uint64_t classifier_misses() const noexcept {
     return classifier_misses_;
   }
+
+  /// Install a flow cache (code/flow_cache.h) in front of the classifier's
+  /// linear rule scan.  With path-inlining on, every inbound frame is
+  /// looked up through the cache; a stale hit (flow invalidated by
+  /// connection churn) fails the inlined composite's guard and routes the
+  /// activation through the standalone slow path.  On TCP/IP hosts the
+  /// demux map's unbind hook invalidates the closed connection's flow.
+  void enable_flow_cache(code::FlowCacheScheme scheme, std::size_t capacity,
+                         code::FlowCacheCosts costs = {});
+  code::FlowCache* flow_cache() noexcept { return flow_cache_.get(); }
+  const code::FlowCache* flow_cache() const noexcept {
+    return flow_cache_.get();
+  }
+
+  /// Per-delivery observer, invoked once per inbound frame after
+  /// classification when a flow cache is installed: the lookup result plus
+  /// whether the activation took the standalone slow path.  The fleet
+  /// engine uses this to collect per-packet latency samples.
+  using DeliverHook =
+      std::function<void(const code::FlowLookupResult&, bool slow_path)>;
+  void set_deliver_hook(DeliverHook h) { deliver_hook_ = std::move(h); }
 
   // --- components -----------------------------------------------------------
   const std::string& name() const noexcept { return name_; }
@@ -132,6 +159,10 @@ class Host {
   code::PacketClassifier classifier_;
   std::uint64_t classifier_hits_ = 0;
   std::uint64_t classifier_misses_ = 0;
+  // Optional flow cache front-ending the classifier's rule scan, with the
+  // per-delivery observer the fleet engine samples through.
+  std::unique_ptr<code::FlowCache> flow_cache_;
+  DeliverHook deliver_hook_;
 };
 
 }  // namespace l96::net

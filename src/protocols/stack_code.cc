@@ -566,4 +566,24 @@ code::PathSpec rpc_input_path(const code::CodeRegistry& reg) {
            reg.require("chan_demux")}};
 }
 
+// ---------------------------------------------------------------------------
+// Flow-key specs (code/flow_cache.h)
+// ---------------------------------------------------------------------------
+
+code::FlowKeySpec tcpip_flow_key_spec() {
+  // ETH header is 14 bytes, the IP header 20 (no options): source IP at
+  // 14+12, TCP ports right after the IP header at 14+20.
+  return {{{.offset = 26, .size = 4},    // IP source address
+           {.offset = 34, .size = 2},    // TCP source port
+           {.offset = 36, .size = 2}}};  // TCP destination port
+}
+
+code::FlowKeySpec rpc_flow_key_spec() {
+  // Single-fragment frame: ETH 14 + BLAST 16 + BID 4 = 34, CHAN channel at
+  // its header's first two bytes; MSELECT procedure follows CHAN's 8-byte
+  // header at 42.
+  return {{{.offset = 34, .size = 2},    // CHAN channel id
+           {.offset = 42, .size = 2}}};  // MSELECT procedure id
+}
+
 }  // namespace l96::proto

@@ -13,6 +13,7 @@
 #pragma once
 
 #include "code/config.h"
+#include "code/flow_cache.h"
 #include "code/model.h"
 
 namespace l96::proto {
@@ -188,5 +189,16 @@ code::PathSpec tcpip_output_path(const code::CodeRegistry& reg);
 code::PathSpec tcpip_input_path(const code::CodeRegistry& reg);
 code::PathSpec rpc_output_path(const code::CodeRegistry& reg);
 code::PathSpec rpc_input_path(const code::CodeRegistry& reg);
+
+/// Flow-key field specs for the classifier flow cache (code/flow_cache.h):
+/// which raw-frame fields identify a flow on each stack.
+///
+/// TCP/IP: source IP (the peer), source port, destination port — the
+/// inbound half of the connection 4-tuple (the local IP is constant per
+/// host).  key_of_values() order: {remote_ip, remote_port, local_port}.
+code::FlowKeySpec tcpip_flow_key_spec();
+/// RPC: CHAN channel id + MSELECT procedure id of single-fragment frames.
+/// key_of_values() order: {channel, procedure}.
+code::FlowKeySpec rpc_flow_key_spec();
 
 }  // namespace l96::proto

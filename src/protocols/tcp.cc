@@ -171,6 +171,7 @@ TcpConn* Tcp::connect(std::uint32_t dst_ip, std::uint16_t lport,
   c->ssthresh_ = 4 * params_.mss;
   c->state_ = TcpState::kSynSent;
   conns_.bind(conn_key(dst_ip, lport, rport), c);
+  if (conn_map_hook_) conn_map_hook_(*c, /*bound=*/true);
   send_segment(*c, c->iss_, kSyn, {});
   arm_rexmt(*c);
   return c;
@@ -189,6 +190,7 @@ void Tcp::destroy(TcpConn* conn) {
     listeners_.unbind(listen_key(conn->lport_));
   } else {
     conns_.unbind(conn_key(conn->rip_, conn->lport_, conn->rport_));
+    if (conn_map_hook_) conn_map_hook_(*conn, /*bound=*/false);
   }
   delete conn;
 }
@@ -274,6 +276,7 @@ void Tcp::ip_deliver(const IpInfo& info, xk::Message& m) {
     c->rcv_nxt_ = seg.seq + 1;
     c->state_ = TcpState::kSynRcvd;
     conns_.bind(conn_key(info.src, dport, sport), c);
+    if (conn_map_hook_) conn_map_hook_(*c, /*bound=*/true);
     send_segment(*c, c->iss_, kSyn | kAck, {});
     arm_rexmt(*c);
     return;

@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <span>
@@ -150,6 +151,15 @@ class Tcp final : public xk::Protocol, public IpUpper {
   /// `upper` as its upcall sink.
   void listen(std::uint16_t port, TcpUpper* upper);
 
+  /// Demux-map lifecycle hook: invoked when a connection is bound into
+  /// (`bound == true`: active open or accept) or unbound from
+  /// (`bound == false`: destroy/teardown) the connection map.  The flow
+  /// cache guarding path-inlined inbound code keys on the connection
+  /// 4-tuple, so an unbind means any cached classification for that flow
+  /// is stale (net::Host wires this to FlowCache::invalidate).
+  using ConnMapHook = std::function<void(const TcpConn&, bool bound)>;
+  void set_conn_map_hook(ConnMapHook h) { conn_map_hook_ = std::move(h); }
+
   void ip_deliver(const IpInfo& info, xk::Message& m) override;
   void demux(xk::Message&) override {}  // inbound arrives via ip_deliver
 
@@ -227,6 +237,7 @@ class Tcp final : public xk::Protocol, public IpUpper {
   TcpParams params_;
   xk::Map<TcpConn*> conns_;
   xk::Map<TcpConn*> listeners_;
+  ConnMapHook conn_map_hook_;
   std::uint32_t iss_gen_ = 1000;
   std::uint32_t rcv_wnd_override_ = ~0u;
 

@@ -75,6 +75,63 @@ TEST(Classifier, Metadata) {
   EXPECT_EQ(c.num_paths(), 1u);
 }
 
+TEST(Classifier, RejectsRuleSizesOutsideAccumulatorWidth) {
+  // The matcher folds `size` big-endian bytes into a 32-bit accumulator;
+  // anything outside {1, 2, 4} would overflow or read torn values, so
+  // add_path must reject it up front.
+  PacketClassifier c;
+  EXPECT_THROW(c.add_path("zero", 1,
+                          {{.offset = 0, .size = 0, .mask = 0xFF, .value = 0}}),
+               std::invalid_argument);
+  EXPECT_THROW(c.add_path("three", 2,
+                          {{.offset = 0, .size = 3, .mask = 0xFF, .value = 0}}),
+               std::invalid_argument);
+  EXPECT_THROW(c.add_path("eight", 3,
+                          {{.offset = 0, .size = 8, .mask = 0xFF, .value = 0}}),
+               std::invalid_argument);
+  EXPECT_EQ(c.num_paths(), 0u);  // nothing was registered
+  for (std::uint8_t ok : {1, 2, 4}) {
+    PacketClassifier good;
+    EXPECT_NO_THROW(good.add_path(
+        "ok", ok, {{.offset = 0, .size = ok, .mask = 0xFF, .value = 0}}));
+  }
+}
+
+TEST(Classifier, RejectsDuplicatePathIds) {
+  PacketClassifier c;
+  c.add_path("first", 7, {{.offset = 0, .size = 1, .mask = 0xFF, .value = 1}});
+  EXPECT_THROW(
+      c.add_path("second", 7,
+                 {{.offset = 0, .size = 1, .mask = 0xFF, .value = 2}}),
+      std::invalid_argument);
+  EXPECT_EQ(c.num_paths(), 1u);
+  ASSERT_NE(c.path_name(7), nullptr);
+  EXPECT_EQ(*c.path_name(7), "first");  // original registration intact
+}
+
+TEST(Classifier, ClassifyScanCountsRulesExamined) {
+  PacketClassifier c;
+  c.add_path("a", 1,
+             {{.offset = 0, .size = 1, .mask = 0xFF, .value = 1},
+              {.offset = 1, .size = 1, .mask = 0xFF, .value = 2}});
+  c.add_path("b", 2, {{.offset = 0, .size = 1, .mask = 0xFF, .value = 9}});
+
+  // Match on the first path: both of its rules were evaluated.
+  auto scan = c.classify_scan(frame({1, 2}));
+  EXPECT_EQ(scan.path_id, 1);
+  EXPECT_EQ(scan.rules_examined, 2u);
+
+  // First path fails on rule 1 (short-circuit), second matches its rule.
+  scan = c.classify_scan(frame({9, 9}));
+  EXPECT_EQ(scan.path_id, 2);
+  EXPECT_EQ(scan.rules_examined, 2u);
+
+  // No match: every path's scan was attempted.
+  scan = c.classify_scan(frame({5, 5}));
+  EXPECT_EQ(scan.path_id, std::nullopt);
+  EXPECT_EQ(scan.rules_examined, 2u);  // path a stops at rule 1, then path b
+}
+
 // --- wire format -----------------------------------------------------------
 
 TEST(WireFormat, BigEndianRoundtrip) {

@@ -1,0 +1,187 @@
+// Tests for the multi-connection fleet engine (harness/fleet.h):
+// determinism across runs / worker counts / seeds, the stale-hit
+// slow-path fallback, and the Zipf schedule.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "harness/fleet.h"
+#include "harness/sweep.h"
+
+namespace l96 {
+namespace {
+
+using harness::FleetCosts;
+using harness::FleetRunner;
+using harness::FleetSpec;
+using harness::ZipfSampler;
+
+// Fleet pricing needs one trace capture + three machine replays; share it
+// across the tests in this file.
+const FleetCosts& tcp_costs() {
+  static const FleetCosts costs = harness::measure_fleet_costs(
+      net::StackKind::kTcpIp, code::StackConfig::All());
+  return costs;
+}
+
+FleetSpec small_spec() {
+  FleetSpec spec;
+  spec.label = "test";
+  spec.kind = net::StackKind::kTcpIp;
+  spec.config = code::StackConfig::All();
+  spec.connections = 4;
+  spec.packets = 32;
+  spec.zipf_s = 1.1;
+  spec.seed = 5;
+  spec.scheme = code::FlowCacheScheme::kLru;
+  spec.cache_capacity = 8;
+  spec.churn_every = 10;
+  return spec;
+}
+
+TEST(ZipfSamplerTest, DeterministicAndSkewed) {
+  ZipfSampler a(16, 1.2, 7), b(16, 1.2, 7), c(16, 1.2, 8);
+  std::vector<std::size_t> sa, sb, sc;
+  for (int i = 0; i < 200; ++i) {
+    sa.push_back(a.next());
+    sb.push_back(b.next());
+    sc.push_back(c.next());
+  }
+  EXPECT_EQ(sa, sb);  // same seed, same stream
+  EXPECT_NE(sa, sc);  // different seed diverges
+
+  // Skew: flow 0 dominates under s=1.2; under s=0 the draw is uniform.
+  std::size_t hot_skewed = 0, hot_uniform = 0;
+  ZipfSampler skewed(16, 1.2, 3), uniform(16, 0.0, 3);
+  for (int i = 0; i < 2000; ++i) {
+    hot_skewed += skewed.next() == 0;
+    hot_uniform += uniform.next() == 0;
+  }
+  EXPECT_GT(hot_skewed, 400u);   // ~29% analytically
+  EXPECT_LT(hot_uniform, 200u);  // ~6.25% analytically
+  EXPECT_THROW(ZipfSampler(0, 1.0, 1), std::invalid_argument);
+}
+
+TEST(FleetCostsTest, SlowPathPricedAboveInlinedFastPath) {
+  const FleetCosts& c = tcp_costs();
+  EXPECT_GT(c.fast_us, 0.0);
+  EXPECT_GT(c.slow_us, c.fast_us)
+      << "standalone slow-path replay must cost more than the inlined "
+         "composite";
+  EXPECT_GT(c.controller_us, 0.0);
+}
+
+TEST(FleetTest, DeterministicAcrossRunsAndWorkerCounts) {
+  std::vector<FleetSpec> specs;
+  for (auto scheme : {code::FlowCacheScheme::kOneBehind,
+                      code::FlowCacheScheme::kLru}) {
+    for (double s : {0.0, 1.2}) {
+      FleetSpec spec = small_spec();
+      spec.scheme = scheme;
+      spec.zipf_s = s;
+      specs.push_back(spec);
+    }
+  }
+  FleetRunner serial(1), parallel(3);
+  const auto r1 = serial.run(specs, tcp_costs());
+  const auto r3 = parallel.run(specs, tcp_costs());
+  ASSERT_EQ(r1.size(), specs.size());
+  ASSERT_EQ(r3.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(r1[i].sample_digest, r3[i].sample_digest) << specs[i].label;
+    EXPECT_EQ(r1[i].packets_sampled, r3[i].packets_sampled);
+    EXPECT_EQ(r1[i].cache.hits, r3[i].cache.hits);
+    EXPECT_EQ(r1[i].cache.stale_hits, r3[i].cache.stale_hits);
+    EXPECT_DOUBLE_EQ(r1[i].latency.p999, r3[i].latency.p999);
+    EXPECT_DOUBLE_EQ(r1[i].sim_us, r3[i].sim_us);
+  }
+
+  // Same spec, different schedule seed: the sample stream diverges.  Use
+  // the one-behind scheme — its hit pattern tracks the flow order, so a
+  // different schedule is visible in the samples.  (Under LRU with every
+  // flow resident, all schedules price identically — which is correct.)
+  FleetSpec reseeded = small_spec();
+  reseeded.scheme = code::FlowCacheScheme::kOneBehind;
+  reseeded.zipf_s = 1.2;
+  reseeded.seed = 6;
+  EXPECT_NE(harness::run_fleet(reseeded, tcp_costs()).sample_digest,
+            r1[1].sample_digest);
+}
+
+TEST(FleetTest, ChurnProducesStaleHitsThatFallBackSlow) {
+  const FleetCosts& costs = tcp_costs();
+  const FleetSpec spec = small_spec();  // churn_every = 10 over 32 packets
+  const auto r = harness::run_fleet(spec, costs);
+
+  EXPECT_GE(r.churns, 2u);
+  EXPECT_GE(r.cache.stale_hits, r.churns)
+      << "each reopened flow's first frame must hit the stale entry";
+  EXPECT_GE(r.slow_packets, r.cache.stale_hits)
+      << "every stale hit must route through the standalone slow path";
+  // The tail carries the slow-path price: controller + lookup + slow_us.
+  EXPECT_GT(r.latency.max, costs.controller_us + costs.slow_us);
+  // The floor is the fast path: controller + cheapest lookup + fast_us.
+  EXPECT_GE(r.latency.p50, costs.controller_us + costs.fast_us);
+  EXPECT_GT(r.packets_sampled, spec.packets);  // churn handshakes included
+
+  // Without churn, no connection ever unbinds: zero stale traffic.
+  FleetSpec quiet = small_spec();
+  quiet.churn_every = 0;
+  const auto q = harness::run_fleet(quiet, costs);
+  EXPECT_EQ(q.cache.stale_hits, 0u);
+  EXPECT_EQ(q.slow_packets, 0u);
+  EXPECT_EQ(q.churns, 0u);
+  EXPECT_EQ(q.packets_sampled, quiet.packets);
+}
+
+TEST(FleetTest, RpcFleetRunsAndCaches) {
+  const FleetCosts costs = harness::measure_fleet_costs(
+      net::StackKind::kRpc, code::StackConfig::All());
+  FleetSpec spec;
+  spec.label = "rpc-test";
+  spec.kind = net::StackKind::kRpc;
+  spec.config = code::StackConfig::All();
+  spec.connections = 4;
+  spec.packets = 24;
+  spec.zipf_s = 1.0;
+  spec.seed = 9;
+  spec.scheme = code::FlowCacheScheme::kLru;
+  spec.cache_capacity = 4;
+  const auto r = harness::run_fleet(spec, costs);
+  EXPECT_EQ(r.packets_sampled, spec.packets);
+  EXPECT_GT(r.cache.hit_ratio(), 0.0);
+  EXPECT_EQ(r.cache.stale_hits, 0u);
+  EXPECT_GT(r.latency.mean, costs.controller_us);
+}
+
+TEST(FleetTest, RejectsNonInlinedConfigAndEmptySchedules) {
+  FleetSpec spec = small_spec();
+  spec.config = code::StackConfig::Std();  // no path_inlining
+  EXPECT_THROW(harness::run_fleet(spec, tcp_costs()), std::invalid_argument);
+  spec = small_spec();
+  spec.packets = 0;
+  EXPECT_THROW(harness::run_fleet(spec, tcp_costs()), std::invalid_argument);
+  spec = small_spec();
+  spec.connections = 0;
+  EXPECT_THROW(harness::run_fleet(spec, tcp_costs()), std::invalid_argument);
+}
+
+TEST(FleetTest, FleetJsonSectionIsSchemaVersioned) {
+  const auto r = harness::run_fleet(small_spec(), tcp_costs());
+  const harness::Json section = harness::fleet_json(tcp_costs(), {r});
+  ASSERT_TRUE(section.is_object());
+  const auto* schema = section.find("schema");
+  ASSERT_NE(schema, nullptr);
+  ASSERT_NE(schema->as_string(), nullptr);
+  EXPECT_EQ(*schema->as_string(), "l96.fleet.v1");
+  const auto* rows = section.find("rows");
+  ASSERT_NE(rows, nullptr);
+  EXPECT_EQ(rows->size(), 1u);
+  // Attachable to a sweep row (validates the section contract).
+  harness::SweepOutcome outcome;
+  EXPECT_NO_THROW(outcome.extra_json("fleet", section));
+}
+
+}  // namespace
+}  // namespace l96

@@ -1,0 +1,223 @@
+// Tests for the flow-aware classification cache (code/flow_cache.h):
+// analytic hit ratios per scheme, stale invalidation, and the cost model.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "code/flow_cache.h"
+#include "harness/fleet.h"
+#include "protocols/stack_code.h"
+
+namespace l96 {
+namespace {
+
+using code::FlowCache;
+using code::FlowCacheCosts;
+using code::FlowCacheScheme;
+using code::FlowKeySpec;
+
+// Frames are {flow_id, 0x45}: byte 0 keys the flow, byte 1 satisfies the
+// classifier (every flow takes the same path — many flows, one path, the
+// demux structure the cache exists for).
+FlowKeySpec test_spec() { return {{{.offset = 0, .size = 1}}}; }
+
+code::PacketClassifier test_classifier() {
+  code::PacketClassifier c;
+  c.add_path("decoy", 1,
+             {{.offset = 1, .size = 1, .mask = 0xFF, .value = 0x99}});
+  c.add_path("input", 2,
+             {{.offset = 1, .size = 1, .mask = 0xFF, .value = 0x45}});
+  return c;
+}
+
+std::vector<std::uint8_t> flow_frame(std::uint8_t flow) {
+  return {flow, 0x45};
+}
+
+TEST(FlowKeySpec, FrameExtractionMatchesExplicitValues) {
+  const FlowKeySpec spec{{{.offset = 0, .size = 1}, {.offset = 2, .size = 2}}};
+  const std::vector<std::uint8_t> frame = {0xAA, 0x00, 0xBB, 0xCC};
+  const auto key = spec.key_of(frame);
+  ASSERT_TRUE(key.has_value());
+  const std::uint32_t vals[] = {0xAA, 0xBBCC};
+  EXPECT_EQ(*key, spec.key_of_values(vals));
+  // Values are truncated to the field width, mirroring extraction.
+  const std::uint32_t wide[] = {0x1AA, 0xBBCC};
+  EXPECT_EQ(*key, spec.key_of_values(wide));
+}
+
+TEST(FlowKeySpec, TcpIpSpecMatchesHostInvalidationTuple) {
+  // The server-side invalidation path builds the key from the connection
+  // tuple (remote ip, remote port, local port); an inbound frame's fields
+  // (src ip @26, src port @34, dst port @36) must produce the same key.
+  const FlowKeySpec spec = proto::tcpip_flow_key_spec();
+  std::vector<std::uint8_t> frame(64, 0);
+  frame[26] = 10; frame[27] = 0; frame[28] = 0; frame[29] = 1;   // 10.0.0.1
+  frame[34] = 0x27; frame[35] = 0x11;                            // 10001
+  frame[36] = 0x1B; frame[37] = 0x58;                            // 7000
+  const auto key = spec.key_of(frame);
+  ASSERT_TRUE(key.has_value());
+  const std::uint32_t tuple[] = {0x0A000001u, 10001u, 7000u};
+  EXPECT_EQ(*key, spec.key_of_values(tuple));
+}
+
+TEST(FlowCache, ShortFrameBypassesCache) {
+  auto classifier = test_classifier();
+  FlowCache cache({{{.offset = 5, .size = 2}}}, FlowCacheScheme::kLru, 4);
+  const std::vector<std::uint8_t> shorty = {0x01, 0x45};
+  const auto r = cache.lookup(classifier, shorty);
+  EXPECT_FALSE(r.cache_hit);
+  EXPECT_EQ(cache.stats().unkeyed, 1u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+TEST(FlowCache, OneBehindPingPongIsTheWorstCase) {
+  // Jain's one-behind cache holds exactly the previous flow: a strict
+  // A,B,A,B alternation never hits — the analytic worst case.
+  auto classifier = test_classifier();
+  FlowCache cache(test_spec(), FlowCacheScheme::kOneBehind, /*capacity=*/8);
+  EXPECT_EQ(cache.capacity(), 1u);  // scheme forces a single entry
+  for (int i = 0; i < 50; ++i) {
+    cache.lookup(classifier, flow_frame(i % 2 == 0 ? 0xA : 0xB));
+  }
+  EXPECT_EQ(cache.stats().lookups, 50u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 50u);
+
+  // And a single-flow run is its best case: every lookup after the first.
+  cache.reset_stats();
+  cache.clear();
+  for (int i = 0; i < 50; ++i) cache.lookup(classifier, flow_frame(0xA));
+  EXPECT_EQ(cache.stats().hits, 49u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(FlowCache, DirectMappedConflictPairThrashes) {
+  auto classifier = test_classifier();
+  const FlowKeySpec spec = test_spec();
+  FlowCache cache(spec, FlowCacheScheme::kDirectMapped, /*capacity=*/4);
+
+  // Find two flows that collide in one slot and one that does not.
+  const std::size_t slot_a = cache.slot_of(spec.key_of(flow_frame(0))
+                                               .value());
+  std::uint8_t conflict = 0, free_flow = 0;
+  for (std::uint8_t f = 1; f != 0; ++f) {
+    const std::size_t s = cache.slot_of(spec.key_of(flow_frame(f)).value());
+    if (s == slot_a && conflict == 0) conflict = f;
+    if (s != slot_a && free_flow == 0) free_flow = f;
+    if (conflict != 0 && free_flow != 0) break;
+  }
+  ASSERT_NE(conflict, 0);
+  ASSERT_NE(free_flow, 0);
+
+  // Conflict pair alternating: both map to one slot, zero hits.
+  for (int i = 0; i < 40; ++i) {
+    cache.lookup(classifier, flow_frame(i % 2 == 0 ? 0 : conflict));
+  }
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 40u);
+
+  // Non-conflicting pair: one compulsory miss each, hits thereafter — the
+  // same access pattern, so the loss above is purely the slot conflict.
+  cache.clear();
+  cache.reset_stats();
+  for (int i = 0; i < 40; ++i) {
+    cache.lookup(classifier, flow_frame(i % 2 == 0 ? 0 : free_flow));
+  }
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().hits, 38u);
+}
+
+TEST(FlowCache, LruEvictsLeastRecentlyUsed) {
+  auto classifier = test_classifier();
+  FlowCache cache(test_spec(), FlowCacheScheme::kLru, /*capacity=*/2);
+  cache.lookup(classifier, flow_frame(0xA));  // miss
+  cache.lookup(classifier, flow_frame(0xB));  // miss
+  cache.lookup(classifier, flow_frame(0xA));  // hit; B is now LRU
+  cache.lookup(classifier, flow_frame(0xC));  // miss, evicts B
+  EXPECT_TRUE(cache.lookup(classifier, flow_frame(0xA)).cache_hit);
+  EXPECT_FALSE(cache.lookup(classifier, flow_frame(0xB)).cache_hit);
+}
+
+TEST(FlowCache, SchemeOrderingUnderZipf) {
+  // Jain's ordering on one deterministic Zipf(1.2) stream over 16 flows
+  // with 4-entry caches: LRU >= direct-mapped >= one-behind.
+  auto classifier = test_classifier();
+  const auto ratio = [&](FlowCacheScheme scheme) {
+    FlowCache cache(test_spec(), scheme, /*capacity=*/4);
+    harness::ZipfSampler zipf(16, 1.2, /*seed=*/7);
+    for (int i = 0; i < 2000; ++i) {
+      cache.lookup(classifier,
+                   flow_frame(static_cast<std::uint8_t>(zipf.next())));
+    }
+    return cache.stats().hit_ratio();
+  };
+  const double ob = ratio(FlowCacheScheme::kOneBehind);
+  const double dm = ratio(FlowCacheScheme::kDirectMapped);
+  const double lru = ratio(FlowCacheScheme::kLru);
+  EXPECT_GE(lru, dm);
+  EXPECT_GE(dm, ob);
+  EXPECT_GT(lru, 0.5);  // the hot flows fit in 4 entries
+  EXPECT_GT(ob, 0.0);   // back-to-back repeats of the hottest flow
+}
+
+TEST(FlowCache, StaleHitAfterInvalidationTakesSlowPathOnce) {
+  auto classifier = test_classifier();
+  const FlowKeySpec spec = test_spec();
+  const FlowCacheCosts costs{.hit_us = 0.5, .probe_us = 1.0,
+                             .per_rule_us = 2.0};
+  FlowCache cache(spec, FlowCacheScheme::kLru, 4, costs);
+
+  auto r = cache.lookup(classifier, flow_frame(0xA));
+  EXPECT_FALSE(r.cache_hit);
+  // Miss cost: probe + 2 rules examined (decoy's rule fails, input's hits).
+  EXPECT_DOUBLE_EQ(r.cost_us, 1.0 + 2 * 2.0);
+  EXPECT_EQ(r.rules_examined, 2u);
+
+  r = cache.lookup(classifier, flow_frame(0xA));
+  EXPECT_TRUE(r.cache_hit);
+  EXPECT_FALSE(r.stale);
+  EXPECT_DOUBLE_EQ(r.cost_us, 0.5);
+  EXPECT_EQ(r.path_id, 2);
+
+  // Connection churn invalidates the flow; the entry stays resident.
+  cache.invalidate(spec.key_of(flow_frame(0xA)).value());
+  r = cache.lookup(classifier, flow_frame(0xA));
+  EXPECT_TRUE(r.cache_hit);
+  EXPECT_TRUE(r.stale);  // caller must route this packet to the slow path
+  EXPECT_EQ(r.path_id, 2);
+  EXPECT_DOUBLE_EQ(r.cost_us, 1.0 + 2 * 2.0);  // full re-scan
+  EXPECT_EQ(cache.stats().stale_hits, 1u);
+
+  // The stale lookup refreshed the entry: the flow is clean again.
+  r = cache.lookup(classifier, flow_frame(0xA));
+  EXPECT_TRUE(r.cache_hit);
+  EXPECT_FALSE(r.stale);
+
+  // Invalidating an unknown key is a no-op.
+  cache.invalidate(spec.key_of(flow_frame(0x77)).value());
+  EXPECT_EQ(cache.stats().stale_hits, 1u);
+
+  // hits excludes stale hits; cost_us conserves over all lookups.
+  EXPECT_EQ(cache.stats().hits, 2u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_DOUBLE_EQ(cache.stats().cost_us, 5.0 + 0.5 + 5.0 + 0.5);
+}
+
+TEST(FlowCache, RejectsZeroCapacityAndParsesSchemeNames) {
+  EXPECT_THROW(FlowCache(test_spec(), FlowCacheScheme::kLru, 0),
+               std::invalid_argument);
+  EXPECT_EQ(code::flow_cache_scheme_from_string("one-behind"),
+            FlowCacheScheme::kOneBehind);
+  EXPECT_EQ(code::flow_cache_scheme_from_string("direct"),
+            FlowCacheScheme::kDirectMapped);
+  EXPECT_EQ(code::flow_cache_scheme_from_string("lru"),
+            FlowCacheScheme::kLru);
+  EXPECT_EQ(code::flow_cache_scheme_from_string("bogus"), std::nullopt);
+  EXPECT_STREQ(code::to_string(FlowCacheScheme::kDirectMapped), "direct");
+}
+
+}  // namespace
+}  // namespace l96

@@ -1,0 +1,66 @@
+// Regression tests for throughput accounting under loss: retransmitted
+// frames must charge per-packet processing time, and goodput must divide
+// by wire time + total modeled processing.
+#include <gtest/gtest.h>
+
+#include "harness/throughput.h"
+
+namespace l96 {
+namespace {
+
+TEST(ThroughputFaults, CleanRunChargesEveryFrameOnce) {
+  const auto r =
+      harness::measure_tcp_throughput(code::StackConfig::Std(), 64 * 1024);
+  EXPECT_EQ(r.bytes, 64u * 1024u);
+  EXPECT_EQ(r.retransmits, 0u);
+  // Clean wire: everything offered was delivered, and the processing
+  // charge reduces to the historical mean-tp-per-frame formula.
+  EXPECT_EQ(r.frames, r.frames_delivered);
+  EXPECT_GT(r.proc_seconds, 0.0);
+  EXPECT_NEAR(r.kbytes_per_second,
+              r.bytes / 1000.0 / (r.wire_seconds + r.proc_seconds), 1e-9);
+}
+
+TEST(ThroughputFaults, RetransmittedFramesChargeProcessing) {
+  const code::StackConfig cfg = code::StackConfig::Std();
+  const auto clean = harness::measure_tcp_throughput(cfg, 64 * 1024);
+
+  net::FaultPlan plan;
+  plan.seed = 11;
+  plan.start_after_frames = 6;  // let the handshake settle
+  for (int dir = 0; dir < 2; ++dir) plan.rates[dir].drop = 0.02;
+  const auto lossy = harness::measure_tcp_throughput(cfg, 64 * 1024, &plan);
+
+  ASSERT_EQ(lossy.bytes, 64u * 1024u) << "transfer must still complete";
+  EXPECT_GT(lossy.retransmits, 0u);
+  EXPECT_GT(lossy.frames, lossy.frames_delivered)
+      << "dropped frames were offered to the wire but never delivered";
+
+  // Regression: the per-frame processing rate must match the clean run —
+  // every offered frame charges the sender share, every delivered frame
+  // the receiver share.  (The old formula charged mean-tp x frames_carried,
+  // silently billing receiver processing for frames nobody received and
+  // nothing for the retransmissions' true position.)  Clean runs have
+  // frames == delivered, so its rate is exactly mean-tp.
+  const double clean_rate = clean.proc_seconds / static_cast<double>(
+                                                     clean.frames);
+  const double lossy_effective =
+      (static_cast<double>(lossy.frames) +
+       static_cast<double>(lossy.frames_delivered)) /
+      2.0;
+  EXPECT_NEAR(lossy.proc_seconds, clean_rate * lossy_effective,
+              1e-12 * lossy.proc_seconds);
+  // Sender work on dropped frames is charged: the total exceeds a
+  // delivered-frames-only bill.
+  EXPECT_GT(lossy.proc_seconds,
+            clean_rate * static_cast<double>(lossy.frames_delivered));
+  // Goodput divides by the total modeled time, processing included.
+  EXPECT_NEAR(lossy.kbytes_per_second,
+              lossy.bytes / 1000.0 /
+                  (lossy.wire_seconds + lossy.proc_seconds),
+              1e-9);
+  EXPECT_LT(lossy.kbytes_per_second, clean.kbytes_per_second);
+}
+
+}  // namespace
+}  // namespace l96

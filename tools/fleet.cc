@@ -1,0 +1,90 @@
+// Fleet CLI: run one flow-cache fleet row and print its stats + digest.
+//
+//   fleet [tcp|rpc] [scheme] [connections] [packets] [zipf_s] [seed]
+//         [capacity] [churn_every]
+//
+// `scheme` is one-behind | direct | lru.  Prints per-scheme hit/stale
+// ratios, the per-packet latency percentiles, and the FNV-1a sample digest
+// (compare digests across hosts/worker counts to check determinism).
+// Exit status is 0 on success, 2 on usage errors.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "harness/fleet.h"
+
+int main(int argc, char** argv) {
+  using namespace l96;
+
+  harness::FleetSpec spec;
+  spec.kind = net::StackKind::kTcpIp;
+  spec.config = code::StackConfig::All();
+  spec.scheme = code::FlowCacheScheme::kLru;
+  spec.connections = 8;
+  spec.packets = 128;
+  spec.zipf_s = 1.1;
+  spec.seed = 1;
+  spec.cache_capacity = 8;
+  spec.churn_every = 0;
+
+  const auto usage = [] {
+    std::fprintf(stderr,
+                 "usage: fleet [tcp|rpc] [one-behind|direct|lru] "
+                 "[connections] [packets] [zipf_s] [seed] [capacity] "
+                 "[churn_every]\n");
+    return 2;
+  };
+
+  if (argc > 1) {
+    if (std::strcmp(argv[1], "rpc") == 0) {
+      spec.kind = net::StackKind::kRpc;
+    } else if (std::strcmp(argv[1], "tcp") != 0) {
+      return usage();
+    }
+  }
+  if (argc > 2) {
+    const auto s = code::flow_cache_scheme_from_string(argv[2]);
+    if (!s) return usage();
+    spec.scheme = *s;
+  }
+  if (argc > 3) spec.connections = std::strtoull(argv[3], nullptr, 10);
+  if (argc > 4) spec.packets = std::strtoull(argv[4], nullptr, 10);
+  if (argc > 5) spec.zipf_s = std::strtod(argv[5], nullptr);
+  if (argc > 6) spec.seed = std::strtoull(argv[6], nullptr, 10);
+  if (argc > 7) spec.cache_capacity = std::strtoull(argv[7], nullptr, 10);
+  if (argc > 8) spec.churn_every = std::strtoull(argv[8], nullptr, 10);
+  if (spec.connections == 0 || spec.packets == 0 ||
+      spec.cache_capacity == 0) {
+    return usage();
+  }
+  spec.label = std::string(spec.kind == net::StackKind::kRpc ? "rpc" : "tcp") +
+               "/" + code::to_string(spec.scheme);
+
+  const harness::FleetCosts costs =
+      harness::measure_fleet_costs(spec.kind, spec.config);
+  const harness::FleetResult r = harness::run_fleet(spec, costs);
+
+  std::printf(
+      "%s conns=%zu packets=%llu zipf=%.2f seed=%llu cap=%zu churn=%llu\n",
+      spec.label.c_str(), spec.connections,
+      static_cast<unsigned long long>(spec.packets), spec.zipf_s,
+      static_cast<unsigned long long>(spec.seed), spec.cache_capacity,
+      static_cast<unsigned long long>(spec.churn_every));
+  std::printf(
+      "  sampled=%llu hit=%.4f stale=%.4f slow=%llu churns=%llu "
+      "lookup_cost=%.2fus\n",
+      static_cast<unsigned long long>(r.packets_sampled),
+      r.cache.hit_ratio(), r.cache.stale_ratio(),
+      static_cast<unsigned long long>(r.slow_packets),
+      static_cast<unsigned long long>(r.churns), r.cache.cost_us);
+  std::printf(
+      "  latency_us p50=%.2f p90=%.2f p99=%.2f p999=%.2f mean=%.2f "
+      "max=%.2f\n",
+      r.latency.p50, r.latency.p90, r.latency.p99, r.latency.p999,
+      r.latency.mean, r.latency.max);
+  std::printf("  costs fast=%.3fus slow=%.3fus controller=%.1fus\n",
+              costs.fast_us, costs.slow_us, costs.controller_us);
+  std::printf("  digest=%016llx\n",
+              static_cast<unsigned long long>(r.sample_digest));
+  return 0;
+}
