@@ -4,22 +4,28 @@
 // shows that with many flows the classification cost hinges on the
 // locality cache in front of the rule scan.  This bench sweeps the three
 // cache schemes (one-behind / direct-mapped / true LRU) over a grid of
-// connection counts x Zipf popularity skews, with periodic connection
-// churn so stale hits (and their slow-path fallback replays) appear in the
-// latency tail.
+// connection counts x Zipf popularity skews x burst sizes, with periodic
+// connection churn so stale hits (and their slow-path fallback replays)
+// appear in the latency tail.  Burst rows (batch 16) coalesce packets per
+// flow draw and price positions > 0 from the position-indexed cost table
+// (cross-packet cache carryover); batch-1 rows reproduce the pre-burst
+// engine byte for byte.
 //
 // Outputs:
 //  * bench/out/fleet_scaling.json — l96.sweep.v1 rows (one per scheme,
-//    sharing a single ALL/ALL trace capture) each carrying an l96.fleet.v1
+//    sharing a single ALL/ALL trace capture) each carrying an l96.fleet.v2
 //    section with that scheme's grid rows.
-//  * bench/out/fleet_summary.json — the same l96.fleet.v1 data standalone.
+//  * bench/out/fleet_summary.json — the same l96.fleet.v2 data standalone.
 //    A pure function of the seeds: byte-identical across runs and across
 //    FleetRunner worker counts (verify with sha256sum).
 //
-// Exit status enforces the Jain ordering on every skewed grid row: the
-// true-LRU hit ratio must be >= one-behind's, churned rows must show stale
-// hits, and the stale fallback must be priced above the inlined fast path
-// (costs.slow_us > costs.fast_us).
+// Exit status enforces the Jain ordering on every skewed grid row (the
+// true-LRU hit ratio must be >= one-behind's), stale-hit accounting
+// (churned rows show stale hits, stale hits fall back slow, slow_us[0] >
+// fast_us[0]), and packet conservation on every row:
+//     spec.packets   == scheduled_sampled + dropped_in_churn
+//     packets_sampled == scheduled_sampled + handshake_sampled
+// so schedule accounting can never silently drift from the spec again.
 //
 //   bench_fleet_scaling [packets-per-row] [out-dir]
 #include <cstdio>
@@ -47,34 +53,38 @@ int main(int argc, char** argv) {
   }
 
   const code::StackConfig cfg = code::StackConfig::All();
-  const harness::FleetCosts costs =
-      harness::measure_fleet_costs(net::StackKind::kTcpIp, cfg);
+  const harness::BurstCostTable costs =
+      harness::measure_burst_costs(net::StackKind::kTcpIp, cfg, 4);
 
   const code::FlowCacheScheme schemes[] = {
       code::FlowCacheScheme::kOneBehind, code::FlowCacheScheme::kDirectMapped,
       code::FlowCacheScheme::kLru};
   const std::size_t conn_counts[] = {4, 16};
   const double skews[] = {0.0, 1.2};
+  const std::size_t batches[] = {1, 16};
 
   std::vector<harness::FleetSpec> specs;
   for (auto scheme : schemes) {
     for (std::size_t conns : conn_counts) {
       for (double s : skews) {
-        harness::FleetSpec spec;
-        spec.kind = net::StackKind::kTcpIp;
-        spec.config = cfg;
-        spec.scheme = scheme;
-        spec.connections = conns;
-        spec.packets = packets;
-        spec.zipf_s = s;
-        spec.seed = 42;
-        spec.cache_capacity = 8;
-        spec.churn_every = packets / 4 == 0 ? 1 : packets / 4;
-        char label[96];
-        std::snprintf(label, sizeof(label), "%s/c%zu/s%.1f",
-                      code::to_string(scheme), conns, s);
-        spec.label = label;
-        specs.push_back(std::move(spec));
+        for (std::size_t batch : batches) {
+          harness::FleetSpec spec;
+          spec.kind = net::StackKind::kTcpIp;
+          spec.config = cfg;
+          spec.scheme = scheme;
+          spec.connections = conns;
+          spec.packets = packets;
+          spec.batch = batch;
+          spec.zipf_s = s;
+          spec.seed = 42;
+          spec.cache_capacity = 8;
+          spec.churn_every = packets / 4 == 0 ? 1 : packets / 4;
+          char label[96];
+          std::snprintf(label, sizeof(label), "%s/c%zu/s%.1f/b%zu",
+                        code::to_string(scheme), conns, s, batch);
+          spec.label = label;
+          specs.push_back(std::move(spec));
+        }
       }
     }
   }
@@ -97,12 +107,15 @@ int main(int argc, char** argv) {
            harness::fmt(r.latency.mean, 1)});
   }
   t.print();
-  std::printf("costs: controller %.1f us, fast path %.2f us, slow path "
-              "%.2f us per packet\n",
-              costs.controller_us, costs.fast_us, costs.slow_us);
+  std::printf("costs: controller %.1f us; fast per position:",
+              costs.controller_us);
+  for (double v : costs.fast_us) std::printf(" %.2f", v);
+  std::printf(" us; slow per position:");
+  for (double v : costs.slow_us) std::printf(" %.2f", v);
+  std::printf(" us\n");
 
   // l96.sweep.v1 emission: one row per scheme over the shared ALL/ALL
-  // capture, each carrying its grid slice as an l96.fleet.v1 section.
+  // capture, each carrying its grid slice as an l96.fleet.v2 section.
   std::vector<harness::SweepJob> jobs;
   for (auto scheme : schemes) {
     harness::SweepJob j;
@@ -138,32 +151,60 @@ int main(int argc, char** argv) {
 
   // --- invariants ----------------------------------------------------------
   int failures = 0;
-  if (!(costs.slow_us > costs.fast_us)) {
+  if (!(costs.slow_us.front() > costs.fast_us.front())) {
     std::fprintf(stderr,
                  "FAIL: slow-path fallback (%.3f us) is not priced above "
                  "the inlined fast path (%.3f us)\n",
-                 costs.slow_us, costs.fast_us);
+                 costs.slow_us.front(), costs.fast_us.front());
     ++failures;
   }
-  // Jain ordering: per (connections, skew>0) cell, LRU >= one-behind.
+  // Packet conservation, every row: the schedule accounting must add up —
+  // no scheduled packet may vanish unpriced, and every priced frame is
+  // either a scheduled packet or a churn-handshake frame.
+  for (const auto& r : rows) {
+    if (r.spec.packets != r.scheduled_sampled + r.dropped_in_churn) {
+      std::fprintf(stderr,
+                   "FAIL: %s scheduled %llu packets but priced %llu + "
+                   "dropped %llu in churn\n",
+                   r.spec.label.c_str(),
+                   static_cast<unsigned long long>(r.spec.packets),
+                   static_cast<unsigned long long>(r.scheduled_sampled),
+                   static_cast<unsigned long long>(r.dropped_in_churn));
+      ++failures;
+    }
+    if (r.packets_sampled != r.scheduled_sampled + r.handshake_sampled) {
+      std::fprintf(stderr,
+                   "FAIL: %s sampled %llu frames but scheduled %llu + "
+                   "handshake %llu\n",
+                   r.spec.label.c_str(),
+                   static_cast<unsigned long long>(r.packets_sampled),
+                   static_cast<unsigned long long>(r.scheduled_sampled),
+                   static_cast<unsigned long long>(r.handshake_sampled));
+      ++failures;
+    }
+  }
+  // Jain ordering: per (connections, skew>0, batch) cell, LRU >= one-behind.
   std::map<std::string, const harness::FleetResult*> by_label;
   for (const auto& r : rows) by_label[r.spec.label] = &r;
   for (std::size_t conns : conn_counts) {
     for (double s : skews) {
       if (s <= 0.0) continue;
-      char ob[96], lru[96];
-      std::snprintf(ob, sizeof(ob), "%s/c%zu/s%.1f",
-                    code::to_string(code::FlowCacheScheme::kOneBehind), conns,
-                    s);
-      std::snprintf(lru, sizeof(lru), "%s/c%zu/s%.1f",
-                    code::to_string(code::FlowCacheScheme::kLru), conns, s);
-      const double hr_ob = by_label.at(ob)->cache.hit_ratio();
-      const double hr_lru = by_label.at(lru)->cache.hit_ratio();
-      if (hr_lru + 1e-12 < hr_ob) {
-        std::fprintf(stderr,
-                     "FAIL: %s hit ratio %.4f < %s hit ratio %.4f\n", lru,
-                     hr_lru, ob, hr_ob);
-        ++failures;
+      for (std::size_t batch : batches) {
+        char ob[96], lru[96];
+        std::snprintf(ob, sizeof(ob), "%s/c%zu/s%.1f/b%zu",
+                      code::to_string(code::FlowCacheScheme::kOneBehind),
+                      conns, s, batch);
+        std::snprintf(lru, sizeof(lru), "%s/c%zu/s%.1f/b%zu",
+                      code::to_string(code::FlowCacheScheme::kLru), conns, s,
+                      batch);
+        const double hr_ob = by_label.at(ob)->cache.hit_ratio();
+        const double hr_lru = by_label.at(lru)->cache.hit_ratio();
+        if (hr_lru + 1e-12 < hr_ob) {
+          std::fprintf(stderr,
+                       "FAIL: %s hit ratio %.4f < %s hit ratio %.4f\n", lru,
+                       hr_lru, ob, hr_ob);
+          ++failures;
+        }
       }
     }
   }

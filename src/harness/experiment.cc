@@ -173,6 +173,88 @@ SideMeasurement measure_side(const MeasureSpec& spec) {
   return m;
 }
 
+StreamMeasurement measure_stream(const StreamSpec& spec) {
+  const MeasureSpec& base = spec.base;
+  if (base.registry == nullptr || base.trace == nullptr) {
+    throw std::invalid_argument(
+        "StreamSpec.base requires a registry and a trace");
+  }
+  if (spec.activations.empty() && spec.burst == 0) {
+    throw std::invalid_argument("StreamSpec: burst must be >= 1");
+  }
+  for (const code::PathTrace* t : spec.activations) {
+    if (t == nullptr) {
+      throw std::invalid_argument("StreamSpec: null activation in sequence");
+    }
+  }
+  const code::CodeRegistry& reg = *base.registry;
+  const code::PathTrace& profile =
+      base.profile != nullptr ? *base.profile : *base.trace;
+  const MachineParams& params = base.params;
+
+  StreamMeasurement m;
+  m.config_name = base.cfg.name;
+
+  // One image for the whole stream: every activation (clean or error path)
+  // executes under the same layout, exactly as a burst would on hardware.
+  const code::CodeImage image =
+      build_image(base.kind, base.cfg, reg, profile, params);
+  code::Lowering lower(reg, image, base.cfg);
+
+  // Lower the warm-up/default activation once; heterogeneous sequence
+  // entries pointing at the same trace share the lowering.
+  const sim::MachineTrace warm = lower.lower(*base.trace);
+  std::vector<sim::MachineTrace> lowered;
+  std::vector<const sim::MachineTrace*> seq;
+  if (spec.activations.empty()) {
+    seq.assign(spec.burst, &warm);
+  } else {
+    lowered.reserve(spec.activations.size());
+    for (const code::PathTrace* t : spec.activations) {
+      if (t == base.trace) {
+        seq.push_back(&warm);
+      } else {
+        lowered.push_back(lower.lower(*t));
+        seq.push_back(&lowered.back());
+      }
+    }
+  }
+
+  std::unique_ptr<sim::MissProfiler> prof;
+  if (base.profile_misses) {
+    prof = std::make_unique<sim::MissProfiler>(code::build_owner_map(
+        reg, image, code::LowerParams{},
+        {{"data:arena", xk::SimAlloc::kArenaBase,
+          xk::SimAlloc::kArenaBase + 0x100'0000}}));
+  }
+
+  // Same steady-state options as measure_side: position 0 starts from the
+  // post-warm-up, post-scrub state and is byte-identical to the steady
+  // replay; later positions run back to back with no scrub in between.
+  sim::Machine machine(params.mem, params.cpu);
+  sim::Machine::Options opts;
+  opts.cold_start = true;
+  opts.warmup_passes = params.warmup_passes;
+  opts.scrub_fraction = params.scrub_fraction;
+  opts.scrub_fraction_d = params.scrub_fraction_d;
+  opts.scrub_seed = params.scrub_seed + base.seed_offset;
+  opts.miss_profiler = prof.get();
+  const std::vector<sim::RunResult> runs =
+      machine.run_stream(seq, opts, &warm);
+
+  m.positions.reserve(runs.size());
+  for (const sim::RunResult& r : runs) {
+    StreamPosition p;
+    p.steady = r;
+    p.tp_us = r.processing_us(params.cpu.frequency_hz);
+    m.positions.push_back(p);
+  }
+  if (prof) {
+    m.miss = std::make_shared<const sim::MissProfile>(prof->snapshot());
+  }
+  return m;
+}
+
 SideMeasurement measure_side(net::StackKind kind, const code::StackConfig& cfg,
                              const code::CodeRegistry& reg,
                              const code::PathTrace& trace, std::size_t split,

@@ -141,6 +141,49 @@ struct MeasureSpec {
 /// Throws std::invalid_argument when registry or trace is null.
 SideMeasurement measure_side(const MeasureSpec& spec);
 
+/// An activation *stream*: a sequence of path activations priced under one
+/// continuously-evolving cache state (a back-to-back burst).  The single-
+/// activation steady replay models "untraced code ran since the last
+/// packet" (warm-up + scrub); a stream scrubs only before position 0, so
+/// position 0 is the first-packet-in-burst cost (identical to the steady
+/// replay) and later positions amortize the warm-up their predecessors
+/// already paid.
+struct StreamSpec {
+  /// Image, registry, params, scrub seed and warm-up activation all come
+  /// from `base`; base.trace is the default burst activation.
+  MeasureSpec base;
+  /// Number of back-to-back replays of base.trace (ignored when
+  /// `activations` is non-empty).  Must be >= 1.
+  std::size_t burst = 1;
+  /// Explicit heterogeneous sequence (e.g. an error-path activation in the
+  /// middle of a clean burst); every trace must reference base.registry.
+  /// Empty means `burst` x base.trace.
+  std::vector<const code::PathTrace*> activations;
+};
+
+/// Cost of one position of an activation stream.
+struct StreamPosition {
+  sim::RunResult steady;  ///< measured replay at this position
+  double tp_us = 0;       ///< processing time at this position
+};
+
+struct StreamMeasurement {
+  std::string config_name;
+  std::vector<StreamPosition> positions;
+  /// Whole-stream miss attribution (per-position rows + carryover hits);
+  /// null unless base.profile_misses was set.
+  std::shared_ptr<const sim::MissProfile> miss;
+
+  double first_us() const { return positions.front().tp_us; }
+  double steady_us() const { return positions.back().tp_us; }
+};
+
+/// Replay an activation stream and return per-position costs.  Position 0
+/// is byte-identical to measure_side(spec.base)'s steady replay (tested).
+/// Throws std::invalid_argument on a null registry/trace or an empty
+/// stream.
+StreamMeasurement measure_stream(const StreamSpec& spec);
+
 /// Deprecated positional wrapper around measure_side(MeasureSpec); produces
 /// byte-identical numbers (tested).  Prefer the struct form.
 SideMeasurement measure_side(net::StackKind kind, const code::StackConfig& cfg,

@@ -14,25 +14,89 @@
 
 namespace l96::harness {
 
-FleetCosts measure_fleet_costs(net::StackKind kind,
-                               const code::StackConfig& cfg,
-                               const MachineParams& params) {
+namespace {
+
+std::uint64_t fnv1a_init() { return 1469598103934665603ULL; }
+
+void fnv1a_bytes(std::uint64_t& h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+}
+
+template <typename T>
+void fnv1a_value(std::uint64_t& h, T v) {
+  fnv1a_bytes(h, &v, sizeof(v));
+}
+
+}  // namespace
+
+std::uint64_t machine_params_key(const MachineParams& p) {
+  std::uint64_t h = fnv1a_init();
+  fnv1a_value(h, p.mem.icache_bytes);
+  fnv1a_value(h, p.mem.dcache_bytes);
+  fnv1a_value(h, p.mem.bcache_bytes);
+  fnv1a_value(h, p.mem.block_bytes);
+  fnv1a_value(h, p.mem.wbuf_depth);
+  fnv1a_value(h, p.mem.b_hit_cycles);
+  fnv1a_value(h, p.mem.b_hit_seq_cycles);
+  fnv1a_value(h, p.mem.dram_cycles);
+  fnv1a_value(h, p.mem.wbuf_retire_cycles);
+  fnv1a_value(h, p.mem.ifetch_prefetch_next);
+  fnv1a_value(h, p.cpu.taken_branch_penalty);
+  fnv1a_value(h, p.cpu.imul_penalty);
+  fnv1a_value(h, p.cpu.dual_issue);
+  fnv1a_value(h, p.cpu.pair_success_permille);
+  fnv1a_value(h, p.cpu.frequency_hz);
+  fnv1a_value(h, p.warmup_roundtrips);
+  fnv1a_value(h, p.warmup_passes);
+  fnv1a_value(h, p.scrub_fraction);
+  fnv1a_value(h, p.scrub_fraction_d);
+  fnv1a_value(h, p.classifier_overhead_us);
+  fnv1a_value(h, p.scrub_seed);
+  return h;
+}
+
+BurstCostTable measure_burst_costs(net::StackKind kind,
+                                   const code::StackConfig& cfg,
+                                   std::size_t max_positions,
+                                   const MachineParams& params) {
+  if (max_positions == 0) {
+    throw std::invalid_argument(
+        "measure_burst_costs: max_positions must be >= 1");
+  }
   Experiment e(kind, cfg, cfg, params);
   e.capture();
 
-  FleetCosts costs;
-  costs.controller_us =
+  BurstCostTable table;
+  table.kind = kind;
+  table.config_name = cfg.name;
+  table.params_key = machine_params_key(params);
+  table.controller_us =
       e.world().wire().params().one_way_us(proto::Lance::kMinFrame);
 
   // Fast path: the server's receive activation as captured (the inlined
-  // composite when path_inlining is on).
-  MeasureSpec sspec = e.server_spec();
-  costs.fast_us = measure_side(sspec).tp_us;
+  // composite when path_inlining is on), replayed back to back —
+  // position 0 is the classic steady replay, later positions inherit the
+  // residue their predecessors left in the primary caches.
+  const MeasureSpec sspec = e.server_spec();
+  StreamSpec fast_stream;
+  fast_stream.base = sspec;
+  fast_stream.burst = max_positions;
+  const StreamMeasurement fast = measure_stream(fast_stream);
+  table.fast_us.reserve(max_positions);
+  for (const StreamPosition& p : fast.positions) {
+    table.fast_us.push_back(p.tp_us);
+  }
 
   // Slow path: the same activation bracketed by slow-path markers, lowered
   // under the same (fast-trace-profiled) image — the lowering then uses the
   // cold-segment standalone placements, which is what executes when the
-  // composite's guard fails on a stale flow.
+  // composite's guard fails on a stale flow.  slow_us[p] prices the slow
+  // activation arriving at burst position p, i.e. after p back-to-back
+  // fast activations warmed the caches.
   code::PathTrace slow_trace;
   slow_trace.events.push_back({code::EventKind::kMarker, code::kInvalidFn, 0,
                                code::Marker::kSlowPathBegin, 0});
@@ -41,11 +105,33 @@ FleetCosts measure_fleet_costs(net::StackKind kind,
                            e.server_trace().events.end());
   slow_trace.events.push_back({code::EventKind::kMarker, code::kInvalidFn, 0,
                                code::Marker::kSlowPathEnd, 0});
-  MeasureSpec slow_spec = sspec;
-  slow_spec.trace = &slow_trace;
-  slow_spec.profile = &e.server_trace();
-  slow_spec.split = sspec.split + 1;  // one marker prepended
-  costs.slow_us = measure_side(slow_spec).tp_us;
+  table.slow_us.reserve(max_positions);
+  for (std::size_t p = 0; p < max_positions; ++p) {
+    StreamSpec slow_stream;
+    slow_stream.base = sspec;
+    // The slow trace is the stream's base activation so warm-up replays it
+    // (exactly what the single-activation steady replay did — slow_us[0]
+    // is byte-identical to the pre-burst FleetCosts.slow_us); the image
+    // profile stays the fast capture.
+    slow_stream.base.trace = &slow_trace;
+    slow_stream.base.profile = &e.server_trace();
+    slow_stream.base.split = sspec.split + 1;  // one marker prepended
+    slow_stream.activations.assign(p, sspec.trace);
+    slow_stream.activations.push_back(&slow_trace);
+    const StreamMeasurement slow = measure_stream(slow_stream);
+    table.slow_us.push_back(slow.steady_us());
+  }
+  return table;
+}
+
+FleetCosts measure_fleet_costs(net::StackKind kind,
+                               const code::StackConfig& cfg,
+                               const MachineParams& params) {
+  const BurstCostTable t = measure_burst_costs(kind, cfg, 1, params);
+  FleetCosts costs;
+  costs.controller_us = t.controller_us;
+  costs.fast_us = t.fast_us.front();
+  costs.slow_us = t.slow_us.front();
   return costs;
 }
 
@@ -131,19 +217,67 @@ LatencyPercentiles percentiles(std::vector<double> s) {
 }
 
 std::uint64_t fnv1a_samples(const std::vector<double>& samples) {
-  std::uint64_t h = 1469598103934665603ULL;
-  for (double v : samples) {
-    std::uint64_t bits = 0;
-    std::memcpy(&bits, &v, sizeof(bits));
-    for (int i = 0; i < 8; ++i) {
-      h ^= (bits >> (8 * i)) & 0xFF;
-      h *= 1099511628211ULL;
-    }
-  }
+  std::uint64_t h = fnv1a_init();
+  for (double v : samples) fnv1a_value(h, v);
   return h;
 }
 
-FleetResult run_fleet_tcp(const FleetSpec& spec, const FleetCosts& costs) {
+/// Burst pricing state shared between the schedule loop and the deliver
+/// hook.  The loop marks the span of each scheduled burst; the hook prices
+/// every delivery at the current burst position.  Outside a burst (churn
+/// handshakes) frames are priced as independent first-in-burst activations
+/// and the position does not advance — so batch == 1 reproduces the
+/// pre-burst pricing byte for byte.
+struct BurstPricer {
+  const BurstCostTable* costs = nullptr;
+  bool in_burst = false;
+  std::size_t pos = 0;
+
+  void begin_burst() {
+    in_burst = true;
+    pos = 0;
+  }
+  void end_burst() { in_burst = false; }
+
+  /// Price one delivery and advance the position.
+  double price(const code::FlowLookupResult& lr, bool slow) {
+    const std::size_t at = in_burst ? pos : 0;
+    double us = costs->controller_us + lr.cost_us;
+    if (slow) {
+      us += costs->slow_at(at);
+      // The standalone slow-path code just swept through the primary
+      // caches; the next packet of the burst re-warms from scratch.
+      pos = 0;
+    } else {
+      us += costs->fast_at(at);
+      if (in_burst) ++pos;
+    }
+    return us;
+  }
+};
+
+void check_costs(const FleetSpec& spec, const BurstCostTable& costs) {
+  if (costs.fast_us.empty() || costs.slow_us.size() != costs.fast_us.size()) {
+    throw std::invalid_argument(
+        "run_fleet: malformed cost table (needs >= 1 position and equal "
+        "fast/slow sizes)");
+  }
+  if (costs.kind != spec.kind || costs.config_name != spec.config.name) {
+    throw std::invalid_argument(
+        "run_fleet: cost table measured for " + costs.config_name +
+        " does not match row config " + spec.config.name);
+  }
+  if (costs.params_key != machine_params_key(spec.params)) {
+    throw std::invalid_argument(
+        "run_fleet: cost table was measured under different MachineParams "
+        "than row '" +
+        (spec.label.empty() ? std::string("unlabeled") : spec.label) +
+        "' — measure_burst_costs() once per distinct params (cache-size "
+        "sweeps must not reuse the defaults' costs)");
+  }
+}
+
+FleetResult run_fleet_tcp(const FleetSpec& spec, const BurstCostTable& costs) {
   net::World world(net::StackKind::kTcpIp, spec.config, spec.config);
   world.server().enable_flow_cache(spec.scheme, spec.cache_capacity,
                                    spec.cache_costs);
@@ -178,26 +312,49 @@ FleetResult run_fleet_tcp(const FleetSpec& spec, const FleetCosts& costs) {
   r.spec = spec;
   std::vector<double> samples;
   samples.reserve(spec.packets + spec.packets / 4);
+  BurstPricer pricer;
+  pricer.costs = &costs;
   world.server().set_deliver_hook(
       [&](const code::FlowLookupResult& lr, bool slow) {
-        samples.push_back(costs.controller_us + lr.cost_us +
-                          (slow ? costs.slow_us : costs.fast_us));
+        samples.push_back(pricer.price(lr, slow));
+        if (pricer.in_burst) {
+          ++r.scheduled_sampled;
+        } else {
+          ++r.handshake_sampled;
+        }
         if (slow) ++r.slow_packets;
       });
 
   ZipfSampler zipf(spec.connections, spec.zipf_s, spec.seed);
   std::array<std::uint8_t, 32> payload{};
   payload.fill(0x5A);
-  for (std::uint64_t p = 0; p < spec.packets; ++p) {
+  std::uint64_t sent = 0;
+  while (sent < spec.packets) {
+    // One flow draw per burst (per-flow coalescing): `batch` back-to-back
+    // packets on the same connection, the last burst truncated to fit.
     const std::size_t k = zipf.next();
-    conns[k]->send(payload);
-    const std::uint64_t want = p + 1;
-    if (!world.run_until([&] { return sink.messages >= want; }, 60'000'000)) {
-      fleet_fail(spec, "scheduled packet was not delivered", p);
+    const std::uint64_t burst_len = std::min<std::uint64_t>(
+        spec.batch == 0 ? 1 : spec.batch, spec.packets - sent);
+    ++r.bursts;
+    pricer.begin_burst();
+    for (std::uint64_t j = 0; j < burst_len; ++j) {
+      conns[k]->send(payload);
+      ++sent;
+      if (!world.run_until([&] { return sink.messages >= sent; },
+                           60'000'000)) {
+        fleet_fail(spec, "scheduled packet was not delivered", sent - 1);
+      }
     }
+    pricer.end_burst();
 
-    if (spec.churn_every != 0 && (p + 1) % spec.churn_every == 0 &&
-        p + 1 < spec.packets) {
+    // Conservation: every scheduled packet of the burst was priced while
+    // the burst was open (delivery is awaited above); anything short of
+    // that was torn down in flight and must be accounted, not ignored.
+    const std::uint64_t priced_now = r.scheduled_sampled + r.dropped_in_churn;
+    if (priced_now < sent) r.dropped_in_churn += sent - priced_now;
+
+    if (spec.churn_every != 0 && sent < spec.packets &&
+        (sent / spec.churn_every) * spec.churn_every > sent - burst_len) {
       // Close and reopen the hottest flow.  Quiesce it first so no data is
       // in flight, tear down both endpoints (the server-side unbind fires
       // the demux hook and marks the flow's cache entry stale), then
@@ -205,7 +362,7 @@ FleetResult run_fleet_tcp(const FleetSpec& spec, const FleetCosts& costs) {
       // frame is a stale hit and replays through the slow path.
       if (!world.run_until([&] { return conns[0]->bytes_unacked() == 0; },
                            60'000'000)) {
-        fleet_fail(spec, "churn victim did not quiesce", p);
+        fleet_fail(spec, "churn victim did not quiesce", sent - 1);
       }
       for (auto* c : world.server().tcp()->connections()) {
         if (c->remote_port() == client_port(0) &&
@@ -223,8 +380,13 @@ FleetResult run_fleet_tcp(const FleetSpec& spec, const FleetCosts& costs) {
                 return conns[0]->state() == proto::TcpState::kEstablished;
               },
               60'000'000)) {
-        fleet_fail(spec, "churned connection did not re-establish", p);
+        fleet_fail(spec, "churned connection did not re-establish", sent - 1);
       }
+      // Established fires when the client processes the SYN-ACK; its
+      // handshake ACK is still in flight.  Drain it now, outside any
+      // burst, so it is priced as handshake traffic at position 0 and
+      // cannot advance the next burst's position.
+      world.run_until([] { return false; }, 500'000);
       ++r.churns;
     }
   }
@@ -237,7 +399,7 @@ FleetResult run_fleet_tcp(const FleetSpec& spec, const FleetCosts& costs) {
   return r;
 }
 
-FleetResult run_fleet_rpc(const FleetSpec& spec, const FleetCosts& costs) {
+FleetResult run_fleet_rpc(const FleetSpec& spec, const BurstCostTable& costs) {
   net::World world(net::StackKind::kRpc, spec.config, spec.config);
   world.server().enable_flow_cache(spec.scheme, spec.cache_capacity,
                                    spec.cache_costs);
@@ -256,25 +418,39 @@ FleetResult run_fleet_rpc(const FleetSpec& spec, const FleetCosts& costs) {
   r.spec = spec;
   std::vector<double> samples;
   samples.reserve(spec.packets + spec.packets / 4);
+  BurstPricer pricer;
+  pricer.costs = &costs;
   world.server().set_deliver_hook(
       [&](const code::FlowLookupResult& lr, bool slow) {
-        samples.push_back(costs.controller_us + lr.cost_us +
-                          (slow ? costs.slow_us : costs.fast_us));
+        samples.push_back(pricer.price(lr, slow));
+        if (pricer.in_burst) {
+          ++r.scheduled_sampled;
+        } else {
+          ++r.handshake_sampled;
+        }
         if (slow) ++r.slow_packets;
       });
 
   ZipfSampler zipf(spec.connections, spec.zipf_s, spec.seed);
   std::uint64_t done = 0;
-  for (std::uint64_t p = 0; p < spec.packets; ++p) {
+  std::uint64_t sent = 0;
+  while (sent < spec.packets) {
     const std::size_t k = zipf.next();
-    xk::Message req(world.client().arena(), 128, 16);
-    world.client().mselect()->call(
-        static_cast<std::uint16_t>(kFleetRpcProcBase + k), req,
-        [&](xk::Message&) { ++done; });
-    const std::uint64_t want = p + 1;
-    if (!world.run_until([&] { return done >= want; }, 60'000'000)) {
-      fleet_fail(spec, "scheduled call did not complete", p);
+    const std::uint64_t burst_len = std::min<std::uint64_t>(
+        spec.batch == 0 ? 1 : spec.batch, spec.packets - sent);
+    ++r.bursts;
+    pricer.begin_burst();
+    for (std::uint64_t j = 0; j < burst_len; ++j) {
+      xk::Message req(world.client().arena(), 128, 16);
+      world.client().mselect()->call(
+          static_cast<std::uint16_t>(kFleetRpcProcBase + k), req,
+          [&](xk::Message&) { ++done; });
+      ++sent;
+      if (!world.run_until([&] { return done >= sent; }, 60'000'000)) {
+        fleet_fail(spec, "scheduled call did not complete", sent - 1);
+      }
     }
+    pricer.end_burst();
   }
 
   r.packets_sampled = samples.size();
@@ -287,7 +463,7 @@ FleetResult run_fleet_rpc(const FleetSpec& spec, const FleetCosts& costs) {
 
 }  // namespace
 
-FleetResult run_fleet(const FleetSpec& spec, const FleetCosts& costs) {
+FleetResult run_fleet(const FleetSpec& spec, const BurstCostTable& costs) {
   if (!spec.config.path_inlining) {
     throw std::invalid_argument(
         "run_fleet: spec.config must have path_inlining enabled (the flow "
@@ -297,6 +473,7 @@ FleetResult run_fleet(const FleetSpec& spec, const FleetCosts& costs) {
     throw std::invalid_argument(
         "run_fleet: connections and packets must be > 0");
   }
+  check_costs(spec, costs);
   return spec.kind == net::StackKind::kTcpIp ? run_fleet_tcp(spec, costs)
                                              : run_fleet_rpc(spec, costs);
 }
@@ -307,7 +484,7 @@ FleetRunner::FleetRunner(unsigned threads)
                    : std::max(2u, std::thread::hardware_concurrency())) {}
 
 std::vector<FleetResult> FleetRunner::run(const std::vector<FleetSpec>& specs,
-                                          const FleetCosts& costs) {
+                                          const BurstCostTable& costs) {
   std::vector<FleetResult> out(specs.size());
   if (specs.empty()) {
     workers_used_ = 0;
@@ -348,13 +525,20 @@ std::vector<FleetResult> FleetRunner::run(const std::vector<FleetSpec>& specs,
   return out;
 }
 
-Json fleet_json(const FleetCosts& costs,
+Json fleet_json(const BurstCostTable& costs,
                 const std::vector<FleetResult>& rows) {
-  Json section = json_section("l96.fleet.v1");
-  section.set("costs", Json::object()
-                           .set("controller_us", costs.controller_us)
-                           .set("fast_us", costs.fast_us)
-                           .set("slow_us", costs.slow_us));
+  Json section = json_section("l96.fleet.v2");
+  Json fast = Json::array();
+  for (double v : costs.fast_us) fast.push_back(v);
+  Json slow = Json::array();
+  for (double v : costs.slow_us) slow.push_back(v);
+  section.set("costs",
+              Json::object()
+                  .set("controller_us", costs.controller_us)
+                  .set("fast_us", std::move(fast))
+                  .set("slow_us", std::move(slow))
+                  .set("config", costs.config_name)
+                  .set("params_key", costs.params_key));
   Json out_rows = Json::array();
   for (const FleetResult& r : rows) {
     const FleetSpec& s = r.spec;
@@ -365,11 +549,16 @@ Json fleet_json(const FleetCosts& costs,
         .set("scheme", code::to_string(s.scheme))
         .set("connections", static_cast<std::uint64_t>(s.connections))
         .set("packets", s.packets)
+        .set("batch", static_cast<std::uint64_t>(s.batch))
         .set("zipf_s", s.zipf_s)
         .set("seed", s.seed)
         .set("cache_capacity", static_cast<std::uint64_t>(s.cache_capacity))
         .set("churn_every", s.churn_every)
         .set("packets_sampled", r.packets_sampled)
+        .set("scheduled_sampled", r.scheduled_sampled)
+        .set("handshake_sampled", r.handshake_sampled)
+        .set("dropped_in_churn", r.dropped_in_churn)
+        .set("bursts", r.bursts)
         .set("slow_packets", r.slow_packets)
         .set("churns", r.churns)
         .set("cache", Json::object()

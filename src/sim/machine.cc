@@ -19,6 +19,17 @@ void Machine::replay_memory(const MachineTrace& trace) {
 }
 
 RunResult Machine::run(const MachineTrace& trace, const Options& opts) {
+  return run_stream({&trace}, opts).front();
+}
+
+std::vector<RunResult> Machine::run_stream(
+    const std::vector<const MachineTrace*>& seq, const Options& opts,
+    const MachineTrace* warmup_trace) {
+  std::vector<RunResult> out;
+  if (seq.empty()) return out;
+  const MachineTrace& warm =
+      warmup_trace != nullptr ? *warmup_trace : *seq.front();
+
   // Cold replay (Table 6): full cold restart, every first touch is a cold
   // miss.  Steady replay (Table 7): warm-up passes below, then reset_stats()
   // keeps residency + ever-seen history so measured misses on warmed blocks
@@ -26,7 +37,7 @@ RunResult Machine::run(const MachineTrace& trace, const Options& opts) {
   if (opts.cold_start) mem_.reset_cold();
 
   for (std::uint32_t p = 0; p < opts.warmup_passes; ++p) {
-    replay_memory(trace);
+    replay_memory(warm);
     mem_.drain_writes();
     if (opts.scrub_fraction > 0.0 || opts.scrub_fraction_d > 0.0) {
       const double d = opts.scrub_fraction_d < 0.0 ? opts.scrub_fraction
@@ -36,16 +47,29 @@ RunResult Machine::run(const MachineTrace& trace, const Options& opts) {
   }
   if (opts.warmup_passes > 0) mem_.reset_stats();
 
-  // Attribution covers exactly the measured replay: attach after warm-up,
+  // Attribution covers exactly the measured stream: attach after warm-up,
   // reset so the per-owner sums equal the post-reset aggregate stats.
   if (opts.miss_profiler != nullptr) {
     opts.miss_profiler->reset();
     mem_.attach_miss_profiler(opts.miss_profiler);
   }
-  replay_memory(trace);
-  if (opts.drain_at_end) mem_.drain_writes();
+  out.reserve(seq.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    if (i > 0) {
+      // No scrub between positions: within a burst the activations run
+      // back to back, so position i inherits position i-1's residue.
+      mem_.reset_stats();
+      if (opts.miss_profiler != nullptr) opts.miss_profiler->advance_position();
+    }
+    replay_memory(*seq[i]);
+    if (opts.drain_at_end) mem_.drain_writes();
+    out.push_back(collect(*seq[i]));
+  }
   if (opts.miss_profiler != nullptr) mem_.attach_miss_profiler(nullptr);
+  return out;
+}
 
+RunResult Machine::collect(const MachineTrace& trace) {
   const CpuStats cpu_stats = cpu_.time_trace(trace);
 
   RunResult r;

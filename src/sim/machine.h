@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "sim/cpu.h"
 #include "sim/instr.h"
@@ -79,11 +80,27 @@ class Machine {
   RunResult run(const MachineTrace& trace, const Options& opts);
   RunResult run(const MachineTrace& trace) { return run(trace, Options{}); }
 
+  /// Replay a *sequence* of activations under one continuously-evolving
+  /// cache state and return one RunResult per position.  Warm-up (passes +
+  /// scrub, from `opts`) replays `warmup_trace` (default: seq.front()) and
+  /// runs once, before position 0 — so position 0 reproduces run() exactly
+  /// when the sequence is {&trace} — and NO scrub runs between positions:
+  /// later activations see whatever the earlier ones left resident (the
+  /// back-to-back burst the steady-state single-activation model cannot
+  /// express).  Statistics are reset between positions, so each RunResult
+  /// covers exactly its own activation.  An attached miss profiler spans
+  /// the whole stream (advance_position() is called at each boundary); its
+  /// per-position rows conserve to the returned per-position stats.
+  std::vector<RunResult> run_stream(
+      const std::vector<const MachineTrace*>& seq, const Options& opts,
+      const MachineTrace* warmup_trace = nullptr);
+
   MemorySystem& mem() noexcept { return mem_; }
   const Cpu& cpu() const noexcept { return cpu_; }
 
  private:
   void replay_memory(const MachineTrace& trace);
+  RunResult collect(const MachineTrace& trace);
 
   MemorySystem mem_;
   Cpu cpu_;

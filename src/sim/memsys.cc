@@ -37,7 +37,12 @@ std::uint32_t MemorySystem::bcache_read_penalty(Addr addr) {
 
 std::uint32_t MemorySystem::ifetch(Addr pc) {
   const auto r = icache_->read(pc);
-  if (r.hit) return 0;
+  if (r.hit) {
+    if (profiler_ != nullptr) {
+      profiler_->on_hit(ProfiledCache::kICache, pc, icache_->block_of(pc));
+    }
+    return 0;
+  }
 
   // Sequential fill: a miss on the block directly following the previously
   // missed block streams out of the b-cache faster (page-mode access) —
@@ -73,7 +78,12 @@ std::uint32_t MemorySystem::ifetch(Addr pc) {
 
 std::uint32_t MemorySystem::load(Addr addr) {
   const auto r = dcache_->read(addr);
-  if (r.hit) return 0;
+  if (r.hit) {
+    if (profiler_ != nullptr) {
+      profiler_->on_hit(ProfiledCache::kDCache, addr, dcache_->block_of(addr));
+    }
+    return 0;
+  }
   const std::uint32_t stall = bcache_read_penalty(addr);
   ++traffic_.from_data;
   stalls_.load_stall_cycles += stall;

@@ -87,15 +87,26 @@ MissProfiler::MissProfiler(OwnerMap map) : map_(std::move(map)) {
 }
 
 void MissProfiler::reset() {
+  position_ = 0;
   for (CacheAccum& a : caches_) {
     a.misses = 0;
     a.repl_misses = 0;
     a.stall_cycles = 0;
+    a.carryover_hits = 0;
     a.by_owner.assign(map_.owner_count(), OwnerCounts{});
     a.conflicts.clear();
     a.evicted_by.clear();
+    a.filled_at.clear();
     a.set_misses.clear();
     a.set_owners.clear();
+    a.positions.assign(1, PositionCounts{});
+  }
+}
+
+void MissProfiler::advance_position() {
+  ++position_;
+  for (CacheAccum& a : caches_) {
+    a.positions.resize(position_ + 1);
   }
 }
 
@@ -111,9 +122,13 @@ void MissProfiler::on_miss(ProfiledCache cache, Addr addr, Addr block,
   OwnerCounts& oc = a.by_owner[owner];
   ++oc.misses;
   oc.stall_cycles += stall_cycles;
+  PositionCounts& pc = a.positions[position_];
+  ++pc.misses;
+  pc.stall_cycles += stall_cycles;
   if (replacement) {
     ++a.repl_misses;
     ++oc.repl_misses;
+    ++pc.repl_misses;
     // Charge the re-fetch to whoever displaced this block.  A displacement
     // outside the profiled window (warm-up, scrub) has no record and is
     // charged to the unknown owner.
@@ -126,8 +141,10 @@ void MissProfiler::on_miss(ProfiledCache cache, Addr addr, Addr block,
 
   if (had_victim) {
     a.evicted_by[victim_block] = owner;
+    a.filled_at.erase(victim_block);  // the victim is no longer resident
   }
-  a.evicted_by.erase(block);  // the block is resident again
+  a.evicted_by.erase(block);       // the block is resident again
+  a.filled_at[block] = position_;  // this position pays for the fill
 
   if (set >= a.set_misses.size()) {
     a.set_misses.resize(set + 1, 0);
@@ -137,17 +154,32 @@ void MissProfiler::on_miss(ProfiledCache cache, Addr addr, Addr block,
   a.set_owners[set].insert(owner);
 }
 
+void MissProfiler::on_hit(ProfiledCache cache, Addr addr, Addr block) {
+  CacheAccum& a = caches_[static_cast<std::size_t>(cache)];
+  const auto it = a.filled_at.find(block);
+  // Only hits on blocks filled by an *earlier* activation count: a hit on
+  // a block this position filled is plain temporal locality, and a hit on
+  // a block warmed before the measured stream began is steady-state
+  // residency the batch-size-1 pricing already sees.
+  if (it == a.filled_at.end() || it->second >= position_) return;
+  ++a.carryover_hits;
+  ++a.by_owner[map_.owner_of(addr)].carryover_hits;
+  ++a.positions[position_].carryover_hits;
+}
+
 void MissProfiler::fill_section(const CacheAccum& a, const OwnerMap& map,
                                 MissProfile::Section& out) {
   out.misses = a.misses;
   out.repl_misses = a.repl_misses;
   out.stall_cycles = a.stall_cycles;
+  out.carryover_hits = a.carryover_hits;
 
   for (OwnerId id = 0; id < a.by_owner.size(); ++id) {
     const OwnerCounts& oc = a.by_owner[id];
-    if (oc.misses == 0) continue;
-    out.owners.push_back(MissProfile::OwnerRow{
-        id, map.name(id), oc.misses, oc.repl_misses, oc.stall_cycles});
+    if (oc.misses == 0 && oc.carryover_hits == 0) continue;
+    out.owners.push_back(MissProfile::OwnerRow{id, map.name(id), oc.misses,
+                                               oc.repl_misses, oc.stall_cycles,
+                                               oc.carryover_hits});
   }
   std::sort(out.owners.begin(), out.owners.end(),
             [](const MissProfile::OwnerRow& x, const MissProfile::OwnerRow& y) {
@@ -174,6 +206,12 @@ void MissProfiler::fill_section(const CacheAccum& a, const OwnerMap& map,
     out.sets.push_back(MissProfile::SetRow{
         s, a.set_misses[s],
         static_cast<std::uint32_t>(a.set_owners[s].size())});
+  }
+
+  for (std::uint32_t p = 0; p < a.positions.size(); ++p) {
+    const PositionCounts& pc = a.positions[p];
+    out.positions.push_back(MissProfile::PositionRow{
+        p, pc.misses, pc.repl_misses, pc.stall_cycles, pc.carryover_hits});
   }
 }
 

@@ -16,11 +16,18 @@
 //       owner whose earlier miss displaced that block — so only evictions
 //       that actually cost a re-fetch are counted, and the matrix total
 //       equals the replacement-miss count exactly,
-//   (c) a per-set miss histogram with distinct-owner occupancy counts.
+//   (c) a per-set miss histogram with distinct-owner occupancy counts,
+//   (d) for activation *streams* (Machine::run_stream): per-position miss
+//       totals and carryover attribution — a "carryover hit" is a primary-
+//       cache hit on a block that an *earlier* activation of the stream
+//       filled, i.e. a miss the burst avoided because the previous
+//       activation left the block resident.  advance_position() marks the
+//       boundary between activations; single replays are position 0.
 //
 // The profiler is conservative by construction: it increments exactly once
 // per cache miss, so the per-owner counts sum to the aggregate CacheStats
-// of the profiled replay (enforced by tests/test_missmap.cc).
+// of the profiled replay (enforced by tests/test_missmap.cc), and the
+// per-position rows sum to the section totals.
 #pragma once
 
 #include <cstdint>
@@ -107,6 +114,9 @@ struct MissProfile {
     std::uint64_t misses = 0;
     std::uint64_t repl_misses = 0;
     std::uint64_t stall_cycles = 0;
+    /// Hits on blocks an earlier activation of the stream left resident
+    /// (always 0 for single-activation replays).
+    std::uint64_t carryover_hits = 0;
     std::uint64_t cold_misses() const noexcept { return misses - repl_misses; }
   };
   struct ConflictRow {
@@ -125,10 +135,21 @@ struct MissProfile {
     std::uint64_t misses = 0;
     std::uint32_t owners = 0;  ///< distinct owners that missed into this set
   };
+  /// One activation of a profiled stream (single replays have exactly one).
+  struct PositionRow {
+    std::uint32_t position = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t repl_misses = 0;
+    std::uint64_t stall_cycles = 0;
+    std::uint64_t carryover_hits = 0;
+  };
   struct Section {
     std::uint64_t misses = 0;
     std::uint64_t repl_misses = 0;
     std::uint64_t stall_cycles = 0;
+    /// Hits served by blocks an earlier stream position filled (misses the
+    /// burst avoided thanks to cross-activation cache carryover).
+    std::uint64_t carryover_hits = 0;
     /// Owners with at least one miss, sorted by misses desc then id asc.
     std::vector<OwnerRow> owners;
     /// Conflict pairs, sorted by count desc then (victim, evictor) asc.
@@ -137,6 +158,9 @@ struct MissProfile {
     std::vector<ConflictRow> conflicts;
     /// Sets with at least one miss, ascending set index.
     std::vector<SetRow> sets;
+    /// One row per stream position, ascending; rows sum to the totals
+    /// above.  Size 1 for single-activation replays.
+    std::vector<PositionRow> positions;
   };
 
   Section icache;
@@ -163,6 +187,17 @@ class MissProfiler {
                bool replacement, bool had_victim, Addr victim_block,
                std::uint32_t stall_cycles);
 
+  /// Record one primary-cache hit.  Only hits on blocks filled by an
+  /// *earlier* stream position count (carryover); everything else is a
+  /// cheap map probe and no-op.
+  void on_hit(ProfiledCache cache, Addr addr, Addr block);
+
+  /// Mark the boundary between two activations of a stream: subsequent
+  /// events accumulate into the next PositionRow, and hits on blocks
+  /// filled before this point count as carryover.
+  void advance_position();
+  std::uint32_t position() const noexcept { return position_; }
+
   void reset();
 
   const OwnerMap& owners() const noexcept { return map_; }
@@ -175,18 +210,30 @@ class MissProfiler {
     std::uint64_t misses = 0;
     std::uint64_t repl_misses = 0;
     std::uint64_t stall_cycles = 0;
+    std::uint64_t carryover_hits = 0;
+  };
+  struct PositionCounts {
+    std::uint64_t misses = 0;
+    std::uint64_t repl_misses = 0;
+    std::uint64_t stall_cycles = 0;
+    std::uint64_t carryover_hits = 0;
   };
   struct CacheAccum {
     std::uint64_t misses = 0;
     std::uint64_t repl_misses = 0;
     std::uint64_t stall_cycles = 0;
+    std::uint64_t carryover_hits = 0;
     std::vector<OwnerCounts> by_owner;                  // indexed by OwnerId
     std::map<std::uint64_t, std::uint64_t> conflicts;   // victim<<32|evictor
     /// Who displaced each block, recorded at eviction time so the next
     /// replacement miss on the block can be charged to the right evictor.
     std::unordered_map<Addr, OwnerId> evicted_by;
+    /// Stream position whose miss filled each currently-resident block;
+    /// a later hit on the block at a higher position is a carryover hit.
+    std::unordered_map<Addr, std::uint32_t> filled_at;
     std::vector<std::uint64_t> set_misses;              // grown on demand
     std::vector<std::set<OwnerId>> set_owners;
+    std::vector<PositionCounts> positions;              // one per position
   };
 
   static void fill_section(const CacheAccum& a, const OwnerMap& map,
@@ -194,6 +241,7 @@ class MissProfiler {
 
   OwnerMap map_;
   CacheAccum caches_[2];
+  std::uint32_t position_ = 0;
 };
 
 }  // namespace l96::sim

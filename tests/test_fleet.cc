@@ -1,8 +1,11 @@
 // Tests for the multi-connection fleet engine (harness/fleet.h):
 // determinism across runs / worker counts / seeds, the stale-hit
-// slow-path fallback, and the Zipf schedule.
+// slow-path fallback, the Zipf schedule, burst scheduling with the
+// position-indexed cost table, MachineParams keying, and the packet-
+// conservation counters.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <stdexcept>
 #include <vector>
 
@@ -12,17 +15,24 @@
 namespace l96 {
 namespace {
 
+using harness::BurstCostTable;
 using harness::FleetCosts;
 using harness::FleetRunner;
 using harness::FleetSpec;
 using harness::ZipfSampler;
 
-// Fleet pricing needs one trace capture + three machine replays; share it
-// across the tests in this file.
-const FleetCosts& tcp_costs() {
-  static const FleetCosts costs = harness::measure_fleet_costs(
-      net::StackKind::kTcpIp, code::StackConfig::All());
-  return costs;
+// Fleet pricing needs one trace capture + a handful of machine replays;
+// share the tables across the tests in this file.
+const BurstCostTable& tcp_table() {
+  static const BurstCostTable table = harness::measure_burst_costs(
+      net::StackKind::kTcpIp, code::StackConfig::All(), 3);
+  return table;
+}
+
+const BurstCostTable& tcp_table_one() {
+  static const BurstCostTable table = harness::measure_burst_costs(
+      net::StackKind::kTcpIp, code::StackConfig::All(), 1);
+  return table;
 }
 
 FleetSpec small_spec() {
@@ -63,13 +73,87 @@ TEST(ZipfSamplerTest, DeterministicAndSkewed) {
   EXPECT_THROW(ZipfSampler(0, 1.0, 1), std::invalid_argument);
 }
 
+TEST(ZipfSamplerTest, SingleFlowAlwaysDrawsZero) {
+  ZipfSampler one(1, 1.2, 42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(one.next(), 0u);
+}
+
+TEST(ZipfSamplerTest, UniformDrawPassesChiSquared) {
+  // s = 0 must be uniform over the flows, not merely "less skewed": 16
+  // bins x 4000 draws, chi-squared with 15 degrees of freedom.  The 0.001
+  // critical value is 37.7; the sampler is deterministic, so this is a
+  // regression bound, not a flaky statistical test.
+  constexpr std::size_t kBins = 16;
+  constexpr int kDraws = 4000;
+  ZipfSampler uniform(kBins, 0.0, 12345);
+  std::vector<int> counts(kBins, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[uniform.next()];
+  const double expected = static_cast<double>(kDraws) / kBins;
+  double chi2 = 0;
+  for (int c : counts) {
+    const double d = static_cast<double>(c) - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 37.7) << "uniform draw is measurably non-uniform";
+}
+
+TEST(ZipfSamplerTest, LargeNTailIsReachable) {
+  // The inverse-CDF lookup must keep tail precision at large n: the final
+  // CDF entry is pinned to exactly 1.0, draws stay in range, and under a
+  // uniform draw the top 1/16 of a 65536-flow population is hit often.
+  constexpr std::size_t kN = 65536;
+  ZipfSampler big(kN, 0.0, 99);
+  std::size_t top_tail = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const std::size_t k = big.next();
+    ASSERT_LT(k, kN);
+    top_tail += k >= kN - kN / 16;
+  }
+  EXPECT_GT(top_tail, 100u);  // expected ~250 of 4000
+
+  // Skewed large-n draw also stays in range (the un-normalized CDF spans
+  // many orders of magnitude; rounding must not push lookups past n-1).
+  ZipfSampler skew(kN, 1.4, 7);
+  for (int i = 0; i < 4000; ++i) ASSERT_LT(skew.next(), kN);
+}
+
 TEST(FleetCostsTest, SlowPathPricedAboveInlinedFastPath) {
-  const FleetCosts& c = tcp_costs();
-  EXPECT_GT(c.fast_us, 0.0);
-  EXPECT_GT(c.slow_us, c.fast_us)
+  const BurstCostTable& t = tcp_table();
+  ASSERT_EQ(t.positions(), 3u);
+  EXPECT_GT(t.fast_us.front(), 0.0);
+  EXPECT_GT(t.slow_us.front(), t.fast_us.front())
       << "standalone slow-path replay must cost more than the inlined "
          "composite";
-  EXPECT_GT(c.controller_us, 0.0);
+  EXPECT_GT(t.controller_us, 0.0);
+}
+
+TEST(FleetCostsTest, DeprecatedFlatCostsMatchPositionZero) {
+  // The flat FleetCosts view is the 1-position table: both must price
+  // first-in-burst packets identically (the pre-burst engine's numbers).
+  const FleetCosts flat = harness::measure_fleet_costs(
+      net::StackKind::kTcpIp, code::StackConfig::All());
+  EXPECT_DOUBLE_EQ(flat.controller_us, tcp_table_one().controller_us);
+  EXPECT_DOUBLE_EQ(flat.fast_us, tcp_table_one().fast_us.front());
+  EXPECT_DOUBLE_EQ(flat.slow_us, tcp_table_one().slow_us.front());
+  // Position 0 does not depend on how many positions were measured.
+  EXPECT_DOUBLE_EQ(flat.fast_us, tcp_table().fast_us.front());
+  EXPECT_DOUBLE_EQ(flat.slow_us, tcp_table().slow_us.front());
+}
+
+TEST(FleetCostsTest, TableClampsPastMeasuredPositions) {
+  const BurstCostTable& t = tcp_table();
+  EXPECT_DOUBLE_EQ(t.fast_at(t.positions() + 5), t.fast_us.back());
+  EXPECT_DOUBLE_EQ(t.slow_at(t.positions() + 5), t.slow_us.back());
+  EXPECT_DOUBLE_EQ(t.fast_at(0), t.fast_us.front());
+}
+
+TEST(FleetCostsTest, BurstPositionsAmortize) {
+  const BurstCostTable& t = tcp_table();
+  for (std::size_t p = 1; p < t.positions(); ++p) {
+    EXPECT_LE(t.fast_us[p], t.fast_us[p - 1]) << "position " << p;
+  }
+  EXPECT_LT(t.fast_us.back(), t.fast_us.front())
+      << "back-to-back replays must amortize the scrubbed warm-up";
 }
 
 TEST(FleetTest, DeterministicAcrossRunsAndWorkerCounts) {
@@ -84,8 +168,8 @@ TEST(FleetTest, DeterministicAcrossRunsAndWorkerCounts) {
     }
   }
   FleetRunner serial(1), parallel(3);
-  const auto r1 = serial.run(specs, tcp_costs());
-  const auto r3 = parallel.run(specs, tcp_costs());
+  const auto r1 = serial.run(specs, tcp_table());
+  const auto r3 = parallel.run(specs, tcp_table());
   ASSERT_EQ(r1.size(), specs.size());
   ASSERT_EQ(r3.size(), specs.size());
   for (std::size_t i = 0; i < specs.size(); ++i) {
@@ -105,12 +189,109 @@ TEST(FleetTest, DeterministicAcrossRunsAndWorkerCounts) {
   reseeded.scheme = code::FlowCacheScheme::kOneBehind;
   reseeded.zipf_s = 1.2;
   reseeded.seed = 6;
-  EXPECT_NE(harness::run_fleet(reseeded, tcp_costs()).sample_digest,
+  EXPECT_NE(harness::run_fleet(reseeded, tcp_table()).sample_digest,
             r1[1].sample_digest);
 }
 
+TEST(FleetTest, BatchOneIsByteIdenticalUnderAnyTableDepth) {
+  // Batch 1 means every packet is first-in-burst: only position 0 of the
+  // table is ever read, so a 3-position table and the flat 1-position
+  // table must produce byte-identical sample streams — the pre-refactor
+  // engine's numbers survive the burst refactor exactly.
+  const FleetSpec spec = small_spec();  // batch defaults to 1, with churn
+  const auto deep = harness::run_fleet(spec, tcp_table());
+  const auto flat = harness::run_fleet(spec, tcp_table_one());
+  EXPECT_EQ(deep.sample_digest, flat.sample_digest);
+  EXPECT_EQ(deep.packets_sampled, flat.packets_sampled);
+  EXPECT_EQ(deep.slow_packets, flat.slow_packets);
+  EXPECT_DOUBLE_EQ(deep.latency.mean, flat.latency.mean);
+}
+
+TEST(FleetTest, BurstSchedulingAmortizesLatency) {
+  FleetSpec one = small_spec();
+  one.churn_every = 0;
+  one.packets = 64;
+  FleetSpec burst = one;
+  burst.batch = 16;
+
+  const auto r1 = harness::run_fleet(one, tcp_table());
+  const auto r16 = harness::run_fleet(burst, tcp_table());
+
+  // Same packet count — the burst positions amortize the processing cost,
+  // so the mean must drop strictly.
+  EXPECT_EQ(r16.packets_sampled, r1.packets_sampled);
+  EXPECT_LT(r16.latency.mean, r1.latency.mean);
+  // First-in-burst packets still pay at least the amortized floor plus the
+  // full first-packet processing cost.
+  EXPECT_GE(r16.latency.max, tcp_table().controller_us +
+                                 tcp_table().fast_us.front());
+  EXPECT_EQ(r1.bursts, r1.spec.packets);
+  EXPECT_EQ(r16.bursts, r16.spec.packets / 16);
+}
+
+TEST(FleetTest, ConservationCountersAddUp) {
+  for (std::size_t batch : {std::size_t{1}, std::size_t{8}}) {
+    FleetSpec spec = small_spec();  // churn_every = 10 over 32 packets
+    spec.batch = batch;
+    const auto r = harness::run_fleet(spec, tcp_table());
+    EXPECT_EQ(r.spec.packets, r.scheduled_sampled + r.dropped_in_churn)
+        << "batch " << batch;
+    EXPECT_EQ(r.packets_sampled, r.scheduled_sampled + r.handshake_sampled)
+        << "batch " << batch;
+    EXPECT_GT(r.churns, 0u);
+    EXPECT_GT(r.handshake_sampled, 0u)
+        << "churn handshakes must be counted separately, not folded into "
+           "the scheduled packets";
+  }
+}
+
+TEST(FleetTest, RejectsMismatchedMachineParams) {
+  // Regression: a grid row sweeping MachineParams must not silently reuse
+  // a cost table measured under the defaults.
+  FleetSpec spec = small_spec();
+  spec.params.mem.dcache_bytes *= 2;
+  EXPECT_THROW(harness::run_fleet(spec, tcp_table()), std::invalid_argument);
+  try {
+    harness::run_fleet(spec, tcp_table());
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("MachineParams"), std::string::npos)
+        << "error must name the mismatch: " << e.what();
+  }
+
+  // The runner rejects the bad row too (first error wins).
+  FleetRunner runner(2);
+  EXPECT_THROW(runner.run({small_spec(), spec}, tcp_table()),
+               std::invalid_argument);
+
+  // A mismatched stack config is equally rejected.
+  FleetSpec other_cfg = small_spec();
+  other_cfg.config = code::StackConfig::Pin();
+  EXPECT_THROW(harness::run_fleet(other_cfg, tcp_table()),
+               std::invalid_argument);
+}
+
+TEST(FleetTest, ParamsKeyCoversEveryField) {
+  const harness::MachineParams base;
+  EXPECT_EQ(harness::machine_params_key(base),
+            harness::machine_params_key(harness::MachineParams::defaults()));
+  harness::MachineParams m1 = base;
+  m1.mem.icache_bytes *= 2;
+  harness::MachineParams m2 = base;
+  m2.scrub_fraction_d += 0.1;
+  harness::MachineParams m3 = base;
+  m3.cpu.dual_issue = !m3.cpu.dual_issue;
+  harness::MachineParams m4 = base;
+  m4.classifier_overhead_us = 2.0;
+  const std::uint64_t k = harness::machine_params_key(base);
+  EXPECT_NE(harness::machine_params_key(m1), k);
+  EXPECT_NE(harness::machine_params_key(m2), k);
+  EXPECT_NE(harness::machine_params_key(m3), k);
+  EXPECT_NE(harness::machine_params_key(m4), k);
+}
+
 TEST(FleetTest, ChurnProducesStaleHitsThatFallBackSlow) {
-  const FleetCosts& costs = tcp_costs();
+  const BurstCostTable& costs = tcp_table();
   const FleetSpec spec = small_spec();  // churn_every = 10 over 32 packets
   const auto r = harness::run_fleet(spec, costs);
 
@@ -120,9 +301,9 @@ TEST(FleetTest, ChurnProducesStaleHitsThatFallBackSlow) {
   EXPECT_GE(r.slow_packets, r.cache.stale_hits)
       << "every stale hit must route through the standalone slow path";
   // The tail carries the slow-path price: controller + lookup + slow_us.
-  EXPECT_GT(r.latency.max, costs.controller_us + costs.slow_us);
+  EXPECT_GT(r.latency.max, costs.controller_us + costs.slow_us.front());
   // The floor is the fast path: controller + cheapest lookup + fast_us.
-  EXPECT_GE(r.latency.p50, costs.controller_us + costs.fast_us);
+  EXPECT_GE(r.latency.p50, costs.controller_us + costs.fast_us.front());
   EXPECT_GT(r.packets_sampled, spec.packets);  // churn handshakes included
 
   // Without churn, no connection ever unbinds: zero stale traffic.
@@ -133,23 +314,28 @@ TEST(FleetTest, ChurnProducesStaleHitsThatFallBackSlow) {
   EXPECT_EQ(q.slow_packets, 0u);
   EXPECT_EQ(q.churns, 0u);
   EXPECT_EQ(q.packets_sampled, quiet.packets);
+  EXPECT_EQ(q.dropped_in_churn, 0u);
+  EXPECT_EQ(q.handshake_sampled, 0u);
 }
 
 TEST(FleetTest, RpcFleetRunsAndCaches) {
-  const FleetCosts costs = harness::measure_fleet_costs(
-      net::StackKind::kRpc, code::StackConfig::All());
+  const BurstCostTable costs = harness::measure_burst_costs(
+      net::StackKind::kRpc, code::StackConfig::All(), 2);
   FleetSpec spec;
   spec.label = "rpc-test";
   spec.kind = net::StackKind::kRpc;
   spec.config = code::StackConfig::All();
   spec.connections = 4;
   spec.packets = 24;
+  spec.batch = 4;
   spec.zipf_s = 1.0;
   spec.seed = 9;
   spec.scheme = code::FlowCacheScheme::kLru;
   spec.cache_capacity = 4;
   const auto r = harness::run_fleet(spec, costs);
   EXPECT_EQ(r.packets_sampled, spec.packets);
+  EXPECT_EQ(r.scheduled_sampled, spec.packets);
+  EXPECT_EQ(r.bursts, spec.packets / spec.batch);
   EXPECT_GT(r.cache.hit_ratio(), 0.0);
   EXPECT_EQ(r.cache.stale_hits, 0u);
   EXPECT_GT(r.latency.mean, costs.controller_us);
@@ -158,23 +344,28 @@ TEST(FleetTest, RpcFleetRunsAndCaches) {
 TEST(FleetTest, RejectsNonInlinedConfigAndEmptySchedules) {
   FleetSpec spec = small_spec();
   spec.config = code::StackConfig::Std();  // no path_inlining
-  EXPECT_THROW(harness::run_fleet(spec, tcp_costs()), std::invalid_argument);
+  EXPECT_THROW(harness::run_fleet(spec, tcp_table()), std::invalid_argument);
   spec = small_spec();
   spec.packets = 0;
-  EXPECT_THROW(harness::run_fleet(spec, tcp_costs()), std::invalid_argument);
+  EXPECT_THROW(harness::run_fleet(spec, tcp_table()), std::invalid_argument);
   spec = small_spec();
   spec.connections = 0;
-  EXPECT_THROW(harness::run_fleet(spec, tcp_costs()), std::invalid_argument);
+  EXPECT_THROW(harness::run_fleet(spec, tcp_table()), std::invalid_argument);
 }
 
 TEST(FleetTest, FleetJsonSectionIsSchemaVersioned) {
-  const auto r = harness::run_fleet(small_spec(), tcp_costs());
-  const harness::Json section = harness::fleet_json(tcp_costs(), {r});
+  const auto r = harness::run_fleet(small_spec(), tcp_table());
+  const harness::Json section = harness::fleet_json(tcp_table(), {r});
   ASSERT_TRUE(section.is_object());
   const auto* schema = section.find("schema");
   ASSERT_NE(schema, nullptr);
   ASSERT_NE(schema->as_string(), nullptr);
-  EXPECT_EQ(*schema->as_string(), "l96.fleet.v1");
+  EXPECT_EQ(*schema->as_string(), "l96.fleet.v2");
+  const auto* costs = section.find("costs");
+  ASSERT_NE(costs, nullptr);
+  const auto* fast = costs->find("fast_us");
+  ASSERT_NE(fast, nullptr);
+  EXPECT_EQ(fast->size(), tcp_table().positions());
   const auto* rows = section.find("rows");
   ASSERT_NE(rows, nullptr);
   EXPECT_EQ(rows->size(), 1u);

@@ -1,15 +1,24 @@
 // Fleet CLI: run one flow-cache fleet row and print its stats + digest.
 //
-//   fleet [tcp|rpc] [scheme] [connections] [packets] [zipf_s] [seed]
-//         [capacity] [churn_every]
+//   fleet [--burst N] [tcp|rpc] [scheme] [connections] [packets] [zipf_s]
+//         [seed] [capacity] [churn_every]
 //
 // `scheme` is one-behind | direct | lru.  Prints per-scheme hit/stale
 // ratios, the per-packet latency percentiles, and the FNV-1a sample digest
 // (compare digests across hosts/worker counts to check determinism).
+//
+// `--burst N` sends N back-to-back packets per scheduled flow draw
+// (per-flow coalescing); packets after the first in a burst are priced at
+// their burst position from the position-indexed cost table, so they pay
+// the amortized cost of the cache residue their predecessors left behind.
+// The default (no flag) is batch 1 — every packet is an independent
+// first-in-burst activation, byte-identical to the pre-burst engine.
 // Exit status is 0 on success, 2 on usage errors.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <vector>
 
 #include "harness/fleet.h"
 
@@ -22,6 +31,7 @@ int main(int argc, char** argv) {
   spec.scheme = code::FlowCacheScheme::kLru;
   spec.connections = 8;
   spec.packets = 128;
+  spec.batch = 1;
   spec.zipf_s = 1.1;
   spec.seed = 1;
   spec.cache_capacity = 8;
@@ -29,30 +39,42 @@ int main(int argc, char** argv) {
 
   const auto usage = [] {
     std::fprintf(stderr,
-                 "usage: fleet [tcp|rpc] [one-behind|direct|lru] "
+                 "usage: fleet [--burst N] [tcp|rpc] [one-behind|direct|lru] "
                  "[connections] [packets] [zipf_s] [seed] [capacity] "
                  "[churn_every]\n");
     return 2;
   };
 
-  if (argc > 1) {
-    if (std::strcmp(argv[1], "rpc") == 0) {
+  // Strip the --burst flag (anywhere) before positional parsing.
+  std::vector<char*> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--burst") == 0) {
+      if (i + 1 >= argc) return usage();
+      spec.batch = std::strtoull(argv[++i], nullptr, 10);
+      if (spec.batch == 0) return usage();
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+
+  if (args.size() > 0) {
+    if (std::strcmp(args[0], "rpc") == 0) {
       spec.kind = net::StackKind::kRpc;
-    } else if (std::strcmp(argv[1], "tcp") != 0) {
+    } else if (std::strcmp(args[0], "tcp") != 0) {
       return usage();
     }
   }
-  if (argc > 2) {
-    const auto s = code::flow_cache_scheme_from_string(argv[2]);
+  if (args.size() > 1) {
+    const auto s = code::flow_cache_scheme_from_string(args[1]);
     if (!s) return usage();
     spec.scheme = *s;
   }
-  if (argc > 3) spec.connections = std::strtoull(argv[3], nullptr, 10);
-  if (argc > 4) spec.packets = std::strtoull(argv[4], nullptr, 10);
-  if (argc > 5) spec.zipf_s = std::strtod(argv[5], nullptr);
-  if (argc > 6) spec.seed = std::strtoull(argv[6], nullptr, 10);
-  if (argc > 7) spec.cache_capacity = std::strtoull(argv[7], nullptr, 10);
-  if (argc > 8) spec.churn_every = std::strtoull(argv[8], nullptr, 10);
+  if (args.size() > 2) spec.connections = std::strtoull(args[2], nullptr, 10);
+  if (args.size() > 3) spec.packets = std::strtoull(args[3], nullptr, 10);
+  if (args.size() > 4) spec.zipf_s = std::strtod(args[4], nullptr);
+  if (args.size() > 5) spec.seed = std::strtoull(args[5], nullptr, 10);
+  if (args.size() > 6) spec.cache_capacity = std::strtoull(args[6], nullptr, 10);
+  if (args.size() > 7) spec.churn_every = std::strtoull(args[7], nullptr, 10);
   if (spec.connections == 0 || spec.packets == 0 ||
       spec.cache_capacity == 0) {
     return usage();
@@ -60,20 +82,30 @@ int main(int argc, char** argv) {
   spec.label = std::string(spec.kind == net::StackKind::kRpc ? "rpc" : "tcp") +
                "/" + code::to_string(spec.scheme);
 
-  const harness::FleetCosts costs =
-      harness::measure_fleet_costs(spec.kind, spec.config);
+  // Positions converge within a few packets; 8 table entries cover any
+  // batch size (fast_at/slow_at clamp to the steady-amortized floor).
+  const std::size_t positions = std::min<std::size_t>(spec.batch, 8);
+  const harness::BurstCostTable costs =
+      harness::measure_burst_costs(spec.kind, spec.config, positions);
   const harness::FleetResult r = harness::run_fleet(spec, costs);
 
   std::printf(
-      "%s conns=%zu packets=%llu zipf=%.2f seed=%llu cap=%zu churn=%llu\n",
+      "%s conns=%zu packets=%llu batch=%zu zipf=%.2f seed=%llu cap=%zu "
+      "churn=%llu\n",
       spec.label.c_str(), spec.connections,
-      static_cast<unsigned long long>(spec.packets), spec.zipf_s,
+      static_cast<unsigned long long>(spec.packets), spec.batch, spec.zipf_s,
       static_cast<unsigned long long>(spec.seed), spec.cache_capacity,
       static_cast<unsigned long long>(spec.churn_every));
   std::printf(
-      "  sampled=%llu hit=%.4f stale=%.4f slow=%llu churns=%llu "
-      "lookup_cost=%.2fus\n",
+      "  sampled=%llu (scheduled=%llu handshake=%llu dropped=%llu) "
+      "bursts=%llu\n",
       static_cast<unsigned long long>(r.packets_sampled),
+      static_cast<unsigned long long>(r.scheduled_sampled),
+      static_cast<unsigned long long>(r.handshake_sampled),
+      static_cast<unsigned long long>(r.dropped_in_churn),
+      static_cast<unsigned long long>(r.bursts));
+  std::printf(
+      "  hit=%.4f stale=%.4f slow=%llu churns=%llu lookup_cost=%.2fus\n",
       r.cache.hit_ratio(), r.cache.stale_ratio(),
       static_cast<unsigned long long>(r.slow_packets),
       static_cast<unsigned long long>(r.churns), r.cache.cost_us);
@@ -82,8 +114,13 @@ int main(int argc, char** argv) {
       "max=%.2f\n",
       r.latency.p50, r.latency.p90, r.latency.p99, r.latency.p999,
       r.latency.mean, r.latency.max);
-  std::printf("  costs fast=%.3fus slow=%.3fus controller=%.1fus\n",
-              costs.fast_us, costs.slow_us, costs.controller_us);
+  std::printf("  costs controller=%.1fus fast[0]=%.3fus slow[0]=%.3fus\n",
+              costs.controller_us, costs.fast_us.front(),
+              costs.slow_us.front());
+  for (std::size_t p = 1; p < costs.positions(); ++p) {
+    std::printf("        fast[%zu]=%.3fus slow[%zu]=%.3fus\n", p,
+                costs.fast_us[p], p, costs.slow_us[p]);
+  }
   std::printf("  digest=%016llx\n",
               static_cast<unsigned long long>(r.sample_digest));
   return 0;
