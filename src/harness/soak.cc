@@ -3,6 +3,8 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "net/chaos.h"
+
 namespace l96::harness {
 
 namespace {
@@ -29,7 +31,7 @@ std::uint64_t hash_fault_log(const std::vector<net::FaultRecord>& log) {
 }  // namespace
 
 std::string SoakReport::summary() const {
-  char buf[512];
+  char buf[640];
   std::snprintf(
       buf, sizeof buf,
       "completed=%d rt=%" PRIu64 " us=%" PRIu64
@@ -38,13 +40,15 @@ std::string SoakReport::summary() const {
       " drops=%" PRIu64 " corrupts=%" PRIu64 " dups=%" PRIu64
       " reorders=%" PRIu64 " delays=%" PRIu64 " rexmt_tcp=%" PRIu64
       " badsum_tcp=%" PRIu64 " rexmt_chan=%" PRIu64 " nacks=%" PRIu64
-      " badfrm=%" PRIu64 " loghash=%016" PRIx64,
+      " badfrm=%" PRIu64 " loghash=%016" PRIx64 " reconn=%" PRIu64
+      " bdrop=%" PRIu64 " dead=%" PRIu64 " purged=%zu incarn=%u",
       completed ? 1 : 0, roundtrips, virtual_us, mean_roundtrip_us,
       integrity_failures, failed_calls, pending_events, live_connections,
       busy_channels, reassemblies_pending, conserved ? 1 : 0, faults.drops,
       faults.corrupts, faults.duplicates, faults.reorders, faults.delays,
       tcp_retransmits, tcp_bad_checksums, chan_retransmits, blast_nacks,
-      blast_bad_frames, fault_log_hash);
+      blast_bad_frames, fault_log_hash, reconnects, blackout_drops,
+      frames_to_dead, purged_events, server_incarnation);
   return buf;
 }
 
@@ -70,6 +74,37 @@ SoakReport SoakRunner::run() {
                                 : spec_.roundtrips * 200'000 + 120'000'000;
 
   SoakReport rep;
+  if (spec_.chaos) {
+    if (tcp) {
+      // A crash can leave the client fully ACKed and silently waiting for
+      // an echo that died with the server: keepalive probes detect the
+      // dead peer (the rebooted incarnation answers a probe with RST) and
+      // TcpTest reconnects and resends the current roundtrip.
+      w.client().set_tcp_keepalive(/*idle_us=*/200'000,
+                                   /*intvl_us=*/100'000, /*probes=*/2);
+      w.client().tcptest()->enable_reconnect();
+      w.server().set_reboot_hook([this, &w] {
+        w.server().tcptest()->enable_integrity(spec_.msg_bytes);
+        w.server().tcptest()->set_close_on_peer_close(true);
+        w.server().tcptest()->serve(net::World::kTcpServerPort);
+      });
+    }
+    const std::uint64_t third = spec_.roundtrips / 3;
+    w.run_until_roundtrips(third, cap);
+    net::ChaosTimeline blackout;
+    blackout.add(1'000, net::ChaosKind::kLinkDown, net::ChaosTarget::kWire)
+        .add(101'000, net::ChaosKind::kLinkUp, net::ChaosTarget::kWire);
+    blackout.install(w, w.events().now());
+    if (tcp) {
+      w.run_until_roundtrips(2 * third, cap);
+      net::ChaosTimeline outage;
+      outage
+          .add(1'000, net::ChaosKind::kHostCrash, net::ChaosTarget::kServer)
+          .add(201'000, net::ChaosKind::kHostReboot,
+               net::ChaosTarget::kServer);
+      outage.install(w, w.events().now());
+    }
+  }
   rep.completed = w.run_until_roundtrips(spec_.roundtrips, cap);
   rep.roundtrips = w.client_roundtrips();
   rep.virtual_us = w.events().now();
@@ -92,6 +127,12 @@ SoakReport SoakRunner::run() {
   rep.conserved = w.wire().conserved();
   rep.faults = w.fault_counters();
   rep.fault_log_hash = hash_fault_log(w.fault_log());
+  rep.blackout_drops = w.wire().blackout_drops();
+  rep.frames_to_dead =
+      w.client().frames_to_dead() + w.server().frames_to_dead();
+  rep.purged_events = w.client().purged_events() + w.server().purged_events();
+  rep.server_incarnation = w.server().incarnation();
+  if (tcp) rep.reconnects = w.client().tcptest()->reconnects();
 
   if (tcp) {
     rep.integrity_failures = w.client().tcptest()->integrity_failures() +

@@ -29,6 +29,13 @@ struct SoakSpec {
   std::uint64_t max_virtual_us = 0;
   /// Close the session after the run and require a clean teardown.
   bool teardown = true;
+  /// Chaos phase: inject one 100 ms link blackout at the one-third mark
+  /// and (TCP only) one 200 ms server crash/reboot at the two-thirds mark.
+  /// The TCP client survives via keepalive probing of the silent peer plus
+  /// TcpTest reconnect; the RPC soak exercises the blackout only (the
+  /// channel protocol's retry budget is its survival path).  Every clean-
+  /// teardown invariant in ok() must still hold.
+  bool chaos = false;
 };
 
 struct SoakReport {
@@ -50,6 +57,12 @@ struct SoakReport {
   std::uint64_t blast_nacks = 0;
   std::uint64_t blast_bad_frames = 0;  ///< validation + checksum rejects
   std::uint64_t fault_log_hash = 0;    ///< FNV-1a over the replay log
+  // Chaos-phase outcome (all zero / 1 when spec.chaos is off).
+  std::uint64_t reconnects = 0;        ///< TcpTest re-establishments
+  std::uint64_t blackout_drops = 0;    ///< frames the dead link swallowed
+  std::uint64_t frames_to_dead = 0;    ///< frames a crashed host discarded
+  std::size_t purged_events = 0;       ///< timers killed by the crash
+  std::uint32_t server_incarnation = 1;
 
   bool ok() const noexcept {
     return completed && integrity_failures == 0 && failed_calls == 0 &&

@@ -1,0 +1,209 @@
+#include "net/chaos.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace l96::net {
+
+const char* to_string(ChaosKind k) {
+  switch (k) {
+    case ChaosKind::kLinkDown: return "link_down";
+    case ChaosKind::kLinkUp: return "link_up";
+    case ChaosKind::kHostCrash: return "crash";
+    case ChaosKind::kHostReboot: return "reboot";
+  }
+  return "?";
+}
+
+const char* to_string(ChaosTarget t) {
+  switch (t) {
+    case ChaosTarget::kWire: return "wire";
+    case ChaosTarget::kClient: return "client";
+    case ChaosTarget::kServer: return "server";
+  }
+  return "?";
+}
+
+ChaosTimeline ChaosTimeline::parse(std::string_view script) {
+  ChaosTimeline tl;
+  std::istringstream in{std::string(script)};
+  std::string tok;
+  while (in >> tok) {
+    const auto at_pos = tok.find('@');
+    if (at_pos == std::string::npos) {
+      throw std::invalid_argument("chaos: missing '@' in \"" + tok + "\"");
+    }
+    const std::string verb = tok.substr(0, at_pos);
+    std::string when = tok.substr(at_pos + 1);
+    ChaosTarget target = ChaosTarget::kWire;
+    const auto colon = when.find(':');
+    if (colon != std::string::npos) {
+      const std::string who = when.substr(colon + 1);
+      when.resize(colon);
+      if (who == "client") {
+        target = ChaosTarget::kClient;
+      } else if (who == "server") {
+        target = ChaosTarget::kServer;
+      } else {
+        throw std::invalid_argument("chaos: unknown host \"" + who + "\"");
+      }
+    }
+
+    ChaosKind kind;
+    if (verb == "link_down") {
+      kind = ChaosKind::kLinkDown;
+    } else if (verb == "link_up") {
+      kind = ChaosKind::kLinkUp;
+    } else if (verb == "crash") {
+      kind = ChaosKind::kHostCrash;
+    } else if (verb == "reboot") {
+      kind = ChaosKind::kHostReboot;
+    } else {
+      throw std::invalid_argument("chaos: unknown verb \"" + verb + "\"");
+    }
+
+    const bool host_verb =
+        kind == ChaosKind::kHostCrash || kind == ChaosKind::kHostReboot;
+    if (host_verb && target == ChaosTarget::kWire) {
+      throw std::invalid_argument(
+          "chaos: " + verb + " needs a :client or :server target");
+    }
+    if (!host_verb && target != ChaosTarget::kWire) {
+      throw std::invalid_argument("chaos: " + verb + " takes no target");
+    }
+
+    std::uint64_t at_us = 0;
+    try {
+      std::size_t used = 0;
+      at_us = std::stoull(when, &used);
+      if (used != when.size()) throw std::invalid_argument(when);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("chaos: bad time \"" + when + "\"");
+    }
+
+    tl.add(at_us, kind, target);
+  }
+  tl.validate();
+  return tl;
+}
+
+ChaosTimeline& ChaosTimeline::add(std::uint64_t at_us, ChaosKind kind,
+                                  ChaosTarget target) {
+  events_.push_back(ChaosEvent{at_us, kind, target});
+  return *this;
+}
+
+void ChaosTimeline::validate() const {
+  if (!std::is_sorted(events_.begin(), events_.end(),
+                      [](const ChaosEvent& a, const ChaosEvent& b) {
+                        return a.at_us < b.at_us;
+                      })) {
+    throw std::invalid_argument("chaos: events not sorted by time");
+  }
+  bool link_down = false;
+  bool client_dead = false;
+  bool server_dead = false;
+  for (const ChaosEvent& e : events_) {
+    switch (e.kind) {
+      case ChaosKind::kLinkDown:
+        if (link_down) throw std::invalid_argument("chaos: double link_down");
+        link_down = true;
+        break;
+      case ChaosKind::kLinkUp:
+        if (!link_down) {
+          throw std::invalid_argument("chaos: link_up without link_down");
+        }
+        link_down = false;
+        break;
+      case ChaosKind::kHostCrash: {
+        bool& dead =
+            e.target == ChaosTarget::kClient ? client_dead : server_dead;
+        if (dead) throw std::invalid_argument("chaos: double crash");
+        dead = true;
+        break;
+      }
+      case ChaosKind::kHostReboot: {
+        bool& dead =
+            e.target == ChaosTarget::kClient ? client_dead : server_dead;
+        if (!dead) throw std::invalid_argument("chaos: reboot without crash");
+        dead = false;
+        break;
+      }
+    }
+  }
+  if (link_down) throw std::invalid_argument("chaos: link never comes back");
+  if (client_dead || server_dead) {
+    throw std::invalid_argument("chaos: host never reboots");
+  }
+}
+
+std::vector<ChaosWindow> ChaosTimeline::windows() const {
+  std::vector<ChaosWindow> out;
+  std::uint64_t link_start = 0;
+  std::uint64_t client_start = 0;
+  std::uint64_t server_start = 0;
+  for (const ChaosEvent& e : events_) {
+    switch (e.kind) {
+      case ChaosKind::kLinkDown:
+        link_start = e.at_us;
+        break;
+      case ChaosKind::kLinkUp:
+        out.push_back({link_start, e.at_us, false, ChaosTarget::kWire});
+        break;
+      case ChaosKind::kHostCrash:
+        (e.target == ChaosTarget::kClient ? client_start : server_start) =
+            e.at_us;
+        break;
+      case ChaosKind::kHostReboot:
+        out.push_back({e.target == ChaosTarget::kClient ? client_start
+                                                        : server_start,
+                       e.at_us, true, e.target});
+        break;
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ChaosWindow& a, const ChaosWindow& b) {
+              return a.start_us < b.start_us;
+            });
+  return out;
+}
+
+void ChaosTimeline::install(World& world, std::uint64_t base_us) const {
+  validate();
+  for (const ChaosEvent& e : events_) {
+    Host* host = e.target == ChaosTarget::kClient ? &world.client()
+                                                  : &world.server();
+    Wire* wire = &world.wire();
+    // Infrastructure events (owner 0): the script must keep firing across
+    // the crashes it inflicts.
+    world.events().schedule_at(
+        base_us + e.at_us,
+        [kind = e.kind, host, wire] {
+          switch (kind) {
+            case ChaosKind::kLinkDown: wire->link_down(); break;
+            case ChaosKind::kLinkUp: wire->link_up(); break;
+            case ChaosKind::kHostCrash: host->crash(); break;
+            case ChaosKind::kHostReboot: host->reboot(); break;
+          }
+        },
+        xk::EventManager::kInfraOwner);
+  }
+}
+
+std::string ChaosTimeline::str() const {
+  std::string out;
+  for (const ChaosEvent& e : events_) {
+    if (!out.empty()) out += ' ';
+    out += to_string(e.kind);
+    out += '@';
+    out += std::to_string(e.at_us);
+    if (e.kind == ChaosKind::kHostCrash || e.kind == ChaosKind::kHostReboot) {
+      out += ':';
+      out += to_string(e.target);
+    }
+  }
+  return out;
+}
+
+}  // namespace l96::net

@@ -1,0 +1,95 @@
+// ChaosTimeline: a deterministic, virtual-time-scheduled failure script.
+//
+// Two failure domains, both orthogonal to the frame-level FaultPlan (PR 2):
+//  * link_down / link_up  — a hard blackout on the Wire: every offered
+//    frame is blackholed (Wire::blackout_drops, so conservation still
+//    balances) until the link comes back.
+//  * crash / reboot       — whole-host failure on a Host: crash discards
+//    all protocol state, purges the host's pending timers without firing
+//    them, and flushes its FlowCache entries; reboot reinstalls the stack
+//    under a new incarnation (boot_id bumped).
+//
+// The script is parsed from a compact text form ("link_down@1000
+// link_up@2000 crash@3000:server reboot@3500:server"), validated for
+// sane pairing, and installed onto a World as infrastructure events
+// (owner 0) relative to a base time — so the same script replays
+// byte-identically at any point in a run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/world.h"
+
+namespace l96::net {
+
+enum class ChaosKind : std::uint8_t {
+  kLinkDown,
+  kLinkUp,
+  kHostCrash,
+  kHostReboot,
+};
+
+enum class ChaosTarget : std::uint8_t { kWire, kClient, kServer };
+
+const char* to_string(ChaosKind k);
+const char* to_string(ChaosTarget t);
+
+struct ChaosEvent {
+  std::uint64_t at_us = 0;  ///< relative to the install base time
+  ChaosKind kind = ChaosKind::kLinkDown;
+  ChaosTarget target = ChaosTarget::kWire;
+
+  friend bool operator==(const ChaosEvent&, const ChaosEvent&) = default;
+};
+
+/// A disruption window derived from the script: [start_us, end_us) during
+/// which the fault is in force (link down, or host dead).
+struct ChaosWindow {
+  std::uint64_t start_us = 0;
+  std::uint64_t end_us = 0;
+  bool crash = false;  ///< host crash/reboot window (else link blackout)
+  ChaosTarget target = ChaosTarget::kWire;
+};
+
+class ChaosTimeline {
+ public:
+  ChaosTimeline() = default;
+
+  /// Parse the compact script form: whitespace-separated entries
+  ///   link_down@T  link_up@T  crash@T:client|server  reboot@T:client|server
+  /// with T in virtual microseconds relative to the install base.
+  /// Throws std::invalid_argument on malformed input.
+  static ChaosTimeline parse(std::string_view script);
+
+  /// Append one event (kept sorted by validate()).
+  ChaosTimeline& add(std::uint64_t at_us, ChaosKind kind,
+                     ChaosTarget target);
+
+  /// Check the script is coherent: events sorted by time, every link_down
+  /// eventually matched by a link_up (and vice versa, starting up), every
+  /// crash matched by a later reboot of the same host, no double-crash or
+  /// reboot-without-crash.  Throws std::invalid_argument on violation.
+  void validate() const;
+
+  /// The disruption windows implied by the (validated) script.
+  std::vector<ChaosWindow> windows() const;
+
+  /// Schedule every event onto the world's event manager at
+  /// `base_us + at_us`, as infrastructure events (owner 0) so they survive
+  /// the very crashes they cause.
+  void install(World& world, std::uint64_t base_us) const;
+
+  const std::vector<ChaosEvent>& events() const noexcept { return events_; }
+  bool empty() const noexcept { return events_.empty(); }
+
+  /// Canonical text form (inverse of parse; used in JSON reports).
+  std::string str() const;
+
+ private:
+  std::vector<ChaosEvent> events_;
+};
+
+}  // namespace l96::net

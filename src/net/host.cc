@@ -1,5 +1,7 @@
 #include "net/host.h"
 
+#include <stdexcept>
+
 #include "protocols/stack_code.h"
 
 namespace l96::net {
@@ -38,6 +40,11 @@ Host::Host(std::string name, StackKind kind, const code::StackConfig& cfg,
       self_(self),
       peer_(peer),
       is_client_(is_client),
+      // Failure domain: wire port 0 -> owner 1, port 1 -> owner 2 (owner 0
+      // is infrastructure and survives every crash).
+      port_(events, static_cast<std::uint32_t>(wire_port) + 1),
+      wire_(wire),
+      wire_port_(wire_port),
       classifier_(make_classifier(kind)) {
   proto::register_common_code(registry_, cfg_);
   if (kind_ == StackKind::kTcpIp) {
@@ -47,11 +54,15 @@ Host::Host(std::string name, StackKind kind, const code::StackConfig& cfg,
   }
 
   ctx_ = std::make_unique<xk::ProtoCtx>(
-      xk::ProtoCtx{arena_, events, recorder_, registry_, cfg_});
+      xk::ProtoCtx{arena_, port_, recorder_, registry_, cfg_});
 
+  build_stack();
+}
+
+void Host::build_stack() {
   lance_ = std::make_unique<proto::Lance>(
-      *ctx_, [&wire, wire_port](std::vector<std::uint8_t> frame) {
-        wire.transmit(wire_port, std::move(frame));
+      *ctx_, [this](std::vector<std::uint8_t> frame) {
+        wire_.transmit(wire_port_, std::move(frame));
       });
   eth_ = std::make_unique<proto::Eth>(*ctx_, *lance_, self_.mac);
 
@@ -61,7 +72,14 @@ Host::Host(std::string name, StackKind kind, const code::StackConfig& cfg,
     ip_ = std::make_unique<proto::Ip>(*ctx_, *vnet_, self_.ip);
     eth_->attach(proto::kEtherTypeIp, ip_.get());
     tcp_ = std::make_unique<proto::Tcp>(*ctx_, *ip_);
+    if (tcp_ka_idle_us_ != 0) {
+      tcp_->set_keepalive(tcp_ka_idle_us_, tcp_ka_intvl_us_, tcp_ka_probes_);
+    }
+    if (tcp_max_syn_rexmts_ != 0) {
+      tcp_->set_max_syn_rexmts(tcp_max_syn_rexmts_);
+    }
     tcptest_ = std::make_unique<proto::TcpTest>(*ctx_, *tcp_, is_client_);
+    wire_flow_cache_hook();
   } else {
     blast_ = std::make_unique<proto::Blast>(*ctx_, *eth_, peer_.mac);
     bid_ = std::make_unique<proto::Bid>(*ctx_, *blast_, self_.boot_id);
@@ -75,6 +93,67 @@ Host::Host(std::string name, StackKind kind, const code::StackConfig& cfg,
     mselect_ = std::make_unique<proto::MSelect>(*ctx_, *vchan_);
     xrpctest_ = std::make_unique<proto::XRpcTest>(*ctx_, *mselect_, is_client_);
   }
+}
+
+void Host::teardown_stack() {
+  // Top-down, reverse of construction: uppers unhook from lowers first.
+  if (kind_ == StackKind::kTcpIp) {
+    if (tcp_ != nullptr) tcp_->set_conn_map_hook(nullptr);
+    tcptest_.reset();
+    tcp_.reset();
+    ip_.reset();
+    vnet_.reset();
+  } else {
+    xrpctest_.reset();
+    mselect_.reset();
+    vchan_.reset();
+    chan_.reset();
+    bid_.reset();
+    blast_.reset();
+  }
+  eth_.reset();
+  lance_.reset();
+}
+
+void Host::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  // A capture in progress dies with the host.
+  if (capture_sink_ != nullptr) {
+    recorder_.disable();
+    capture_sink_ = nullptr;
+  }
+  teardown_stack();
+  // Kill the stack's timers without firing them; wire deliveries and the
+  // chaos script (owner 0) keep going.
+  purged_events_ += port_.manager().purge_owner(port_.owner());
+  // Every cached classification refers to the dead incarnation's bindings:
+  // flush entries (hit/miss/stale counters survive for reporting).
+  if (flow_cache_ != nullptr) flow_cache_->clear();
+}
+
+void Host::reboot() {
+  if (!crashed_) throw std::logic_error("Host::reboot: host is not crashed");
+  ++incarnation_;
+  // A fresh boot_id per incarnation: BID detects the reboot on the peer
+  // (RPC); TCP converges via RST against the stale peer's segments.
+  ++self_.boot_id;
+  crashed_ = false;
+  build_stack();
+  if (reboot_hook_) reboot_hook_();
+}
+
+void Host::set_tcp_keepalive(std::uint64_t idle_us, std::uint64_t intvl_us,
+                             std::uint32_t probes) {
+  tcp_ka_idle_us_ = idle_us;
+  tcp_ka_intvl_us_ = intvl_us;
+  tcp_ka_probes_ = probes;
+  if (tcp_ != nullptr) tcp_->set_keepalive(idle_us, intvl_us, probes);
+}
+
+void Host::set_tcp_max_syn_rexmts(std::uint32_t n) {
+  tcp_max_syn_rexmts_ = n;
+  if (tcp_ != nullptr) tcp_->set_max_syn_rexmts(n);
 }
 
 void Host::arm_capture(code::PathTrace* sink) {
@@ -95,21 +174,33 @@ void Host::enable_flow_cache(code::FlowCacheScheme scheme,
       kind_ == StackKind::kTcpIp ? proto::tcpip_flow_key_spec()
                                  : proto::rpc_flow_key_spec(),
       scheme, capacity, costs);
-  if (kind_ == StackKind::kTcpIp) {
-    // Connection churn: when a connection leaves the demux map its flow
-    // key may be rebound later; any cached classification for it is then
-    // stale and must fail the inlined composite's guard.
-    tcp_->set_conn_map_hook([this](const proto::TcpConn& c, bool bound) {
-      if (bound) return;
-      const std::uint32_t vals[] = {c.remote_ip(), c.remote_port(),
-                                    c.local_port()};
-      flow_cache_->invalidate(
-          flow_cache_->key_spec().key_of_values(vals));
-    });
+  wire_flow_cache_hook();
+}
+
+void Host::wire_flow_cache_hook() {
+  if (flow_cache_ == nullptr || kind_ != StackKind::kTcpIp ||
+      tcp_ == nullptr) {
+    return;
   }
+  // Connection churn: when a connection leaves the demux map its flow
+  // key may be rebound later; any cached classification for it is then
+  // stale and must fail the inlined composite's guard.  Re-wired to the
+  // fresh Tcp after a reboot.
+  tcp_->set_conn_map_hook([this](const proto::TcpConn& c, bool bound) {
+    if (bound) return;
+    const std::uint32_t vals[] = {c.remote_ip(), c.remote_port(),
+                                  c.local_port()};
+    flow_cache_->invalidate(flow_cache_->key_spec().key_of_values(vals));
+  });
 }
 
 void Host::deliver(std::vector<std::uint8_t> frame) {
+  if (crashed_) {
+    // The NIC is dead: frames that were already in flight when the host
+    // went down arrive at nobody.
+    ++frames_to_dead_;
+    return;
+  }
   const bool capturing = capture_sink_ != nullptr;
   if (capturing) {
     capture_sink_->clear();

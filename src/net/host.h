@@ -59,6 +59,37 @@ class Host {
   /// Frame delivery from the wire (the receive interrupt).
   void deliver(std::vector<std::uint8_t> frame);
 
+  // --- failure domain -------------------------------------------------------
+  /// Crash: discard every protocol object (connections, reassembly state,
+  /// channels), purge this host's pending timers WITHOUT firing them
+  /// (EventManager::purge_owner), and flush the dead incarnation's
+  /// FlowCache entries.  Frames arriving while crashed are discarded and
+  /// counted in frames_to_dead().
+  void crash();
+  /// Reinstall a fresh stack with a new incarnation (boot_id bumped, so
+  /// BID detects the reboot and RST convergence kicks in for TCP).  Only
+  /// valid on a crashed host; ends by invoking the reboot hook.
+  void reboot();
+  bool crashed() const noexcept { return crashed_; }
+  /// Incarnation number: 1 at construction, +1 per reboot.
+  std::uint32_t incarnation() const noexcept { return incarnation_; }
+  std::uint64_t frames_to_dead() const noexcept { return frames_to_dead_; }
+  /// Pending events purged across all crashes of this host.
+  std::size_t purged_events() const noexcept { return purged_events_; }
+  /// Invoked at the end of reboot(): harnesses re-listen / re-serve here.
+  void set_reboot_hook(std::function<void()> h) {
+    reboot_hook_ = std::move(h);
+  }
+  /// TCP survival knobs, stored on the host so they survive a crash/reboot
+  /// cycle and are re-applied to the fresh stack (no-op on RPC hosts).
+  void set_tcp_keepalive(std::uint64_t idle_us, std::uint64_t intvl_us,
+                         std::uint32_t probes);
+  void set_tcp_max_syn_rexmts(std::uint32_t n);
+
+  /// This host's owner-tagged view of the event manager (owner = wire
+  /// port + 1; owner 0 is infrastructure).
+  xk::EventPort& event_port() noexcept { return port_; }
+
   /// Record the next receive activation into `sink`.
   void arm_capture(code::PathTrace* sink);
   /// Event index at which the (last) transmitted frame left for the wire
@@ -125,6 +156,13 @@ class Host {
   bool is_client() const noexcept { return is_client_; }
 
  private:
+  /// (Re)build the protocol stack: shared by the constructor and reboot().
+  void build_stack();
+  /// Destroy the protocol stack top-down (crash teardown).
+  void teardown_stack();
+  /// Re-wire the flow-cache invalidation hook to the current tcp_.
+  void wire_flow_cache_hook();
+
   std::string name_;
   StackKind kind_;
   code::StackConfig cfg_;
@@ -135,7 +173,21 @@ class Host {
   xk::SimAlloc arena_;
   code::Recorder recorder_;
   code::CodeRegistry registry_;
+  xk::EventPort port_;
+  Wire& wire_;
+  int wire_port_;
   std::unique_ptr<xk::ProtoCtx> ctx_;
+
+  bool crashed_ = false;
+  std::uint32_t incarnation_ = 1;
+  std::uint64_t frames_to_dead_ = 0;
+  std::size_t purged_events_ = 0;
+  std::function<void()> reboot_hook_;
+  // TCP survival knobs, re-applied on every build_stack().
+  std::uint64_t tcp_ka_idle_us_ = 0;
+  std::uint64_t tcp_ka_intvl_us_ = 1'000'000;
+  std::uint32_t tcp_ka_probes_ = 3;
+  std::uint32_t tcp_max_syn_rexmts_ = 0;
 
   std::unique_ptr<proto::Lance> lance_;
   std::unique_ptr<proto::Eth> eth_;

@@ -15,6 +15,14 @@ void Wire::transmit(int port, std::vector<std::uint8_t> frame) {
   if (port != 0 && port != 1) throw std::out_of_range("wire has two ports");
   ++frames_;
 
+  // A blacked-out link swallows the frame before the fault injector ever
+  // sees it: the deterministic fault schedule is not consumed by frames
+  // that never reached the medium.
+  if (!link_up_) {
+    ++blackout_drops_;
+    return;
+  }
+
   const FaultDecision d = injector_.next(port, frame.size(), events_.now());
   switch (d.kind) {
     case FaultKind::kDrop:
@@ -71,9 +79,38 @@ void Wire::schedule_delivery(int port, std::vector<std::uint8_t> frame,
   events_.schedule_at(depart + ctrl_us + extra_us,
                       [this, dst, f = std::move(frame)]() mutable {
                         --in_flight_;
+                        // A frame arrives only if the link is up at arrival
+                        // time: a cut mid-flight loses it (so a blackout
+                        // window is provably dark from its first microsecond).
+                        if (!link_up_) {
+                          ++blackout_drops_;
+                          return;
+                        }
                         ++delivered_;
                         if (endpoints_[dst]) endpoints_[dst](std::move(f));
                       });
+}
+
+void Wire::set_link(bool up) {
+  if (up == link_up_) return;
+  link_up_ = up;
+  if (up) return;
+  ++blackouts_;
+  // Frames parked in a reorder hold have not departed yet; the cut loses
+  // them immediately.  Already-scheduled deliveries are still on the
+  // medium: their delivery events check the link again at arrival time and
+  // die there if the blackout outlasts them.
+  for (int port = 0; port < 2; ++port) {
+    if (!held_[port].active) continue;
+    held_[port].active = false;
+    if (held_[port].fallback != 0) {
+      events_.cancel(held_[port].fallback);
+      held_[port].fallback = 0;
+    }
+    held_[port].frame.clear();
+    --in_flight_;
+    ++blackout_drops_;
+  }
 }
 
 void Wire::release_held(int port) {

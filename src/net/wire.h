@@ -51,6 +51,20 @@ class Wire {
   /// Transmit from `port` to the other endpoint.
   void transmit(int port, std::vector<std::uint8_t> frame);
 
+  /// Hard link blackout (chaos timeline), distinct from the FaultPlan's
+  /// probabilistic drops: while the link is down every offered frame is
+  /// blackholed (counted in blackout_drops, not the injector's drop
+  /// counter), any frame parked in a reorder hold is lost with it, and a
+  /// frame already in flight is lost too unless the link is back up by its
+  /// arrival time — a cable cut takes the bits on the medium with it, so
+  /// nothing is delivered inside [link_down, link_up).
+  void set_link(bool up);
+  void link_down() { set_link(false); }
+  void link_up() { set_link(true); }
+  bool is_link_up() const noexcept { return link_up_; }
+  std::uint64_t blackout_drops() const noexcept { return blackout_drops_; }
+  std::uint64_t blackouts() const noexcept { return blackouts_; }
+
   // Legacy one-shot fault API (thin wrappers over the injector; consumed
   // in transmit order, either direction).
   void drop_next(int count = 1) { injector_.force_drop(count); }
@@ -72,10 +86,11 @@ class Wire {
   /// Scheduled deliveries not yet fired plus frames in a reorder hold.
   std::uint64_t frames_in_flight() const noexcept { return in_flight_; }
   /// Frame conservation: everything offered (plus injected duplicates) is
-  /// delivered, dropped, or still in flight.
+  /// delivered, dropped by the fault injector, lost to a link blackout, or
+  /// still in flight.
   bool conserved() const noexcept {
     return frames_ + injector_.counters().duplicates ==
-           delivered_ + dropped_ + in_flight_;
+           delivered_ + dropped_ + blackout_drops_ + in_flight_;
   }
   const WireParams& params() const noexcept { return params_; }
 
@@ -98,9 +113,12 @@ class Wire {
   std::uint64_t busy_until_us_ = 0;  ///< half-duplex medium serialization
   FaultInjector injector_;
   Held held_[2];  ///< one reorder hold slot per transmitting port
+  bool link_up_ = true;
   std::uint64_t frames_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t blackout_drops_ = 0;
+  std::uint64_t blackouts_ = 0;  ///< link_down transitions
   std::uint64_t in_flight_ = 0;
 };
 

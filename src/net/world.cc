@@ -13,8 +13,6 @@ constexpr HostAddress kServerAddr{
     .mac = {0x08, 0x00, 0x2B, 0x00, 0x00, 0x02},
     .boot_id = 0x2001,
 };
-constexpr std::uint16_t kClientPort = 5000;
-constexpr std::uint16_t kServerPort = 5001;
 }  // namespace
 
 World::World(StackKind kind, const code::StackConfig& client_cfg,
@@ -36,8 +34,8 @@ World::World(StackKind kind, const code::StackConfig& client_cfg,
 
 void World::start(std::uint64_t target_roundtrips) {
   if (kind_ == StackKind::kTcpIp) {
-    server_->tcptest()->serve(kServerPort);
-    client_->tcptest()->start(kServerAddr.ip, kClientPort, kServerPort,
+    server_->tcptest()->serve(kTcpServerPort);
+    client_->tcptest()->start(kServerAddr.ip, kTcpClientPort, kTcpServerPort,
                               target_roundtrips);
   } else {
     server_->xrpctest()->serve();

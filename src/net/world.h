@@ -13,6 +13,11 @@ namespace l96::net {
 
 class World {
  public:
+  /// Well-known ports start() wires the TCP test program to (the soak
+  /// chaos phase re-serves on kTcpServerPort after a server reboot).
+  static constexpr std::uint16_t kTcpClientPort = 5000;
+  static constexpr std::uint16_t kTcpServerPort = 5001;
+
   /// Build a world running `kind` with per-side configurations.  (For the
   /// RPC experiments the paper always runs the best configuration on the
   /// server so the reference point stays fixed.)

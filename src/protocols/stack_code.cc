@@ -395,7 +395,13 @@ void register_tcpip_code(CodeRegistry& reg, const StackConfig& cfg) {
     f.prologue(7).epilogue(6);
     [[maybe_unused]] auto b0 = f.block("main", 84, BlockClass::kMainline, BO{.calls = 1});
     [[maybe_unused]] auto b1 = f.block("rexmt", 154, kErr, BO{.calls = 1});
-    assert(b0 == blk::kTimerMain && b1 == blk::kTimerRexmt);
+    // Failure-domain survival paths: both outlined error code, priced like
+    // the retransmit path so the burst pricer charges the real i-cache cost
+    // of a reconnect storm.
+    [[maybe_unused]] auto b2 = f.block("keepalive", 96, kErr, BO{.calls = 1});
+    [[maybe_unused]] auto b3 = f.block("giveup", 72, kErr, BO{.calls = 1});
+    assert(b0 == blk::kTimerMain && b1 == blk::kTimerRexmt &&
+           b2 == blk::kTimerKeepalive && b3 == blk::kTimerGiveup);
     f.add_to(reg);
   }
 }

@@ -131,7 +131,12 @@ enum TcpInput : code::BlockId {
   kInAckDecision,
   kInSlowState,      // error: non-ESTABLISHED state processing
 };
-enum TcpTimer : code::BlockId { kTimerMain = 0, kTimerRexmt };
+enum TcpTimer : code::BlockId {
+  kTimerMain = 0,
+  kTimerRexmt,      // error
+  kTimerKeepalive,  // error: keepalive probe of a silent peer
+  kTimerGiveup,     // error: SYN-retry exhaustion / keepalive reap
+};
 
 // --- RPC stack -------------------------------------------------------------
 enum XRpcCall : code::BlockId { kXRpcCallMain = 0 };

@@ -186,6 +186,7 @@ void Tcp::listen(std::uint16_t port, TcpUpper* upper) {
 void Tcp::destroy(TcpConn* conn) {
   cancel_rexmt(*conn);
   cancel_persist(*conn);
+  cancel_keepalive(*conn);
   if (conn->state_ == TcpState::kListen) {
     listeners_.unbind(listen_key(conn->lport_));
   } else {
@@ -254,7 +255,11 @@ void Tcp::ip_deliver(const IpInfo& info, xk::Message& m) {
   auto found = traced_map_lookup(ctx_, conns_,
                                  conn_key(info.src, dport, sport),
                                  fn_map_resolve_);
-  if (found.has_value()) {
+  // A CLOSED connection no longer owns its 4-tuple: its owner just hasn't
+  // destroyed it yet.  Letting it swallow segments would deadlock a peer
+  // that crashed and is reconnecting on the same ports, so fall through to
+  // the listener / RST path instead.
+  if (found.has_value() && (*found)->state_ != TcpState::kClosed) {
     rec.block(fn_demux_, blk::kTcpDemuxFound);
     input(**found, seg, m);
     return;
@@ -265,6 +270,9 @@ void Tcp::ip_deliver(const IpInfo& info, xk::Message& m) {
   auto lst = listeners_.resolve(listen_key(dport));
   if (lst.has_value() && (seg.flags & kSyn) != 0 &&
       (seg.flags & kAck) == 0) {
+    // Evict a dead conn still bound to the tuple (closed above, owner not
+    // yet run) so the new incarnation's binding can take its place.
+    if (found.has_value()) destroy(*found);
     auto* c = new TcpConn(*this, info.src, dport, sport, (*lst)->upper_);
     c->iss_ = iss_gen_;
     iss_gen_ += 64000;
@@ -329,8 +337,38 @@ void Tcp::input(TcpConn& c, const Segment& seg, xk::Message& payload) {
     rec.block(fn_input_, blk::kInRst);
     c.state_ = TcpState::kClosed;
     cancel_rexmt(c);
+    cancel_persist(c);
+    cancel_keepalive(c);
     if (c.upper_ != nullptr) c.upper_->tcp_closed(c);
     return;
+  }
+
+  // A SYN whose sequence number differs from the IRS this connection
+  // remembers is not a retransmit of the handshake we saw: the peer
+  // crashed and a new incarnation is reusing the 4-tuple.  The old
+  // conversation is unrecoverable — reset it and get out of the way so
+  // the peer's SYN retransmit reaches the listener (RFC 793's half-open
+  // discovery).  Without this, a SYN_RCVD conn keeps re-sending a
+  // SYN|ACK that acks the dead incarnation's ISS and both sides
+  // retransmit at each other forever.
+  if ((seg.flags & kSyn) != 0 && c.state_ != TcpState::kSynSent &&
+      seg.seq != c.irs_) {
+    ++rst_out_;
+    send_segment(c, c.snd_nxt_, kRst | kAck, {});
+    c.state_ = TcpState::kClosed;
+    cancel_rexmt(c);
+    cancel_persist(c);
+    cancel_keepalive(c);
+    if (c.upper_ != nullptr) c.upper_->tcp_closed(c);
+    return;
+  }
+
+  // Any segment from the peer proves it is alive: restart the keepalive
+  // idle clock and forget outstanding probes.
+  if (params_.keepalive_idle_us != 0 &&
+      c.state_ == TcpState::kEstablished) {
+    c.keepalive_probes_sent_ = 0;
+    arm_keepalive(c);
   }
 
   if (c.state_ != TcpState::kEstablished) {
@@ -361,6 +399,7 @@ void Tcp::input_slow_state(TcpConn& c, const Segment& seg,
         c.state_ = TcpState::kEstablished;
         cancel_rexmt(c);
         c.backoff_ = 0;
+        arm_keepalive(c);
         output(c, /*force_ack=*/true);
         if (c.upper_ != nullptr) c.upper_->tcp_established(c);
       }
@@ -373,6 +412,7 @@ void Tcp::input_slow_state(TcpConn& c, const Segment& seg,
         c.state_ = TcpState::kEstablished;
         cancel_rexmt(c);
         c.backoff_ = 0;
+        arm_keepalive(c);
         if (c.upper_ != nullptr) c.upper_->tcp_established(c);
         // The ACK completing the handshake may carry data.
         if (seg.payload_len > 0) {
@@ -806,10 +846,35 @@ void Tcp::rexmt_timeout(TcpConn* c) {
 
   switch (c->state_) {
     case TcpState::kSynSent:
+      ++c->syn_rexmts_;
+      if (params_.max_syn_rexmts != 0 &&
+          c->syn_rexmts_ > params_.max_syn_rexmts) {
+        // Retries exhausted: give up on the active open and surface the
+        // failure.  The connection stays in the map as CLOSED (no timers
+        // pending); the caller owns destroying it.
+        rec.block(fn_timer_, blk::kTimerGiveup);
+        ++connect_failures_;
+        c->state_ = TcpState::kClosed;
+        cancel_persist(*c);
+        cancel_keepalive(*c);
+        if (c->upper_ != nullptr) c->upper_->tcp_connect_failed(*c);
+        break;
+      }
       send_segment(*c, c->iss_, kSyn, {});
       arm_rexmt(*c);
       break;
     case TcpState::kSynRcvd:
+      ++c->syn_rexmts_;
+      if (params_.max_syn_rexmts != 0 &&
+          c->syn_rexmts_ > params_.max_syn_rexmts) {
+        // Embryonic connection abandoned (the handshake-completing ACK
+        // never came — e.g. the client crashed mid-handshake).
+        rec.block(fn_timer_, blk::kTimerGiveup);
+        c->state_ = TcpState::kClosed;
+        cancel_persist(*c);
+        cancel_keepalive(*c);
+        break;
+      }
       send_segment(*c, c->iss_, kSyn | kAck, {});
       arm_rexmt(*c);
       break;
@@ -829,6 +894,56 @@ void Tcp::rexmt_timeout(TcpConn* c) {
       break;
     }
   }
+}
+
+void Tcp::arm_keepalive(TcpConn& c) {
+  if (params_.keepalive_idle_us == 0) return;
+  cancel_keepalive(c);
+  const std::uint64_t delay = c.keepalive_probes_sent_ == 0
+                                  ? params_.keepalive_idle_us
+                                  : params_.keepalive_intvl_us;
+  c.keepalive_event_ = ctx_.events.schedule_in(
+      delay, [this, conn = &c] { keepalive_timeout(conn); });
+}
+
+void Tcp::cancel_keepalive(TcpConn& c) {
+  // Leaves keepalive_probes_sent_ alone: arm_keepalive re-arms through
+  // here mid-probe-cycle and must not forget how many probes went out.
+  if (c.keepalive_event_ != 0) {
+    ctx_.events.cancel(c.keepalive_event_);
+    c.keepalive_event_ = 0;
+  }
+}
+
+void Tcp::keepalive_timeout(TcpConn* c) {
+  c->keepalive_event_ = 0;
+  if (c->state_ != TcpState::kEstablished) return;  // idle fire after close
+  auto& rec = ctx_.rec;
+  code::TracedCall tt(rec, fn_timer_);
+  rec.block(fn_timer_, blk::kTimerMain);
+
+  if (c->keepalive_probes_sent_ >= params_.keepalive_probes) {
+    // The peer answered none of the probes: reap the half-open connection
+    // its crash left behind.
+    rec.block(fn_timer_, blk::kTimerGiveup);
+    ++keepalive_reaps_;
+    c->state_ = TcpState::kClosed;
+    cancel_rexmt(*c);
+    cancel_persist(*c);
+    c->keepalive_probes_sent_ = 0;
+    if (c->upper_ != nullptr) c->upper_->tcp_closed(*c);
+    return;
+  }
+
+  // Probe with one garbage byte just below the window (seq snd_una-1): a
+  // live peer's old-duplicate path answers with a bare ACK, which resets
+  // the idle clock on arrival here.
+  rec.block(fn_timer_, blk::kTimerKeepalive);
+  ++c->keepalive_probes_sent_;
+  ++keepalive_probes_total_;
+  const std::uint8_t junk[1] = {0};
+  send_segment(*c, c->snd_una_ - 1, kAck, junk);
+  arm_keepalive(*c);
 }
 
 }  // namespace l96::proto

@@ -62,6 +62,17 @@ struct TcpParams {
   std::uint64_t max_rto_us = 3'200'000;
   std::uint64_t msl_us = 1'000'000;  ///< TIME_WAIT = 2 MSL
   std::uint32_t initial_cwnd_segs = 1;
+  /// Bound on SYN retransmissions before the active open gives up and
+  /// surfaces TcpUpper::tcp_connect_failed (0 = retry forever, the
+  /// pre-failure-domain behaviour).
+  std::uint32_t max_syn_rexmts = 0;
+  /// Keepalive: after `keepalive_idle_us` of inbound silence on an
+  /// ESTABLISHED connection, probe the peer every `keepalive_intvl_us`;
+  /// after `keepalive_probes` unanswered probes the half-open connection
+  /// is reaped (tcp_closed).  0 idle disables keepalive entirely.
+  std::uint64_t keepalive_idle_us = 0;
+  std::uint64_t keepalive_intvl_us = 1'000'000;
+  std::uint32_t keepalive_probes = 3;
 };
 
 class Tcp;
@@ -74,6 +85,10 @@ class TcpUpper {
   virtual void tcp_established(TcpConn&) {}
   virtual void tcp_receive(TcpConn&, xk::Message& payload) = 0;
   virtual void tcp_closed(TcpConn&) {}
+  /// Active open gave up: SYN retries exhausted (TcpParams::max_syn_rexmts)
+  /// without an answering SYN|ACK.  The connection is CLOSED; the caller
+  /// owns destroying it.
+  virtual void tcp_connect_failed(TcpConn&) {}
 };
 
 class TcpConn {
@@ -91,6 +106,7 @@ class TcpConn {
   std::uint16_t remote_port() const noexcept { return rport_; }
   std::uint32_t remote_ip() const noexcept { return rip_; }
   std::uint64_t retransmits() const noexcept { return retransmits_; }
+  std::uint64_t syn_retransmits() const noexcept { return syn_rexmts_; }
   std::uint64_t window_probes() const noexcept { return window_probes_; }
   std::uint64_t window_updates_sent() const noexcept {
     return window_updates_;
@@ -132,7 +148,10 @@ class TcpConn {
   std::uint32_t backoff_ = 0;
   std::uint64_t persist_event_ = 0;
   std::uint32_t persist_backoff_ = 0;
+  std::uint64_t keepalive_event_ = 0;
+  std::uint32_t keepalive_probes_sent_ = 0;
   std::uint64_t retransmits_ = 0;
+  std::uint64_t syn_rexmts_ = 0;
   std::uint64_t window_probes_ = 0;
   std::uint64_t window_updates_ = 0;
 
@@ -180,12 +199,27 @@ class Tcp final : public xk::Protocol, public IpUpper {
     rcv_wnd_override_ = w;
   }
 
+  /// Survival knobs (keepalive / bounded SYN retry) applied after
+  /// construction; net::Host re-applies them across a crash/reboot cycle.
+  void set_keepalive(std::uint64_t idle_us, std::uint64_t intvl_us,
+                     std::uint32_t probes) {
+    params_.keepalive_idle_us = idle_us;
+    params_.keepalive_intvl_us = intvl_us;
+    params_.keepalive_probes = probes;
+  }
+  void set_max_syn_rexmts(std::uint32_t n) { params_.max_syn_rexmts = n; }
+
   const TcpParams& params() const noexcept { return params_; }
   Ip& ip() noexcept { return ip_; }
   std::uint64_t segments_sent() const noexcept { return segs_out_; }
   std::uint64_t segments_received() const noexcept { return segs_in_; }
   std::uint64_t bad_checksum_drops() const noexcept { return bad_cksum_; }
   std::uint64_t rst_sent() const noexcept { return rst_out_; }
+  std::uint64_t connect_failures() const noexcept { return connect_failures_; }
+  std::uint64_t keepalive_probes_sent() const noexcept {
+    return keepalive_probes_total_;
+  }
+  std::uint64_t keepalive_reaps() const noexcept { return keepalive_reaps_; }
   const xk::Map<TcpConn*>& connection_map() const noexcept { return conns_; }
 
  private:
@@ -228,6 +262,9 @@ class Tcp final : public xk::Protocol, public IpUpper {
   void arm_persist(TcpConn& c);
   void cancel_persist(TcpConn& c);
   void persist_timeout(TcpConn* c);
+  void arm_keepalive(TcpConn& c);
+  void cancel_keepalive(TcpConn& c);
+  void keepalive_timeout(TcpConn* c);
 
   void tcb_load(const TcpConn& c, unsigned field);
   void tcb_store(const TcpConn& c, unsigned field);
@@ -245,6 +282,9 @@ class Tcp final : public xk::Protocol, public IpUpper {
   std::uint64_t segs_in_ = 0;
   std::uint64_t bad_cksum_ = 0;
   std::uint64_t rst_out_ = 0;
+  std::uint64_t connect_failures_ = 0;
+  std::uint64_t keepalive_probes_total_ = 0;
+  std::uint64_t keepalive_reaps_ = 0;
 
   code::FnId fn_demux_;
   code::FnId fn_input_;

@@ -21,6 +21,9 @@ TcpTest::TcpTest(xk::ProtoCtx& ctx, Tcp& tcp, bool is_client,
 void TcpTest::start(std::uint32_t peer_ip, std::uint16_t lport,
                     std::uint16_t rport, std::uint64_t target_roundtrips) {
   target_ = target_roundtrips;
+  peer_ip_ = peer_ip;
+  lport_ = lport;
+  rport_ = rport;
   conn_ = tcp_.connect(peer_ip, lport, rport, this);
 }
 
@@ -103,7 +106,20 @@ void TcpTest::tcp_closed(TcpConn& c) {
     c.close();
     return;
   }
-  if (conn_ == &c) conn_ = nullptr;
+  if (conn_ != &c) return;
+  conn_ = nullptr;
+  if (reconnect_ && is_client_ && !done() && c.state() == TcpState::kClosed) {
+    // The upcall runs inside Tcp::input / a timer handler, so tear down the
+    // dead connection and re-open from a fresh event.  Partial echo bytes
+    // belong to the aborted attempt: the whole ping is resent on
+    // re-establishment, so the stream restarts from a message boundary.
+    ++reconnects_;
+    ctx_.events.schedule_in(0, [this, dead = &c] {
+      stream_.clear();
+      tcp_.destroy(dead);
+      conn_ = tcp_.connect(peer_ip_, lport_, rport_, this);
+    });
+  }
 }
 
 }  // namespace l96::proto

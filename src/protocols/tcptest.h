@@ -43,6 +43,12 @@ class TcpTest final : public xk::Protocol, public TcpUpper {
   /// Server option: answer the peer's FIN with our own close (so a soak
   /// teardown converges to zero live connections from one side).
   void set_close_on_peer_close(bool v) noexcept { close_on_peer_close_ = v; }
+  /// Client option (chaos soak): when the active connection dies
+  /// unexpectedly (RST from a rebooted server, keepalive reap), discard any
+  /// partial echo, re-open the same 4-tuple, and resend the current
+  /// roundtrip's ping once re-established.
+  void enable_reconnect() noexcept { reconnect_ = true; }
+  std::uint64_t reconnects() const noexcept { return reconnects_; }
   std::uint64_t integrity_failures() const noexcept {
     return integrity_failures_;
   }
@@ -60,6 +66,11 @@ class TcpTest final : public xk::Protocol, public TcpUpper {
   TcpConn* conn_ = nullptr;
   bool integrity_ = false;
   bool close_on_peer_close_ = false;
+  bool reconnect_ = false;
+  std::uint32_t peer_ip_ = 0;  ///< endpoint remembered for reconnects
+  std::uint16_t lport_ = 0;
+  std::uint16_t rport_ = 0;
+  std::uint64_t reconnects_ = 0;
   std::uint64_t integrity_failures_ = 0;
   std::vector<std::uint8_t> stream_;  ///< in-order bytes not yet consumed
 

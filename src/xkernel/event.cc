@@ -6,31 +6,58 @@
 namespace l96::xk {
 
 EventManager::EventId EventManager::schedule_at(std::uint64_t fire_at_us,
-                                                Handler fn) {
+                                                Handler fn,
+                                                std::uint32_t owner) {
   if (fire_at_us < now_) fire_at_us = now_;
   const EventId id = next_id_++;
   const QueueKey key{fire_at_us, id};
-  queue_.emplace(key, std::move(fn));
+  queue_.emplace(key, Entry{std::move(fn), owner});
   by_id_.emplace(id, key);
   return id;
 }
 
 bool EventManager::cancel(EventId id) {
+  // A foreign id (never issued by this manager) is a caller bug: fail the
+  // debug build loudly, report "not pending" in release.
+  assert(id != kInvalid && id < next_id_ &&
+         "EventManager::cancel: foreign event id");
   auto it = by_id_.find(id);
-  if (it == by_id_.end()) return false;
+  if (it == by_id_.end()) return false;  // already fired / cancelled / purged
   queue_.erase(it->second);
   by_id_.erase(it);
   return true;
+}
+
+std::size_t EventManager::purge_owner(std::uint32_t owner) {
+  std::size_t purged = 0;
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (it->second.owner == owner) {
+      by_id_.erase(it->first.id);
+      it = queue_.erase(it);
+      ++purged;
+    } else {
+      ++it;
+    }
+  }
+  return purged;
+}
+
+std::size_t EventManager::pending_for(std::uint32_t owner) const {
+  std::size_t n = 0;
+  for (const auto& [key, entry] : queue_) {
+    if (entry.owner == owner) ++n;
+  }
+  return n;
 }
 
 void EventManager::advance_to(std::uint64_t t_us) {
   while (!queue_.empty() && queue_.begin()->first.when <= t_us) {
     auto it = queue_.begin();
     now_ = it->first.when;
-    Handler fn = std::move(it->second);
+    Handler fn = std::move(it->second.fn);
     by_id_.erase(it->first.id);
     queue_.erase(it);
-    fn();  // may schedule or cancel further events
+    fn();  // may schedule, cancel, or purge further events
   }
   if (t_us > now_) now_ = t_us;
 }

@@ -4,8 +4,14 @@
 // (TCP retransmit/persist timers, CHAN call timeouts, BLAST reassembly
 // timeouts).  The World advances virtual time and due events fire in
 // timestamp order; handlers may schedule or cancel further events.
+//
+// Failure domains: every event carries an owner id (0 = infrastructure,
+// e.g. wire delivery; hosts tag their protocol timers through an
+// EventPort).  A host crash purges its owner's pending events *without
+// firing them* — a rebooted stack must never run a pre-crash timer.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -18,17 +24,37 @@ class EventManager {
   using EventId = std::uint64_t;
   using Handler = std::function<void()>;
   static constexpr EventId kInvalid = 0;
+  /// Owner id of infrastructure events (wire deliveries, harness/chaos
+  /// scripts) — never purged by a host crash.
+  static constexpr std::uint32_t kInfraOwner = 0;
 
-  /// Schedule `fn` to run at absolute virtual time `fire_at_us`.
-  EventId schedule_at(std::uint64_t fire_at_us, Handler fn);
+  /// Schedule `fn` to run at absolute virtual time `fire_at_us`, tagged
+  /// with `owner` (the failure domain it dies with).
+  EventId schedule_at(std::uint64_t fire_at_us, Handler fn,
+                      std::uint32_t owner = kInfraOwner);
   /// Schedule `fn` to run `delay_us` from now.
-  EventId schedule_in(std::uint64_t delay_us, Handler fn) {
-    return schedule_at(now_ + delay_us, std::move(fn));
+  EventId schedule_in(std::uint64_t delay_us, Handler fn,
+                      std::uint32_t owner = kInfraOwner) {
+    return schedule_at(now_ + delay_us, std::move(fn), owner);
   }
 
-  /// Cancel a pending event; returns false if it already fired or never
-  /// existed.
+  /// Cancel a pending event.  Returns true iff the event was pending and
+  /// is now removed.  Returns false when the event already fired, was
+  /// already cancelled, or was purged by purge_owner — cancel-after-fire
+  /// is a legal no-op (timer handlers commonly race their own
+  /// cancellation).  Cancelling a *foreign* id — one this manager never
+  /// issued (kInvalid, or an id never returned by schedule_*) — also
+  /// returns false, but is a caller bug and trips a debug assertion.
   bool cancel(EventId id);
+
+  /// Remove every pending event tagged with `owner` WITHOUT firing it
+  /// (host crash: the stack's timers die with it).  Returns the number of
+  /// events purged.  Their ids behave like already-fired ids afterwards
+  /// (cancel returns false).
+  std::size_t purge_owner(std::uint32_t owner);
+
+  /// Pending events tagged with `owner` (crash accounting / tests).
+  std::size_t pending_for(std::uint32_t owner) const;
 
   /// Advance virtual time to `t_us`, firing every due event in order.
   void advance_to(std::uint64_t t_us);
@@ -47,11 +73,45 @@ class EventManager {
     EventId id;  // tie-break: schedule order
     friend auto operator<=>(const QueueKey&, const QueueKey&) = default;
   };
+  struct Entry {
+    Handler fn;
+    std::uint32_t owner = kInfraOwner;
+  };
 
   std::uint64_t now_ = 0;
   EventId next_id_ = 1;
-  std::map<QueueKey, Handler> queue_;
+  std::map<QueueKey, Entry> queue_;
   std::map<EventId, QueueKey> by_id_;
+};
+
+/// A host-owned view of the shared EventManager: every event scheduled
+/// through the port is tagged with the port's owner id, so a host crash
+/// can purge exactly its own timers (EventManager::purge_owner) while
+/// wire deliveries and the chaos script (owner 0) keep firing.  Protocols
+/// hold this through ProtoCtx and use the same schedule/cancel/now surface
+/// the bare manager exposes.
+class EventPort {
+ public:
+  EventPort(EventManager& manager, std::uint32_t owner)
+      : manager_(manager), owner_(owner) {}
+
+  EventManager::EventId schedule_at(std::uint64_t fire_at_us,
+                                    EventManager::Handler fn) {
+    return manager_.schedule_at(fire_at_us, std::move(fn), owner_);
+  }
+  EventManager::EventId schedule_in(std::uint64_t delay_us,
+                                    EventManager::Handler fn) {
+    return manager_.schedule_in(delay_us, std::move(fn), owner_);
+  }
+  bool cancel(EventManager::EventId id) { return manager_.cancel(id); }
+  std::uint64_t now() const noexcept { return manager_.now(); }
+
+  std::uint32_t owner() const noexcept { return owner_; }
+  EventManager& manager() noexcept { return manager_; }
+
+ private:
+  EventManager& manager_;
+  std::uint32_t owner_;
 };
 
 }  // namespace l96::xk

@@ -26,7 +26,9 @@ namespace l96::xk {
 
 struct ProtoCtx {
   SimAlloc& arena;
-  EventManager& events;
+  /// Owner-tagged view of the world's EventManager: timers scheduled here
+  /// die with the host on a crash (EventManager::purge_owner).
+  EventPort& events;
   code::Recorder& rec;
   code::CodeRegistry& registry;
   const code::StackConfig& config;

@@ -93,6 +93,54 @@ TEST(Event, AdvanceToNext) {
 
 // --- StackPool -----------------------------------------------------------
 
+TEST(Event, CancelAfterFireReturnsFalse) {
+  EventManager em;
+  int fired = 0;
+  const auto id = em.schedule_at(10, [&] { ++fired; });
+  em.advance_to(20);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(em.cancel(id));  // cancel-after-fire: "not pending", no abort
+  EXPECT_FALSE(em.cancel(id));  // and idempotent
+}
+
+TEST(Event, ForeignIdIsACallerBug) {
+  EventManager em;
+  em.schedule_at(10, [] {});
+  // kInvalid and never-issued ids trip the debug assert; release reports
+  // "not pending".
+  EXPECT_DEBUG_DEATH(em.cancel(EventManager::kInvalid), "foreign event id");
+  EXPECT_DEBUG_DEATH(em.cancel(999), "foreign event id");
+}
+
+TEST(Event, PurgeOwnerDropsWithoutFiring) {
+  EventManager em;
+  int infra = 0;
+  int host = 0;
+  em.schedule_at(10, [&] { ++infra; }, EventManager::kInfraOwner);
+  const auto a = em.schedule_at(10, [&] { ++host; }, 7);
+  em.schedule_at(20, [&] { ++host; }, 7);
+  EXPECT_EQ(em.pending_for(7), 2u);
+  EXPECT_EQ(em.purge_owner(7), 2u);
+  EXPECT_EQ(em.pending_for(7), 0u);
+  em.advance_to(100);
+  EXPECT_EQ(infra, 1);  // other owners untouched
+  EXPECT_EQ(host, 0);   // purged events never fire
+  EXPECT_FALSE(em.cancel(a));  // cancel-after-purge: "not pending"
+  EXPECT_EQ(em.purge_owner(7), 0u);  // purge is idempotent
+}
+
+TEST(Event, PortTagsItsOwner) {
+  EventManager em;
+  EventPort port(em, 3);
+  int fired = 0;
+  port.schedule_in(5, [&] { ++fired; });
+  port.schedule_at(7, [&] { ++fired; });
+  EXPECT_EQ(em.pending_for(3), 2u);
+  EXPECT_EQ(em.purge_owner(3), 2u);
+  em.advance_to(100);
+  EXPECT_EQ(fired, 0);
+}
+
 TEST(StackPool, LifoReuse) {
   SimAlloc arena;
   StackPool pool(arena, 4, 4096);

@@ -7,6 +7,7 @@
 
 #include "code/flow_cache.h"
 #include "harness/fleet.h"
+#include "net/world.h"
 #include "protocols/stack_code.h"
 
 namespace l96 {
@@ -204,6 +205,54 @@ TEST(FlowCache, StaleHitAfterInvalidationTakesSlowPathOnce) {
   EXPECT_EQ(cache.stats().hits, 2u);
   EXPECT_EQ(cache.stats().misses, 1u);
   EXPECT_DOUBLE_EQ(cache.stats().cost_us, 5.0 + 0.5 + 5.0 + 0.5);
+}
+
+TEST(FlowCache, ClearDropsEntriesAndInvalidationsButKeepsCounters) {
+  // clear() is the crash semantics: entries and pending invalidations die
+  // with the incarnation, the counters are history and survive.
+  auto classifier = test_classifier();
+  FlowCache cache(test_spec(), FlowCacheScheme::kLru, 4);
+  cache.lookup(classifier, flow_frame(0xA));  // miss, memoized
+  cache.lookup(classifier, flow_frame(0xA));  // hit
+  cache.invalidate(test_spec().key_of(flow_frame(0xA)).value());
+  cache.clear();
+  const auto r = cache.lookup(classifier, flow_frame(0xA));
+  EXPECT_FALSE(r.cache_hit);  // the entry died with the incarnation
+  EXPECT_FALSE(r.stale);      // and so did the pending invalidation
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().stale_hits, 0u);
+}
+
+TEST(FlowCache, ServerCrashFlushesTheCacheAgainstTheDeadIncarnation) {
+  // Regression: a rebooted server must not serve cached classifications
+  // specialized on connections that died with the old incarnation.  The
+  // reconnecting client reuses its 4-tuple, so without the crash-time
+  // flush the new connection's first frame would hit the corpse's entry;
+  // with it, the flow re-enters through a clean full-scan miss and no new
+  // stale hit is ever recorded against the dead incarnation.
+  // The flow cache sits on the path-inlining guard, so the server needs a
+  // PIN image; the client config is irrelevant to the cache under test.
+  net::World w(net::StackKind::kTcpIp, code::StackConfig::Std(),
+               code::StackConfig::Pin());
+  w.server().enable_flow_cache(code::FlowCacheScheme::kLru, 8);
+  w.client().set_tcp_keepalive(100'000, 50'000, 2);
+  w.client().tcptest()->enable_reconnect();
+  w.server().set_reboot_hook(
+      [&w] { w.server().tcptest()->serve(net::World::kTcpServerPort); });
+  w.start(30);
+  ASSERT_TRUE(w.run_until_roundtrips(10));
+  const code::FlowCacheStats before = w.server().flow_cache()->stats();
+  EXPECT_GT(before.hits, 0u);
+
+  w.server().crash();
+  w.server().reboot();
+  ASSERT_TRUE(w.run_until_roundtrips(30, 120'000'000));
+  EXPECT_GE(w.client().tcptest()->reconnects(), 1u);
+  const code::FlowCacheStats after = w.server().flow_cache()->stats();
+  EXPECT_EQ(after.stale_hits, before.stale_hits);  // zero new stale hits
+  EXPECT_GT(after.misses, before.misses);  // the flush forced a clean miss
+  EXPECT_GT(after.hits, before.hits);      // then the flow re-warmed
 }
 
 TEST(FlowCache, RejectsZeroCapacityAndParsesSchemeNames) {

@@ -90,6 +90,45 @@ TEST(Soak, DifferentSeedsProduceDifferentSchedules) {
   EXPECT_NE(r1.fault_log_hash, r2.fault_log_hash);
 }
 
+TEST(Soak, TcpChaosPhaseSurvivesBlackoutAndCrashReboot) {
+  // Mid-soak failure domains on top of the seeded fault schedule: a 100 ms
+  // link blackout at the 1/3 mark and a 200 ms server crash/reboot at the
+  // 2/3 mark.  The client rides the blackout on its rexmt timers, notices
+  // the dead incarnation via keepalive, reconnects, and still finishes
+  // with every clean-teardown invariant intact.
+  auto s = chaos_spec(net::StackKind::kTcpIp, 1500, 7);
+  s.chaos = true;
+  harness::SoakRunner runner(s);
+  const auto r = runner.run();
+  EXPECT_TRUE(r.ok()) << r.summary();
+  EXPECT_EQ(r.roundtrips, 1500u);
+  EXPECT_EQ(r.integrity_failures, 0u);
+  EXPECT_EQ(r.pending_events, 0u);
+  EXPECT_EQ(r.live_connections, 0u);
+  EXPECT_TRUE(r.conserved);
+  EXPECT_GT(r.blackout_drops, 0u);       // the blackout actually bit
+  EXPECT_GE(r.reconnects, 1u);           // the crash was noticed and repaired
+  EXPECT_EQ(r.server_incarnation, 2u);   // exactly one reboot
+  // Replay: the failure domains are part of the deterministic timeline.
+  const auto r2 = harness::SoakRunner(s).run();
+  EXPECT_EQ(r.summary(), r2.summary());
+}
+
+TEST(Soak, RpcChaosPhaseRidesOutTheBlackout) {
+  // The RPC stack has no reconnect machinery, so its chaos phase is
+  // blackout-only: CHAN's retry budget covers the outage and no call
+  // fails.
+  auto s = chaos_spec(net::StackKind::kRpc, 1500, 7);
+  s.chaos = true;
+  const auto r = harness::SoakRunner(s).run();
+  EXPECT_TRUE(r.ok()) << r.summary();
+  EXPECT_EQ(r.roundtrips, 1500u);
+  EXPECT_EQ(r.failed_calls, 0u);
+  EXPECT_GT(r.blackout_drops, 0u);
+  EXPECT_EQ(r.server_incarnation, 1u);  // no crash for RPC
+  EXPECT_TRUE(r.conserved);
+}
+
 TEST(Soak, CleanRunHasNoFaultsAndNoRecovery) {
   harness::SoakSpec s;
   s.kind = net::StackKind::kTcpIp;

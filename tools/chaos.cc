@@ -1,0 +1,187 @@
+// Chaos CLI: run one fleet row through a scripted failure timeline and
+// print the recovery report.
+//
+//   chaos [--script "S"] [--keepalive IDLE_US] [--syn-retries N]
+//         [--json FILE] [scheme] [connections] [packets] [zipf_s] [seed]
+//         [capacity]
+//
+// `S` is a whitespace-separated chaos script, e.g.
+//   "link_down@2000 link_up@52000 crash@150000:server reboot@250000:server"
+// (times are virtual microseconds relative to the post-establishment reset
+// point).  `scheme` is one-behind | direct | lru.  --keepalive arms client
+// and server keepalive probing (interval = IDLE_US / 2, 2 probes);
+// --syn-retries bounds the reconnect storm's SYN retransmissions.
+// --json writes the l96.recovery.v1 section to FILE.
+//
+// Exit status: 0 on success, 1 when a recovery invariant fails (packet
+// conservation, deliveries inside a blackout/crash window, an unrecovered
+// window), 2 on usage errors.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "harness/recovery.h"
+
+int main(int argc, char** argv) {
+  using namespace l96;
+
+  harness::RecoverySpec spec;
+  spec.fleet.kind = net::StackKind::kTcpIp;
+  spec.fleet.config = code::StackConfig::All();
+  spec.fleet.scheme = code::FlowCacheScheme::kLru;
+  spec.fleet.connections = 8;
+  spec.fleet.packets = 128;
+  spec.fleet.batch = 1;
+  spec.fleet.zipf_s = 1.1;
+  spec.fleet.seed = 1;
+  spec.fleet.cache_capacity = 8;
+  std::string script =
+      "link_down@2000 link_up@52000 crash@150000:server reboot@250000:server";
+  std::string json_path;
+
+  const auto usage = [] {
+    std::fprintf(stderr,
+                 "usage: chaos [--script S] [--keepalive IDLE_US] "
+                 "[--syn-retries N] [--json FILE] [one-behind|direct|lru] "
+                 "[connections] [packets] [zipf_s] [seed] [capacity]\n");
+    return 2;
+  };
+
+  std::vector<char*> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--script") == 0) {
+      if (i + 1 >= argc) return usage();
+      script = argv[++i];
+    } else if (std::strcmp(argv[i], "--keepalive") == 0) {
+      if (i + 1 >= argc) return usage();
+      spec.keepalive_idle_us = std::strtoull(argv[++i], nullptr, 10);
+      if (spec.keepalive_idle_us == 0) return usage();
+      spec.keepalive_intvl_us = spec.keepalive_idle_us / 2;
+      spec.keepalive_probes = 2;
+    } else if (std::strcmp(argv[i], "--syn-retries") == 0) {
+      if (i + 1 >= argc) return usage();
+      spec.max_syn_rexmts =
+          static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) return usage();
+      json_path = argv[++i];
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+
+  if (args.size() > 0) {
+    const auto s = code::flow_cache_scheme_from_string(args[0]);
+    if (!s) return usage();
+    spec.fleet.scheme = *s;
+  }
+  if (args.size() > 1) {
+    spec.fleet.connections = std::strtoull(args[1], nullptr, 10);
+  }
+  if (args.size() > 2) spec.fleet.packets = std::strtoull(args[2], nullptr, 10);
+  if (args.size() > 3) spec.fleet.zipf_s = std::strtod(args[3], nullptr);
+  if (args.size() > 4) spec.fleet.seed = std::strtoull(args[4], nullptr, 10);
+  if (args.size() > 5) {
+    spec.fleet.cache_capacity = std::strtoull(args[5], nullptr, 10);
+  }
+  if (spec.fleet.connections == 0 || spec.fleet.packets == 0 ||
+      spec.fleet.cache_capacity == 0) {
+    return usage();
+  }
+  spec.fleet.label = std::string("chaos/") + code::to_string(spec.fleet.scheme);
+
+  try {
+    spec.chaos = net::ChaosTimeline::parse(script);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return usage();
+  }
+
+  const harness::BurstCostTable costs =
+      harness::measure_burst_costs(spec.fleet.kind, spec.fleet.config, 1);
+  harness::RecoveryResult r;
+  try {
+    r = harness::run_recovery(spec, costs);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "chaos: %s\n", e.what());
+    return 1;
+  }
+
+  std::printf("%s conns=%zu packets=%llu zipf=%.2f seed=%llu cap=%zu\n",
+              spec.fleet.label.c_str(), spec.fleet.connections,
+              static_cast<unsigned long long>(spec.fleet.packets),
+              spec.fleet.zipf_s,
+              static_cast<unsigned long long>(spec.fleet.seed),
+              spec.fleet.cache_capacity);
+  std::printf("  script: %s\n", spec.chaos.str().c_str());
+  std::printf("  sampled=%llu scheduled=%llu lost=%llu reconnects=%llu "
+              "incarnation=%u\n",
+              static_cast<unsigned long long>(r.fleet.packets_sampled),
+              static_cast<unsigned long long>(r.fleet.scheduled_sampled),
+              static_cast<unsigned long long>(r.lost_packets),
+              static_cast<unsigned long long>(r.reconnects),
+              r.server_incarnation);
+  std::printf("  rexmt=%llu syn_rexmt=%llu connect_failures=%llu "
+              "ka_probes=%llu ka_reaps=%llu rst=%llu\n",
+              static_cast<unsigned long long>(r.client_retransmits),
+              static_cast<unsigned long long>(r.client_syn_retransmits),
+              static_cast<unsigned long long>(r.connect_failures),
+              static_cast<unsigned long long>(r.keepalive_probes_sent),
+              static_cast<unsigned long long>(r.keepalive_reaps),
+              static_cast<unsigned long long>(r.rst_sent));
+  std::printf("  blackout_drops=%llu frames_to_dead=%llu purged_events=%llu\n",
+              static_cast<unsigned long long>(r.blackout_drops),
+              static_cast<unsigned long long>(r.frames_to_dead),
+              static_cast<unsigned long long>(r.purged_events));
+  for (const harness::RecoveryWindow& w : r.windows) {
+    std::printf("  window %s [%llu, %llu)us: in_window=%llu recovered=%d "
+                "ttr=%.1fus\n",
+                w.window.crash ? "crash" : "blackout",
+                static_cast<unsigned long long>(w.start_abs_us),
+                static_cast<unsigned long long>(w.end_abs_us),
+                static_cast<unsigned long long>(w.samples_in_window),
+                w.recovered ? 1 : 0, w.ttr_us);
+  }
+  std::printf("  steady   n=%llu p50=%.2f p99=%.2f p999=%.2f\n",
+              static_cast<unsigned long long>(r.steady_samples), r.steady.p50,
+              r.steady.p99, r.steady.p999);
+  std::printf("  recovery n=%llu p50=%.2f p99=%.2f p999=%.2f\n",
+              static_cast<unsigned long long>(r.recovery_samples),
+              r.recovery.p50, r.recovery.p99, r.recovery.p999);
+  std::printf("  digest=%016llx\n",
+              static_cast<unsigned long long>(r.fleet.sample_digest));
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << harness::recovery_json(costs, {r}).dump() << '\n';
+    if (!out) {
+      std::fprintf(stderr, "chaos: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
+
+  // Exit-enforced invariants.
+  int rc = 0;
+  if (r.fleet.spec.packets !=
+      r.fleet.scheduled_sampled + r.fleet.dropped_in_churn + r.lost_packets) {
+    std::fprintf(stderr, "chaos: packet conservation violated\n");
+    rc = 1;
+  }
+  for (const harness::RecoveryWindow& w : r.windows) {
+    if (w.samples_in_window != 0) {
+      std::fprintf(stderr,
+                   "chaos: %llu deliveries inside a disruption window\n",
+                   static_cast<unsigned long long>(w.samples_in_window));
+      rc = 1;
+    }
+    if (!w.recovered || w.ttr_us < 0) {
+      std::fprintf(stderr, "chaos: window never recovered\n");
+      rc = 1;
+    }
+  }
+  return rc;
+}

@@ -1,10 +1,13 @@
 // Chaos soak CLI: run one seeded soak and print its deterministic digest.
 //
-//   soak [tcp|rpc] [roundtrips] [seed] [rate%] [msg_bytes]
+//   soak [--chaos] [tcp|rpc] [roundtrips] [seed] [rate%] [msg_bytes]
 //
 // `rate%` is the combined drop+corrupt+duplicate percentage, split evenly
 // in the ratio 2:2:1 (e.g. 5 -> 2% drop, 2% corrupt, 1% duplicate) on both
-// directions.  Exit status is 0 iff the soak was clean.
+// directions.  `--chaos` threads the mid-soak failure domains into the
+// run: a 100 ms link blackout at the 1/3 mark and (TCP only) a 200 ms
+// server crash/reboot at the 2/3 mark.  Exit status is 0 iff the soak was
+// clean.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,12 +24,17 @@ int main(int argc, char** argv) {
   double rate_pct = 5.0;
   spec.msg_bytes = 32;
 
+  if (argc > 1 && std::strcmp(argv[1], "--chaos") == 0) {
+    spec.chaos = true;
+    --argc;
+    ++argv;
+  }
   if (argc > 1) {
     if (std::strcmp(argv[1], "rpc") == 0) {
       spec.kind = net::StackKind::kRpc;
     } else if (std::strcmp(argv[1], "tcp") != 0) {
-      std::fprintf(stderr, "usage: soak [tcp|rpc] [roundtrips] [seed]"
-                           " [rate%%] [msg_bytes]\n");
+      std::fprintf(stderr, "usage: soak [--chaos] [tcp|rpc] [roundtrips]"
+                           " [seed] [rate%%] [msg_bytes]\n");
       return 2;
     }
   }
