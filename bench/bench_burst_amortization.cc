@@ -171,7 +171,7 @@ int main(int argc, char** argv) {
   fleet_t.print();
 
   // JSON emission.
-  harness::Json section = harness::json_section("l96.burst.v1");
+  harness::Json section = harness::emit_section("burst", 1);
   section.set("positions", std::uint64_t{kPositions});
   harness::Json layouts = harness::Json::array();
   for (const auto& c : curves) {

@@ -279,7 +279,7 @@ int main() {
     // for consumers of the flat map).
     fault_o.extra_json(
         "fault",
-        harness::json_section("l96.fault.v2")
+        harness::emit_section("fault", 2)
             .set("corrupt_offset", std::uint64_t{kCorruptOffset})
             .set("rto_us", kRtoUs)
             .set("penalty",

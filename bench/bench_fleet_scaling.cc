@@ -18,6 +18,15 @@
 //  * bench/out/fleet_summary.json — the same l96.fleet.v2 data standalone.
 //    A pure function of the seeds: byte-identical across runs and across
 //    FleetRunner worker counts (verify with sha256sum).
+//  * bench/out/shard_summary.json — l96.shard.v1 rows from the sharded
+//    multi-core grid (harness/shard.h): the scaling chain (4096 flows,
+//    1/4/16/64 cores, hash vs least-loaded steering, uniform vs Zipf 1.2),
+//    open-loop rows whose arrival rate is derived from the 1-core closed
+//    row (0.75 utilization per core under uniform spread — the Zipf-hot
+//    flow pins its core past saturation, the nanoPU head-of-line
+//    scenario), and jumbo rows at [jumbo-connections] (default 100000, up
+//    to 1M) flows on 4/16/64 cores.  Byte-identical across runs and
+//    ShardedFleetRunner worker counts.
 //
 // Exit status enforces the Jain ordering on every skewed grid row (the
 // true-LRU hit ratio must be >= one-behind's), stale-hit accounting
@@ -26,8 +35,16 @@
 //     spec.packets   == scheduled_sampled + dropped_in_churn
 //     packets_sampled == scheduled_sampled + handshake_sampled
 // so schedule accounting can never silently drift from the spec again.
+// The shard grid adds four more enforced invariants:
+//  1. the 1-core shard rows reproduce flat run_fleet digests exactly;
+//  2. aggregate closed-loop throughput strictly increases 1 -> 4 -> 16
+//     cores under uniform load;
+//  3. on every open-loop Zipf (s >= 1.2) row the hot core's sojourn p999
+//     exceeds the fleet's median per-core sojourn p999;
+//  4. per-core packet conservation holds on every shard row.
 //
-//   bench_fleet_scaling [packets-per-row] [out-dir]
+//   bench_fleet_scaling [packets-per-row] [out-dir] [jumbo-connections]
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -37,6 +54,7 @@
 #include <vector>
 
 #include "harness/fleet.h"
+#include "harness/shard.h"
 #include "harness/sweep.h"
 #include "harness/tables.h"
 
@@ -45,10 +63,13 @@ using namespace l96;
 int main(int argc, char** argv) {
   std::uint64_t packets = 192;
   std::string out_dir = "bench/out";
+  std::size_t jumbo_conns = 100'000;
   if (argc > 1) packets = std::strtoull(argv[1], nullptr, 10);
   if (argc > 2) out_dir = argv[2];
-  if (packets == 0) {
-    std::fprintf(stderr, "usage: bench_fleet_scaling [packets>0] [out-dir]\n");
+  if (argc > 3) jumbo_conns = std::strtoull(argv[3], nullptr, 10);
+  if (packets == 0 || jumbo_conns == 0) {
+    std::fprintf(stderr, "usage: bench_fleet_scaling [packets>0] [out-dir] "
+                         "[jumbo-connections>0]\n");
     return 2;
   }
 
@@ -149,6 +170,129 @@ int main(int argc, char** argv) {
   }
   std::printf("wrote %s\n", summary_path.string().c_str());
 
+  // --- sharded multi-core grid --------------------------------------------
+  // A base fleet row shared by every shard spec: LRU, no churn (the shard
+  // engine's churn-handshake frames would only add noise to the scaling
+  // story), population fixed per sub-grid.
+  const auto shard_fleet = [&](std::size_t conns, double skew) {
+    harness::FleetSpec spec;
+    spec.kind = net::StackKind::kTcpIp;
+    spec.config = cfg;
+    spec.scheme = code::FlowCacheScheme::kLru;
+    spec.connections = conns;
+    spec.packets = packets * 8;
+    spec.batch = 1;
+    spec.zipf_s = skew;
+    spec.seed = 42;
+    spec.cache_capacity = 8;
+    spec.churn_every = 0;
+    return spec;
+  };
+  const auto shard_label = [](const harness::ShardSpec& s) {
+    char label[96];
+    std::snprintf(label, sizeof(label), "c%zu/%s/s%.1f/n%zu%s", s.cores,
+                  harness::to_string(s.steering), s.fleet.zipf_s,
+                  s.fleet.connections, s.arrival_us > 0 ? "/open" : "");
+    return std::string(label);
+  };
+
+  // The chain population must fit the flat single-world port space so the
+  // 1-core rows can be digest-pinned against run_fleet.
+  const std::size_t chain_conns = 4096;
+  const std::size_t core_grid[] = {1, 4, 16, 64};
+  const harness::SteeringPolicy steerings[] = {
+      harness::SteeringPolicy::kFlowHash, harness::SteeringPolicy::kLeastLoaded};
+
+  std::vector<harness::ShardSpec> shard_specs;
+  // Closed-loop scaling chain: cores x steering x skew (steering is
+  // meaningless at 1 core — hash only there).
+  for (std::size_t cores : core_grid) {
+    for (auto steering : steerings) {
+      if (cores == 1 && steering != harness::SteeringPolicy::kFlowHash) {
+        continue;
+      }
+      for (double skew : skews) {
+        harness::ShardSpec s;
+        s.fleet = shard_fleet(chain_conns, skew);
+        s.cores = cores;
+        s.steering = steering;
+        s.fleet.label = shard_label(s);
+        shard_specs.push_back(std::move(s));
+      }
+    }
+  }
+  // Open-loop rows need the 1-core closed row's mean service time; run the
+  // closed grid first, then append the open and jumbo rows.
+  harness::ShardedFleetRunner shard_runner;
+  std::vector<harness::ShardResult> shard_rows =
+      shard_runner.run(shard_specs, costs);
+  const harness::ShardResult* one_core_uniform = nullptr;
+  for (const auto& r : shard_rows) {
+    if (r.spec.cores == 1 && r.spec.fleet.zipf_s == 0.0) one_core_uniform = &r;
+  }
+  const double mean_service_us = one_core_uniform->latency.mean;
+
+  std::vector<harness::ShardSpec> late_specs;
+  // Open-loop queueing rows: arrival spacing targets 0.75 utilization per
+  // core under a uniform spread, so the Zipf-hot flow's core saturates
+  // while the fleet median stays flat (16 cores: hot-flow share ~0.2 =>
+  // hot-core load ~2.4x capacity).
+  for (std::size_t cores : {std::size_t{16}, std::size_t{64}}) {
+    for (auto steering : steerings) {
+      harness::ShardSpec s;
+      s.fleet = shard_fleet(chain_conns, 1.2);
+      s.cores = cores;
+      s.steering = steering;
+      s.arrival_us = mean_service_us / (0.75 * static_cast<double>(cores));
+      s.fleet.label = shard_label(s);
+      late_specs.push_back(std::move(s));
+    }
+  }
+  // Jumbo rows: the 100k..1M-connection population, shard-local port
+  // spaces (a single flat world cannot even hold it).
+  for (std::size_t cores : {std::size_t{4}, std::size_t{16}, std::size_t{64}}) {
+    harness::ShardSpec s;
+    s.fleet = shard_fleet(jumbo_conns, 1.2);
+    s.cores = cores;
+    s.fleet.label = shard_label(s);
+    late_specs.push_back(std::move(s));
+  }
+  const std::vector<harness::ShardResult> late_rows =
+      shard_runner.run(late_specs, costs);
+  shard_rows.insert(shard_rows.end(), late_rows.begin(), late_rows.end());
+
+  harness::Table st("Sharded fleet scaling: " +
+                    std::to_string(packets * 8) + " packets/row (TCP/IP ALL, "
+                    "LRU cap 8, RSS flow steering, per-core machine models)");
+  st.columns({"row", "thr [Mpps]", "hot", "hot util", "hot p999 [us]",
+              "med p999 [us]", "p50 [us]", "p999 [us]", "ok"});
+  const auto median_core_p999 = [](const harness::ShardResult& r) {
+    std::vector<double> p;
+    for (const auto& c : r.cores) p.push_back(c.sojourn.p999);
+    std::sort(p.begin(), p.end());
+    return p[p.size() / 2];
+  };
+  for (const auto& r : shard_rows) {
+    const auto& hot = r.cores[r.hot_core];
+    st.row({r.spec.fleet.label, harness::fmt(r.throughput_mpps, 4),
+            std::to_string(r.hot_core), harness::fmt(hot.utilization, 3),
+            harness::fmt(hot.sojourn.p999, 1),
+            harness::fmt(median_core_p999(r), 1),
+            harness::fmt(r.sojourn.p50, 1), harness::fmt(r.sojourn.p999, 1),
+            r.conserved ? "y" : "N"});
+  }
+  st.print();
+
+  const std::filesystem::path shard_path =
+      std::filesystem::path(out_dir) / "shard_summary.json";
+  std::filesystem::create_directories(shard_path.parent_path());
+  {
+    std::ofstream os(shard_path);
+    harness::shard_json(costs, shard_rows).dump(os);
+    os << "\n";
+  }
+  std::printf("wrote %s\n", shard_path.string().c_str());
+
   // --- invariants ----------------------------------------------------------
   int failures = 0;
   if (!(costs.slow_us.front() > costs.fast_us.front())) {
@@ -235,6 +379,66 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(r.churns),
                    static_cast<unsigned long long>(r.cache.stale_hits),
                    static_cast<unsigned long long>(r.slow_packets));
+      ++failures;
+    }
+  }
+  // Shard invariant 1: every 1-core shard row reproduces the flat
+  // run_fleet digest byte for byte (the sharding refactor cannot have
+  // perturbed the single-machine engine).
+  for (const auto& r : shard_rows) {
+    if (r.spec.cores != 1) continue;
+    const harness::FleetResult flat = harness::run_fleet(r.spec.fleet, costs);
+    if (r.sample_digest != flat.sample_digest ||
+        r.packets_sampled != flat.packets_sampled) {
+      std::fprintf(stderr,
+                   "FAIL: %s 1-core digest %016llx != flat run_fleet digest "
+                   "%016llx\n",
+                   r.spec.fleet.label.c_str(),
+                   static_cast<unsigned long long>(r.sample_digest),
+                   static_cast<unsigned long long>(flat.sample_digest));
+      ++failures;
+    }
+  }
+  // Shard invariant 2: closed-loop aggregate throughput strictly increases
+  // 1 -> 4 -> 16 cores under uniform load (hash steering).
+  {
+    std::map<std::size_t, double> thr;
+    for (const auto& r : shard_rows) {
+      if (r.spec.steering == harness::SteeringPolicy::kFlowHash &&
+          r.spec.fleet.zipf_s == 0.0 && r.spec.arrival_us == 0 &&
+          r.spec.fleet.connections == chain_conns) {
+        thr[r.spec.cores] = r.throughput_mpps;
+      }
+    }
+    if (!(thr.at(1) < thr.at(4) && thr.at(4) < thr.at(16))) {
+      std::fprintf(stderr,
+                   "FAIL: uniform-load throughput not strictly increasing: "
+                   "1 core %.4f, 4 cores %.4f, 16 cores %.4f Mpps\n",
+                   thr.at(1), thr.at(4), thr.at(16));
+      ++failures;
+    }
+  }
+  // Shard invariant 3: on every open-loop Zipf row the hot core's sojourn
+  // tail exceeds the fleet's median per-core tail (head-of-line: one hot
+  // flow pins one core).
+  for (const auto& r : shard_rows) {
+    if (r.spec.arrival_us <= 0 || r.spec.fleet.zipf_s < 1.2) continue;
+    const double hot_p999 = r.cores[r.hot_core].sojourn.p999;
+    const double med_p999 = median_core_p999(r);
+    if (!(hot_p999 > med_p999)) {
+      std::fprintf(stderr,
+                   "FAIL: %s hot core %u sojourn p999 %.1f us does not "
+                   "exceed the median per-core p999 %.1f us\n",
+                   r.spec.fleet.label.c_str(), r.hot_core, hot_p999,
+                   med_p999);
+      ++failures;
+    }
+  }
+  // Shard invariant 4: per-core packet conservation on every shard row.
+  for (const auto& r : shard_rows) {
+    if (!r.conserved) {
+      std::fprintf(stderr, "FAIL: %s failed per-core packet conservation\n",
+                   r.spec.fleet.label.c_str());
       ++failures;
     }
   }

@@ -5,10 +5,10 @@
 #include <atomic>
 #include <cmath>
 #include <cstring>
-#include <mutex>
 #include <stdexcept>
-#include <thread>
 
+#include "harness/fleet_internal.h"
+#include "harness/runner.h"
 #include "protocols/lance.h"
 #include "protocols/tcp.h"
 
@@ -16,7 +16,7 @@ namespace l96::harness {
 
 namespace {
 
-std::uint64_t fnv1a_init() { return 1469598103934665603ULL; }
+std::uint64_t fnv1a_seed() { return 1469598103934665603ULL; }
 
 void fnv1a_bytes(std::uint64_t& h, const void* data, std::size_t n) {
   const auto* p = static_cast<const unsigned char*>(data);
@@ -34,7 +34,7 @@ void fnv1a_value(std::uint64_t& h, T v) {
 }  // namespace
 
 std::uint64_t machine_params_key(const MachineParams& p) {
-  std::uint64_t h = fnv1a_init();
+  std::uint64_t h = fnv1a_seed();
   fnv1a_value(h, p.mem.icache_bytes);
   fnv1a_value(h, p.mem.dcache_bytes);
   fnv1a_value(h, p.mem.bcache_bytes);
@@ -159,42 +159,11 @@ std::size_t ZipfSampler::next() {
   return static_cast<std::size_t>(it - cdf_.begin());
 }
 
-namespace {
+namespace fleet_detail {
 
-constexpr std::uint16_t kFleetServerPort = 7000;
-constexpr std::uint16_t kFleetClientPortBase = 10'000;
-constexpr std::uint16_t kFleetRpcProcBase = 100;
+std::uint64_t fnv1a_init() { return fnv1a_seed(); }
 
-std::uint16_t client_port(std::size_t i) {
-  return static_cast<std::uint16_t>(kFleetClientPortBase + i);
-}
-
-/// Server-side sink: counts delivered messages (no echo — the schedule is
-/// client-driven; the server's TCP still ACKs).
-class FleetSink final : public proto::TcpUpper {
- public:
-  void tcp_receive(proto::TcpConn&, xk::Message& m) override {
-    ++messages;
-    bytes += m.length();
-  }
-  std::uint64_t messages = 0;
-  std::uint64_t bytes = 0;
-};
-
-class FleetSource final : public proto::TcpUpper {
- public:
-  void tcp_receive(proto::TcpConn&, xk::Message&) override {}
-};
-
-[[noreturn]] void fleet_fail(const FleetSpec& spec, const char* what,
-                             std::uint64_t packet) {
-  throw std::runtime_error("fleet run stalled (" +
-                           (spec.label.empty() ? std::string("unlabeled")
-                                               : spec.label) +
-                           ", scheme=" + code::to_string(spec.scheme) +
-                           "): " + what + " at scheduled packet " +
-                           std::to_string(packet));
-}
+void fnv1a_value_d(std::uint64_t& h, double v) { fnv1a_bytes(h, &v, sizeof v); }
 
 LatencyPercentiles percentiles(std::vector<double> s) {
   LatencyPercentiles p;
@@ -216,8 +185,90 @@ LatencyPercentiles percentiles(std::vector<double> s) {
   return p;
 }
 
+std::vector<ScheduledBurst> build_schedule(const FleetSpec& spec) {
+  // Byte-identical to the decision sequence the pre-shard engine made
+  // inline: one Zipf draw per burst, the last burst truncated, and the
+  // flat engine's churn condition evaluated against the global sent count.
+  std::vector<ScheduledBurst> schedule;
+  ZipfSampler zipf(spec.connections, spec.zipf_s, spec.seed);
+  std::uint64_t sent = 0;
+  while (sent < spec.packets) {
+    ScheduledBurst b;
+    b.flow = zipf.next();
+    b.len = std::min<std::uint64_t>(spec.batch == 0 ? 1 : spec.batch,
+                                    spec.packets - sent);
+    sent += b.len;
+    b.churn_after = spec.churn_every != 0 && sent < spec.packets &&
+                    (sent / spec.churn_every) * spec.churn_every >
+                        sent - b.len;
+    schedule.push_back(b);
+  }
+  return schedule;
+}
+
+std::size_t conn_bucket_count(std::size_t flows) {
+  std::size_t buckets = 64;
+  while (buckets < flows && buckets < (std::size_t{1} << 16)) buckets <<= 1;
+  return buckets;
+}
+
+}  // namespace fleet_detail
+
+namespace {
+
+using fleet_detail::CoreRunResult;
+using fleet_detail::kFleetClientPortBase;
+using fleet_detail::kFleetRpcProcBase;
+using fleet_detail::kFleetServerPort;
+using fleet_detail::kMaxFlowsPerWorld;
+using fleet_detail::ScheduledBurst;
+using fleet_detail::TaggedSample;
+
+/// Connections are opened in waves this big: a wave's handshakes complete
+/// before the next wave's SYNs are offered, so a large fleet never queues
+/// thousands of SYNs behind the 10 Mb/s wire into an RTO storm.  Fleets at
+/// or under the wave size establish exactly like the pre-shard engine
+/// (connect everything, then wait), which keeps small-fleet runs — and
+/// recovery.cc's mirror of them — byte-identical.
+constexpr std::size_t kEstablishWave = 256;
+
+/// Server-side sink: counts delivered messages (no echo — the schedule is
+/// client-driven; the server's TCP still ACKs).
+class FleetSink final : public proto::TcpUpper {
+ public:
+  void tcp_receive(proto::TcpConn&, xk::Message& m) override {
+    ++messages;
+    bytes += m.length();
+  }
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+class FleetSource final : public proto::TcpUpper {
+ public:
+  void tcp_established(proto::TcpConn&) override { ++established; }
+  void tcp_receive(proto::TcpConn&, xk::Message&) override {}
+  /// Running count of client-side establishments — lets a fleet of any
+  /// size wait for its handshakes with an O(1) predicate (the pre-shard
+  /// engine scanned every connection's state on every event, which turned
+  /// establishment quadratic).  The count crosses each threshold at
+  /// exactly the event the state scan would have, so the world's timeline
+  /// is unchanged.
+  std::uint64_t established = 0;
+};
+
+[[noreturn]] void fleet_fail(const FleetSpec& spec, const char* what,
+                             std::uint64_t packet) {
+  throw std::runtime_error("fleet run stalled (" +
+                           (spec.label.empty() ? std::string("unlabeled")
+                                               : spec.label) +
+                           ", scheme=" + code::to_string(spec.scheme) +
+                           "): " + what + " at scheduled packet " +
+                           std::to_string(packet));
+}
+
 std::uint64_t fnv1a_samples(const std::vector<double>& samples) {
-  std::uint64_t h = fnv1a_init();
+  std::uint64_t h = fnv1a_seed();
   for (double v : samples) fnv1a_value(h, v);
   return h;
 }
@@ -256,6 +307,259 @@ struct BurstPricer {
   }
 };
 
+/// The flows `core_id` owns, in ascending global order (the establishment
+/// order, and the order local ports are assigned in).
+std::vector<std::size_t> owned_flows(const FleetSpec& spec,
+                                     const std::vector<std::uint32_t>& flow_core,
+                                     std::uint32_t core_id) {
+  std::vector<std::size_t> owned;
+  for (std::size_t i = 0; i < spec.connections; ++i) {
+    if (flow_core[i] == core_id) owned.push_back(i);
+  }
+  return owned;
+}
+
+void finish_core(CoreRunResult& out, net::World& world) {
+  FleetResult& r = out.result;
+  r.packets_sampled = out.samples.size();
+  r.cache = world.server().flow_cache()->stats();
+  std::vector<double> flat;
+  flat.reserve(out.samples.size());
+  for (const TaggedSample& s : out.samples) flat.push_back(s.us);
+  r.latency = fleet_detail::percentiles(flat);
+  r.sim_us = static_cast<double>(world.events().now());
+  r.sample_digest = fnv1a_samples(flat);
+}
+
+CoreRunResult run_fleet_core_tcp(const FleetSpec& spec,
+                                 const BurstCostTable& costs,
+                                 const std::vector<ScheduledBurst>& schedule,
+                                 const std::vector<std::uint32_t>& flow_core,
+                                 std::uint32_t core_id, bool local_ports) {
+  const std::vector<std::size_t> owned = owned_flows(spec, flow_core, core_id);
+  CoreRunResult out;
+  FleetResult& r = out.result;
+  r.spec = spec;
+  r.sample_digest = fnv1a_samples({});
+  if (owned.empty()) return out;
+  if (owned.size() > kMaxFlowsPerWorld) {
+    throw std::invalid_argument(
+        "run_fleet_core: " + std::to_string(owned.size()) +
+        " flows on one core exceed the per-world client port space (" +
+        std::to_string(kMaxFlowsPerWorld) + ") — use more cores");
+  }
+
+  // With global ports, flow i keeps the wire identity the flat engine gave
+  // it (client port base + i) — so a 1-core shard run is the flat run.
+  // With local ports, the core re-uses its own port space (base + local
+  // index) and global identity lives in the steering key instead.
+  const auto port_of = [&](std::size_t local) {
+    const std::size_t id = local_ports ? local : owned[local];
+    return static_cast<std::uint16_t>(kFleetClientPortBase + id);
+  };
+
+  net::WorldOptions options;
+  options.tcp_conn_buckets = fleet_detail::conn_bucket_count(owned.size());
+  net::World world(net::StackKind::kTcpIp, spec.config, spec.config, options);
+  world.server().enable_flow_cache(spec.scheme, spec.cache_capacity,
+                                   spec.cache_costs);
+
+  FleetSink sink;
+  FleetSource source;
+  world.server().tcp()->listen(kFleetServerPort, &sink);
+
+  std::vector<proto::TcpConn*> conns(owned.size(), nullptr);
+  for (std::size_t wave = 0; wave < owned.size(); wave += kEstablishWave) {
+    const std::size_t wave_end =
+        std::min(owned.size(), wave + kEstablishWave);
+    for (std::size_t j = wave; j < wave_end; ++j) {
+      conns[j] = world.client().tcp()->connect(world.server().address().ip,
+                                               port_of(j), kFleetServerPort,
+                                               &source);
+    }
+    if (!world.run_until([&] { return source.established >= wave_end; },
+                         60'000'000)) {
+      fleet_fail(spec, "connection fleet did not establish", 0);
+    }
+  }
+  // The last connection is established the instant the client processes
+  // its SYN-ACK — its handshake ACK is still in flight.  Let the world go
+  // quiet so those deliveries don't leak into the measured schedule.
+  world.run_until([] { return false; }, 500'000);
+
+  // Handshake traffic warmed the cache; measure the schedule only.
+  world.server().flow_cache()->reset_stats();
+  out.samples.reserve(spec.packets / (core_id + 1) + 16);
+  BurstPricer pricer;
+  pricer.costs = &costs;
+  std::uint64_t current_burst = 0;
+  world.server().set_deliver_hook(
+      [&](const code::FlowLookupResult& lr, bool slow) {
+        const double us = pricer.price(lr, slow);
+        out.samples.push_back({current_burst, pricer.in_burst ? 0u : 1u, us});
+        if (pricer.in_burst) {
+          ++r.scheduled_sampled;
+        } else {
+          ++r.handshake_sampled;
+        }
+        if (slow) ++r.slow_packets;
+      });
+
+  std::array<std::uint8_t, 32> payload{};
+  payload.fill(0x5A);
+  const bool churn_here = flow_core[0] == core_id;
+  std::uint64_t sent = 0;  // this core's scheduled sends
+  for (std::size_t b = 0; b < schedule.size(); ++b) {
+    const ScheduledBurst& sb = schedule[b];
+    current_burst = b;
+    if (flow_core[sb.flow] == core_id) {
+      // This burst is ours, whole: per-flow coalescing never crosses a
+      // shard boundary because a flow lives on exactly one core.
+      const std::size_t k = static_cast<std::size_t>(
+          std::lower_bound(owned.begin(), owned.end(), sb.flow) -
+          owned.begin());
+      ++r.bursts;
+      pricer.begin_burst();
+      for (std::uint64_t j = 0; j < sb.len; ++j) {
+        conns[k]->send(payload);
+        ++sent;
+        if (!world.run_until([&] { return sink.messages >= sent; },
+                             60'000'000)) {
+          fleet_fail(spec, "scheduled packet was not delivered", sent - 1);
+        }
+      }
+      pricer.end_burst();
+
+      // Conservation: every scheduled packet of the burst was priced while
+      // the burst was open (delivery is awaited above); anything short of
+      // that was torn down in flight and must be accounted, not ignored.
+      const std::uint64_t priced_now =
+          r.scheduled_sampled + r.dropped_in_churn;
+      if (priced_now < sent) r.dropped_in_churn += sent - priced_now;
+    }
+
+    if (sb.churn_after && churn_here) {
+      // Close and reopen the hottest flow.  Quiesce it first so no data is
+      // in flight, tear down both endpoints (the server-side unbind fires
+      // the demux hook and marks the flow's cache entry stale), then
+      // reconnect on the same 4-tuple: the reopened flow's first inbound
+      // frame is a stale hit and replays through the slow path.  Global
+      // flow 0 is this core's local index 0 (ownership lists ascend).
+      if (!world.run_until([&] { return conns[0]->bytes_unacked() == 0; },
+                           60'000'000)) {
+        fleet_fail(spec, "churn victim did not quiesce", sent - 1);
+      }
+      for (auto* c : world.server().tcp()->connections()) {
+        if (c->remote_port() == port_of(0) &&
+            c->local_port() == kFleetServerPort) {
+          world.server().tcp()->destroy(c);
+          break;
+        }
+      }
+      world.client().tcp()->destroy(conns[0]);
+      conns[0] = world.client().tcp()->connect(world.server().address().ip,
+                                               port_of(0), kFleetServerPort,
+                                               &source);
+      if (!world.run_until(
+              [&] {
+                return conns[0]->state() == proto::TcpState::kEstablished;
+              },
+              60'000'000)) {
+        fleet_fail(spec, "churned connection did not re-establish", sent - 1);
+      }
+      // Established fires when the client processes the SYN-ACK; its
+      // handshake ACK is still in flight.  Drain it now, outside any
+      // burst, so it is priced as handshake traffic at position 0 and
+      // cannot advance the next burst's position.
+      world.run_until([] { return false; }, 500'000);
+      ++r.churns;
+    }
+  }
+
+  finish_core(out, world);
+  return out;
+}
+
+CoreRunResult run_fleet_core_rpc(const FleetSpec& spec,
+                                 const BurstCostTable& costs,
+                                 const std::vector<ScheduledBurst>& schedule,
+                                 const std::vector<std::uint32_t>& flow_core,
+                                 std::uint32_t core_id, bool local_ports) {
+  const std::vector<std::size_t> owned = owned_flows(spec, flow_core, core_id);
+  CoreRunResult out;
+  FleetResult& r = out.result;
+  r.spec = spec;
+  r.sample_digest = fnv1a_samples({});
+  if (owned.empty()) return out;
+  const std::size_t max_procs = 65'536 - kFleetRpcProcBase;
+  if (owned.size() > max_procs) {
+    throw std::invalid_argument(
+        "run_fleet_core: " + std::to_string(owned.size()) +
+        " RPC flows on one core exceed the 16-bit procedure space — use "
+        "more cores");
+  }
+
+  const auto proc_of = [&](std::size_t local) {
+    const std::size_t id = local_ports ? local : owned[local];
+    return static_cast<std::uint16_t>(kFleetRpcProcBase + id);
+  };
+
+  net::World world(net::StackKind::kRpc, spec.config, spec.config);
+  world.server().enable_flow_cache(spec.scheme, spec.cache_capacity,
+                                   spec.cache_costs);
+
+  for (std::size_t j = 0; j < owned.size(); ++j) {
+    world.server().mselect()->register_service(
+        proc_of(j), [&world](xk::Message& req) {
+          xk::Message reply(world.server().arena(), 0, 1);
+          reply.data()[0] = static_cast<std::uint8_t>(req.length() & 0xFF);
+          return reply;
+        });
+  }
+
+  out.samples.reserve(spec.packets / (core_id + 1) + 16);
+  BurstPricer pricer;
+  pricer.costs = &costs;
+  std::uint64_t current_burst = 0;
+  world.server().set_deliver_hook(
+      [&](const code::FlowLookupResult& lr, bool slow) {
+        const double us = pricer.price(lr, slow);
+        out.samples.push_back({current_burst, pricer.in_burst ? 0u : 1u, us});
+        if (pricer.in_burst) {
+          ++r.scheduled_sampled;
+        } else {
+          ++r.handshake_sampled;
+        }
+        if (slow) ++r.slow_packets;
+      });
+
+  std::uint64_t done = 0;
+  std::uint64_t sent = 0;
+  for (std::size_t b = 0; b < schedule.size(); ++b) {
+    const ScheduledBurst& sb = schedule[b];
+    current_burst = b;
+    if (flow_core[sb.flow] != core_id) continue;
+    const std::size_t k = static_cast<std::size_t>(
+        std::lower_bound(owned.begin(), owned.end(), sb.flow) -
+        owned.begin());
+    ++r.bursts;
+    pricer.begin_burst();
+    for (std::uint64_t j = 0; j < sb.len; ++j) {
+      xk::Message req(world.client().arena(), 128, 16);
+      world.client().mselect()->call(proc_of(k), req,
+                                     [&](xk::Message&) { ++done; });
+      ++sent;
+      if (!world.run_until([&] { return done >= sent; }, 60'000'000)) {
+        fleet_fail(spec, "scheduled call did not complete", sent - 1);
+      }
+    }
+    pricer.end_burst();
+  }
+
+  finish_core(out, world);
+  return out;
+}
+
 void check_costs(const FleetSpec& spec, const BurstCostTable& costs) {
   if (costs.fast_us.empty() || costs.slow_us.size() != costs.fast_us.size()) {
     throw std::invalid_argument(
@@ -277,193 +581,27 @@ void check_costs(const FleetSpec& spec, const BurstCostTable& costs) {
   }
 }
 
-FleetResult run_fleet_tcp(const FleetSpec& spec, const BurstCostTable& costs) {
-  net::World world(net::StackKind::kTcpIp, spec.config, spec.config);
-  world.server().enable_flow_cache(spec.scheme, spec.cache_capacity,
-                                   spec.cache_costs);
-
-  FleetSink sink;
-  FleetSource source;
-  world.server().tcp()->listen(kFleetServerPort, &sink);
-
-  std::vector<proto::TcpConn*> conns(spec.connections, nullptr);
-  for (std::size_t i = 0; i < spec.connections; ++i) {
-    conns[i] = world.client().tcp()->connect(world.server().address().ip,
-                                             client_port(i), kFleetServerPort,
-                                             &source);
-  }
-  const auto all_established = [&] {
-    for (auto* c : conns) {
-      if (c->state() != proto::TcpState::kEstablished) return false;
-    }
-    return true;
-  };
-  if (!world.run_until(all_established, 60'000'000)) {
-    fleet_fail(spec, "connection fleet did not establish", 0);
-  }
-  // The last connection is established the instant the client processes
-  // its SYN-ACK — its handshake ACK is still in flight.  Let the world go
-  // quiet so those deliveries don't leak into the measured schedule.
-  world.run_until([] { return false; }, 500'000);
-
-  // Handshake traffic warmed the cache; measure the schedule only.
-  world.server().flow_cache()->reset_stats();
-  FleetResult r;
-  r.spec = spec;
-  std::vector<double> samples;
-  samples.reserve(spec.packets + spec.packets / 4);
-  BurstPricer pricer;
-  pricer.costs = &costs;
-  world.server().set_deliver_hook(
-      [&](const code::FlowLookupResult& lr, bool slow) {
-        samples.push_back(pricer.price(lr, slow));
-        if (pricer.in_burst) {
-          ++r.scheduled_sampled;
-        } else {
-          ++r.handshake_sampled;
-        }
-        if (slow) ++r.slow_packets;
-      });
-
-  ZipfSampler zipf(spec.connections, spec.zipf_s, spec.seed);
-  std::array<std::uint8_t, 32> payload{};
-  payload.fill(0x5A);
-  std::uint64_t sent = 0;
-  while (sent < spec.packets) {
-    // One flow draw per burst (per-flow coalescing): `batch` back-to-back
-    // packets on the same connection, the last burst truncated to fit.
-    const std::size_t k = zipf.next();
-    const std::uint64_t burst_len = std::min<std::uint64_t>(
-        spec.batch == 0 ? 1 : spec.batch, spec.packets - sent);
-    ++r.bursts;
-    pricer.begin_burst();
-    for (std::uint64_t j = 0; j < burst_len; ++j) {
-      conns[k]->send(payload);
-      ++sent;
-      if (!world.run_until([&] { return sink.messages >= sent; },
-                           60'000'000)) {
-        fleet_fail(spec, "scheduled packet was not delivered", sent - 1);
-      }
-    }
-    pricer.end_burst();
-
-    // Conservation: every scheduled packet of the burst was priced while
-    // the burst was open (delivery is awaited above); anything short of
-    // that was torn down in flight and must be accounted, not ignored.
-    const std::uint64_t priced_now = r.scheduled_sampled + r.dropped_in_churn;
-    if (priced_now < sent) r.dropped_in_churn += sent - priced_now;
-
-    if (spec.churn_every != 0 && sent < spec.packets &&
-        (sent / spec.churn_every) * spec.churn_every > sent - burst_len) {
-      // Close and reopen the hottest flow.  Quiesce it first so no data is
-      // in flight, tear down both endpoints (the server-side unbind fires
-      // the demux hook and marks the flow's cache entry stale), then
-      // reconnect on the same 4-tuple: the reopened flow's first inbound
-      // frame is a stale hit and replays through the slow path.
-      if (!world.run_until([&] { return conns[0]->bytes_unacked() == 0; },
-                           60'000'000)) {
-        fleet_fail(spec, "churn victim did not quiesce", sent - 1);
-      }
-      for (auto* c : world.server().tcp()->connections()) {
-        if (c->remote_port() == client_port(0) &&
-            c->local_port() == kFleetServerPort) {
-          world.server().tcp()->destroy(c);
-          break;
-        }
-      }
-      world.client().tcp()->destroy(conns[0]);
-      conns[0] = world.client().tcp()->connect(world.server().address().ip,
-                                               client_port(0),
-                                               kFleetServerPort, &source);
-      if (!world.run_until(
-              [&] {
-                return conns[0]->state() == proto::TcpState::kEstablished;
-              },
-              60'000'000)) {
-        fleet_fail(spec, "churned connection did not re-establish", sent - 1);
-      }
-      // Established fires when the client processes the SYN-ACK; its
-      // handshake ACK is still in flight.  Drain it now, outside any
-      // burst, so it is priced as handshake traffic at position 0 and
-      // cannot advance the next burst's position.
-      world.run_until([] { return false; }, 500'000);
-      ++r.churns;
-    }
-  }
-
-  r.packets_sampled = samples.size();
-  r.cache = world.server().flow_cache()->stats();
-  r.latency = percentiles(samples);
-  r.sim_us = static_cast<double>(world.events().now());
-  r.sample_digest = fnv1a_samples(samples);
-  return r;
-}
-
-FleetResult run_fleet_rpc(const FleetSpec& spec, const BurstCostTable& costs) {
-  net::World world(net::StackKind::kRpc, spec.config, spec.config);
-  world.server().enable_flow_cache(spec.scheme, spec.cache_capacity,
-                                   spec.cache_costs);
-
-  for (std::size_t i = 0; i < spec.connections; ++i) {
-    world.server().mselect()->register_service(
-        static_cast<std::uint16_t>(kFleetRpcProcBase + i),
-        [&world](xk::Message& req) {
-          xk::Message reply(world.server().arena(), 0, 1);
-          reply.data()[0] = static_cast<std::uint8_t>(req.length() & 0xFF);
-          return reply;
-        });
-  }
-
-  FleetResult r;
-  r.spec = spec;
-  std::vector<double> samples;
-  samples.reserve(spec.packets + spec.packets / 4);
-  BurstPricer pricer;
-  pricer.costs = &costs;
-  world.server().set_deliver_hook(
-      [&](const code::FlowLookupResult& lr, bool slow) {
-        samples.push_back(pricer.price(lr, slow));
-        if (pricer.in_burst) {
-          ++r.scheduled_sampled;
-        } else {
-          ++r.handshake_sampled;
-        }
-        if (slow) ++r.slow_packets;
-      });
-
-  ZipfSampler zipf(spec.connections, spec.zipf_s, spec.seed);
-  std::uint64_t done = 0;
-  std::uint64_t sent = 0;
-  while (sent < spec.packets) {
-    const std::size_t k = zipf.next();
-    const std::uint64_t burst_len = std::min<std::uint64_t>(
-        spec.batch == 0 ? 1 : spec.batch, spec.packets - sent);
-    ++r.bursts;
-    pricer.begin_burst();
-    for (std::uint64_t j = 0; j < burst_len; ++j) {
-      xk::Message req(world.client().arena(), 128, 16);
-      world.client().mselect()->call(
-          static_cast<std::uint16_t>(kFleetRpcProcBase + k), req,
-          [&](xk::Message&) { ++done; });
-      ++sent;
-      if (!world.run_until([&] { return done >= sent; }, 60'000'000)) {
-        fleet_fail(spec, "scheduled call did not complete", sent - 1);
-      }
-    }
-    pricer.end_burst();
-  }
-
-  r.packets_sampled = samples.size();
-  r.cache = world.server().flow_cache()->stats();
-  r.latency = percentiles(samples);
-  r.sim_us = static_cast<double>(world.events().now());
-  r.sample_digest = fnv1a_samples(samples);
-  return r;
-}
-
 }  // namespace
 
-FleetResult run_fleet(const FleetSpec& spec, const BurstCostTable& costs) {
+namespace fleet_detail {
+
+CoreRunResult run_fleet_core(const FleetSpec& spec,
+                             const BurstCostTable& costs,
+                             const std::vector<ScheduledBurst>& schedule,
+                             const std::vector<std::uint32_t>& flow_core,
+                             std::uint32_t core_id, bool local_ports) {
+  if (flow_core.size() != spec.connections) {
+    throw std::invalid_argument(
+        "run_fleet_core: flow_core must map every connection");
+  }
+  return spec.kind == net::StackKind::kTcpIp
+             ? run_fleet_core_tcp(spec, costs, schedule, flow_core, core_id,
+                                  local_ports)
+             : run_fleet_core_rpc(spec, costs, schedule, flow_core, core_id,
+                                  local_ports);
+}
+
+void validate_fleet_spec(const FleetSpec& spec, const BurstCostTable& costs) {
   if (!spec.config.path_inlining) {
     throw std::invalid_argument(
         "run_fleet: spec.config must have path_inlining enabled (the flow "
@@ -474,60 +612,47 @@ FleetResult run_fleet(const FleetSpec& spec, const BurstCostTable& costs) {
         "run_fleet: connections and packets must be > 0");
   }
   check_costs(spec, costs);
-  return spec.kind == net::StackKind::kTcpIp ? run_fleet_tcp(spec, costs)
-                                             : run_fleet_rpc(spec, costs);
+}
+
+}  // namespace fleet_detail
+
+FleetResult run_fleet(const FleetSpec& spec, const BurstCostTable& costs) {
+  fleet_detail::validate_fleet_spec(spec, costs);
+  if (spec.connections > fleet_detail::kMaxFlowsPerWorld) {
+    throw std::invalid_argument(
+        "run_fleet: " + std::to_string(spec.connections) +
+        " connections exceed the single-world client port space (" +
+        std::to_string(fleet_detail::kMaxFlowsPerWorld) +
+        ") — use run_sharded_fleet (harness/shard.h)");
+  }
+  // The flat engine is the sharded engine with every flow on core 0.
+  const std::vector<fleet_detail::ScheduledBurst> schedule =
+      fleet_detail::build_schedule(spec);
+  const std::vector<std::uint32_t> flow_core(spec.connections, 0);
+  fleet_detail::CoreRunResult core = fleet_detail::run_fleet_core(
+      spec, costs, schedule, flow_core, /*core_id=*/0, /*local_ports=*/false);
+  return std::move(core.result);
 }
 
 FleetRunner::FleetRunner(unsigned threads)
-    : threads_(threads != 0
-                   ? threads
-                   : std::max(2u, std::thread::hardware_concurrency())) {}
+    : threads_(resolve_workers(threads)) {}
 
 std::vector<FleetResult> FleetRunner::run(const std::vector<FleetSpec>& specs,
                                           const BurstCostTable& costs) {
-  std::vector<FleetResult> out(specs.size());
-  if (specs.empty()) {
-    workers_used_ = 0;
-    return out;
-  }
-
-  // Rows are independent simulations (one private World each); results are
-  // stored by index, so numbers are identical for any worker count.
-  std::atomic<std::size_t> next{0};
-  std::mutex err_mu;
-  std::exception_ptr first_error;
-  const unsigned n_workers = static_cast<unsigned>(
-      std::min<std::size_t>(threads_, specs.size()));
-  std::vector<char> worked(n_workers, 0);
-
-  auto worker = [&](unsigned wi) {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= specs.size()) return;
-      worked[wi] = 1;
-      try {
-        out[i] = run_fleet(specs[i], costs);
-      } catch (...) {
-        std::lock_guard<std::mutex> lk(err_mu);
-        if (!first_error) first_error = std::current_exception();
-        return;
-      }
-    }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(n_workers);
-  for (unsigned wi = 0; wi < n_workers; ++wi) pool.emplace_back(worker, wi);
-  for (auto& t : pool) t.join();
-  if (first_error) std::rethrow_exception(first_error);
-  workers_used_ = static_cast<std::size_t>(
-      std::count(worked.begin(), worked.end(), 1));
-  return out;
+  // Thin wrapper over the unified runner entry point (harness/runner.h);
+  // byte-identical to the historical inline pool by test.
+  FleetRunSpec rs;
+  rs.common.workers = threads_;
+  rs.rows = specs;
+  rs.costs = costs;
+  Outcome o = harness::run(rs);
+  workers_used_ = o.workers_used;
+  return std::move(o.fleet);
 }
 
 Json fleet_json(const BurstCostTable& costs,
                 const std::vector<FleetResult>& rows) {
-  Json section = json_section("l96.fleet.v2");
+  Json section = emit_section("fleet", 2);
   Json fast = Json::array();
   for (double v : costs.fast_us) fast.push_back(v);
   Json slow = Json::array();

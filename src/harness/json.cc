@@ -4,8 +4,52 @@
 #include <iomanip>
 #include <ostream>
 #include <sstream>
+#include <stdexcept>
+
+#include "harness/sections.h"
 
 namespace l96::harness {
+
+const SectionInfo* find_section(std::string_view name, int version) noexcept {
+  for (const SectionInfo& s : kSectionManifest) {
+    if (s.name == name && s.version == version) return &s;
+  }
+  return nullptr;
+}
+
+std::string section_schema(const std::string& name, int version) {
+  if (name.empty()) {
+    throw std::invalid_argument("section_schema: empty section name");
+  }
+  for (char c : name) {
+    if ((c < 'a' || c > 'z') && (c < '0' || c > '9') && c != '_') {
+      throw std::invalid_argument("section_schema: section name '" + name +
+                                  "' must match [a-z0-9_]+");
+    }
+  }
+  if (version < 1) {
+    throw std::invalid_argument("section_schema: section version must be >= 1");
+  }
+  return "l96." + name + ".v" + std::to_string(version);
+}
+
+Json emit_section(const std::string& name, int version, Json body) {
+  const std::string schema = section_schema(name, version);
+  if (find_section(name, version) == nullptr) {
+    throw std::invalid_argument(
+        "emit_section: '" + schema +
+        "' is not in the section manifest (harness/sections.h) — list it "
+        "there before emitting it");
+  }
+  Json section = json_section(schema);
+  if (const Json::Object* entries = body.as_object()) {
+    for (const auto& [k, v] : *entries) section.set(k, v);
+  } else if (body.dump() != "null") {
+    throw std::invalid_argument(
+        "emit_section: body must be a JSON object (or omitted)");
+  }
+  return section;
+}
 
 Json& Json::push_back(Json v) {
   if (std::holds_alternative<std::nullptr_t>(v_)) v_ = Array{};

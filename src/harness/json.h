@@ -92,4 +92,20 @@ inline Json json_section(const std::string& schema) {
   return Json::object().set("schema", schema);
 }
 
+/// The wire schema string for a manifest section: ("fleet", 2) ->
+/// "l96.fleet.v2".  Validates the pieces (name is non-empty [a-z0-9_],
+/// version >= 1) and throws std::invalid_argument on a malformed name —
+/// but does NOT consult the manifest (emit_section does).
+std::string section_schema(const std::string& name, int version);
+
+/// Build a schema-versioned section the one sanctioned way: validates the
+/// name/version against the checked-in manifest (harness/sections.h) and
+/// the name's syntax once, then returns `{"schema": "l96.<name>.v<ver>",
+/// ...body}` with the body's keys appended in their insertion order.
+/// Throws std::invalid_argument for a section the manifest does not list
+/// (add it there first — that edit is the review point for new surfaces)
+/// or a body that is neither null nor an object.
+Json emit_section(const std::string& name, int version,
+                  Json body = Json::object());
+
 }  // namespace l96::harness

@@ -70,7 +70,7 @@ Json miss_profile_json(const sim::MissProfile& p, std::uint64_t instructions,
 }
 
 Json missmap_json(const ConfigResult& r, std::size_t top_conflicts) {
-  Json section = json_section("l96.missmap.v1");
+  Json section = emit_section("missmap", 1);
   auto add_side = [&](const char* key, const SideMeasurement& m) {
     if (!m.miss_cold && !m.miss_steady) return;
     Json side = Json::object();

@@ -1,5 +1,7 @@
 #include "harness/recovery.h"
 
+#include "harness/runner.h"
+
 #include <algorithm>
 #include <array>
 #include <atomic>
@@ -518,48 +520,19 @@ RecoveryResult run_recovery(const RecoverySpec& rspec,
 }
 
 RecoveryRunner::RecoveryRunner(unsigned threads)
-    : threads_(threads != 0
-                   ? threads
-                   : std::max(2u, std::thread::hardware_concurrency())) {}
+    : threads_(resolve_workers(threads)) {}
 
 std::vector<RecoveryResult> RecoveryRunner::run(
     const std::vector<RecoverySpec>& specs, const BurstCostTable& costs) {
-  std::vector<RecoveryResult> out(specs.size());
-  if (specs.empty()) {
-    workers_used_ = 0;
-    return out;
-  }
-
-  std::atomic<std::size_t> next{0};
-  std::mutex err_mu;
-  std::exception_ptr first_error;
-  const unsigned n_workers =
-      static_cast<unsigned>(std::min<std::size_t>(threads_, specs.size()));
-  std::vector<char> worked(n_workers, 0);
-
-  auto worker = [&](unsigned wi) {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= specs.size()) return;
-      worked[wi] = 1;
-      try {
-        out[i] = run_recovery(specs[i], costs);
-      } catch (...) {
-        std::lock_guard<std::mutex> lk(err_mu);
-        if (!first_error) first_error = std::current_exception();
-        return;
-      }
-    }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(n_workers);
-  for (unsigned wi = 0; wi < n_workers; ++wi) pool.emplace_back(worker, wi);
-  for (auto& t : pool) t.join();
-  if (first_error) std::rethrow_exception(first_error);
-  workers_used_ =
-      static_cast<std::size_t>(std::count(worked.begin(), worked.end(), 1));
-  return out;
+  // Thin wrapper over the unified runner entry point (harness/runner.h);
+  // byte-identical to the historical inline pool by test.
+  RecoveryRunSpec rs;
+  rs.common.workers = threads_;
+  rs.rows = specs;
+  rs.costs = costs;
+  Outcome o = harness::run(rs);
+  workers_used_ = o.workers_used;
+  return std::move(o.recovery);
 }
 
 namespace {
@@ -578,7 +551,7 @@ Json percentiles_json(const LatencyPercentiles& p) {
 
 Json recovery_json(const BurstCostTable& costs,
                    const std::vector<RecoveryResult>& rows) {
-  Json section = json_section("l96.recovery.v1");
+  Json section = emit_section("recovery", 1);
   Json fast = Json::array();
   for (double v : costs.fast_us) fast.push_back(v);
   Json slow = Json::array();

@@ -3,6 +3,7 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "harness/runner.h"
 #include "net/chaos.h"
 
 namespace l96::harness {
@@ -52,29 +53,29 @@ std::string SoakReport::summary() const {
   return buf;
 }
 
-SoakReport SoakRunner::run() {
-  net::World w(spec_.kind, spec_.client_cfg, spec_.server_cfg);
-  w.set_fault_plan(spec_.plan);
+SoakReport run_soak(const SoakSpec& spec) {
+  net::World w(spec.kind, spec.client_cfg, spec.server_cfg);
+  w.set_fault_plan(spec.plan);
 
-  const bool tcp = spec_.kind == net::StackKind::kTcpIp;
+  const bool tcp = spec.kind == net::StackKind::kTcpIp;
   if (tcp) {
-    w.client().tcptest()->enable_integrity(spec_.msg_bytes);
-    w.server().tcptest()->enable_integrity(spec_.msg_bytes);
+    w.client().tcptest()->enable_integrity(spec.msg_bytes);
+    w.server().tcptest()->enable_integrity(spec.msg_bytes);
     w.server().tcptest()->set_close_on_peer_close(true);
   } else {
-    w.client().xrpctest()->enable_integrity(spec_.msg_bytes);
-    w.server().xrpctest()->enable_integrity(spec_.msg_bytes);
+    w.client().xrpctest()->enable_integrity(spec.msg_bytes);
+    w.server().xrpctest()->enable_integrity(spec.msg_bytes);
   }
 
-  w.start(spec_.roundtrips);
+  w.start(spec.roundtrips);
   // Generous virtual-time bound: every roundtrip could in principle eat a
   // full retransmission timeout.
-  const std::uint64_t cap = spec_.max_virtual_us != 0
-                                ? spec_.max_virtual_us
-                                : spec_.roundtrips * 200'000 + 120'000'000;
+  const std::uint64_t cap = spec.max_virtual_us != 0
+                                ? spec.max_virtual_us
+                                : spec.roundtrips * 200'000 + 120'000'000;
 
   SoakReport rep;
-  if (spec_.chaos) {
+  if (spec.chaos) {
     if (tcp) {
       // A crash can leave the client fully ACKed and silently waiting for
       // an echo that died with the server: keepalive probes detect the
@@ -83,13 +84,13 @@ SoakReport SoakRunner::run() {
       w.client().set_tcp_keepalive(/*idle_us=*/200'000,
                                    /*intvl_us=*/100'000, /*probes=*/2);
       w.client().tcptest()->enable_reconnect();
-      w.server().set_reboot_hook([this, &w] {
-        w.server().tcptest()->enable_integrity(spec_.msg_bytes);
+      w.server().set_reboot_hook([&spec, &w] {
+        w.server().tcptest()->enable_integrity(spec.msg_bytes);
         w.server().tcptest()->set_close_on_peer_close(true);
         w.server().tcptest()->serve(net::World::kTcpServerPort);
       });
     }
-    const std::uint64_t third = spec_.roundtrips / 3;
+    const std::uint64_t third = spec.roundtrips / 3;
     w.run_until_roundtrips(third, cap);
     net::ChaosTimeline blackout;
     blackout.add(1'000, net::ChaosKind::kLinkDown, net::ChaosTarget::kWire)
@@ -105,7 +106,7 @@ SoakReport SoakRunner::run() {
       outage.install(w, w.events().now());
     }
   }
-  rep.completed = w.run_until_roundtrips(spec_.roundtrips, cap);
+  rep.completed = w.run_until_roundtrips(spec.roundtrips, cap);
   rep.roundtrips = w.client_roundtrips();
   rep.virtual_us = w.events().now();
   rep.mean_roundtrip_us =
@@ -113,7 +114,7 @@ SoakReport SoakRunner::run() {
           ? static_cast<double>(rep.virtual_us) / rep.roundtrips
           : 0.0;
 
-  if (spec_.teardown && tcp) {
+  if (spec.teardown && tcp) {
     if (auto* c = w.client().tcptest()->connection()) c->close();
   }
   // Drain: with the session idle (or closing), every timer must fire or be
@@ -140,7 +141,7 @@ SoakReport SoakRunner::run() {
     for (net::Host* h : {&w.client(), &w.server()}) {
       for (proto::TcpConn* c : h->tcp()->connections()) {
         const proto::TcpState s = c->state();
-        if (spec_.teardown && s != proto::TcpState::kClosed &&
+        if (spec.teardown && s != proto::TcpState::kClosed &&
             s != proto::TcpState::kTimeWait &&
             s != proto::TcpState::kListen) {
           ++rep.live_connections;
@@ -168,5 +169,7 @@ SoakReport SoakRunner::run() {
   }
   return rep;
 }
+
+SoakReport SoakRunner::run() { return run_soak(spec_); }
 
 }  // namespace l96::harness

@@ -257,7 +257,8 @@ void write_sweep_json(std::ostream& os, const std::string& bench,
                       const SweepRunner& runner,
                       const std::vector<SweepJob>& jobs,
                       const std::vector<SweepOutcome>& outcomes) {
-  os << "{\"schema\":\"l96.sweep.v1\",\"bench\":\"" << json_escape(bench)
+  os << "{\"schema\":\"" << section_schema("sweep", 1)
+     << "\",\"bench\":\"" << json_escape(bench)
      << "\",\"threads\":" << runner.thread_count()
      << ",\"workers_used\":" << runner.workers_used()
      << ",\"captures\":" << runner.captures_performed() << ",\"configs\":[";

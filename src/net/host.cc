@@ -33,7 +33,8 @@ code::PacketClassifier make_classifier(StackKind kind) {
 
 Host::Host(std::string name, StackKind kind, const code::StackConfig& cfg,
            HostAddress self, HostAddress peer, bool is_client,
-           xk::EventManager& events, Wire& wire, int wire_port)
+           xk::EventManager& events, Wire& wire, int wire_port,
+           std::size_t tcp_conn_buckets)
     : name_(std::move(name)),
       kind_(kind),
       cfg_(cfg),
@@ -45,6 +46,7 @@ Host::Host(std::string name, StackKind kind, const code::StackConfig& cfg,
       port_(events, static_cast<std::uint32_t>(wire_port) + 1),
       wire_(wire),
       wire_port_(wire_port),
+      tcp_conn_buckets_(tcp_conn_buckets),
       classifier_(make_classifier(kind)) {
   proto::register_common_code(registry_, cfg_);
   if (kind_ == StackKind::kTcpIp) {
@@ -71,7 +73,9 @@ void Host::build_stack() {
     vnet_->add_route(peer_.ip, 24, eth_.get(), peer_.mac);
     ip_ = std::make_unique<proto::Ip>(*ctx_, *vnet_, self_.ip);
     eth_->attach(proto::kEtherTypeIp, ip_.get());
-    tcp_ = std::make_unique<proto::Tcp>(*ctx_, *ip_);
+    proto::TcpParams tcp_params;
+    tcp_params.conn_buckets = tcp_conn_buckets_;
+    tcp_ = std::make_unique<proto::Tcp>(*ctx_, *ip_, tcp_params);
     if (tcp_ka_idle_us_ != 0) {
       tcp_->set_keepalive(tcp_ka_idle_us_, tcp_ka_intvl_us_, tcp_ka_probes_);
     }

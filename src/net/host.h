@@ -48,9 +48,13 @@ struct HostAddress {
 
 class Host {
  public:
+  /// `tcp_conn_buckets` sizes the TCP demux map (power of two; ignored on
+  /// RPC hosts) — shard-local fleets with thousands of connections pass a
+  /// larger table so per-frame demux stays O(1).
   Host(std::string name, StackKind kind, const code::StackConfig& cfg,
        HostAddress self, HostAddress peer, bool is_client,
-       xk::EventManager& events, Wire& wire, int wire_port);
+       xk::EventManager& events, Wire& wire, int wire_port,
+       std::size_t tcp_conn_buckets = 64);
   /// Detaches the flow-cache invalidation hook before members destruct:
   /// ~Tcp() tears down live connections, and the hook must not touch the
   /// already-destroyed cache (flow_cache_ is declared after tcp_).
@@ -188,6 +192,7 @@ class Host {
   std::uint64_t tcp_ka_intvl_us_ = 1'000'000;
   std::uint32_t tcp_ka_probes_ = 3;
   std::uint32_t tcp_max_syn_rexmts_ = 0;
+  std::size_t tcp_conn_buckets_ = 64;  ///< demux map size, kept across reboots
 
   std::unique_ptr<proto::Lance> lance_;
   std::unique_ptr<proto::Eth> eth_;

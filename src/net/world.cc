@@ -17,13 +17,19 @@ constexpr HostAddress kServerAddr{
 
 World::World(StackKind kind, const code::StackConfig& client_cfg,
              const code::StackConfig& server_cfg, WireParams wire_params)
-    : kind_(kind), wire_(events_, wire_params) {
+    : World(kind, client_cfg, server_cfg, WorldOptions{.wire = wire_params}) {}
+
+World::World(StackKind kind, const code::StackConfig& client_cfg,
+             const code::StackConfig& server_cfg, const WorldOptions& options)
+    : kind_(kind), wire_(events_, options.wire) {
   client_ = std::make_unique<Host>("client", kind, client_cfg, kClientAddr,
                                    kServerAddr, /*is_client=*/true, events_,
-                                   wire_, /*wire_port=*/0);
+                                   wire_, /*wire_port=*/0,
+                                   options.tcp_conn_buckets);
   server_ = std::make_unique<Host>("server", kind, server_cfg, kServerAddr,
                                    kClientAddr, /*is_client=*/false, events_,
-                                   wire_, /*wire_port=*/1);
+                                   wire_, /*wire_port=*/1,
+                                   options.tcp_conn_buckets);
   wire_.connect(0, [this](std::vector<std::uint8_t> f) {
     client_->deliver(std::move(f));
   });

@@ -11,6 +11,17 @@
 
 namespace l96::net {
 
+/// Construction-time tuning for a World beyond the wire timing: knobs that
+/// size per-connection state so a shard-local core can hold thousands of
+/// cheap connections without changing any protocol behaviour.
+struct WorldOptions {
+  WireParams wire{};
+  /// TCP demux-map bucket count for both hosts (power of two).  The
+  /// default 64 is the historical table; the sharded fleet engine sizes
+  /// this to the core's connection count so demux chains stay O(1).
+  std::size_t tcp_conn_buckets = 64;
+};
+
 class World {
  public:
   /// Well-known ports start() wires the TCP test program to (the soak
@@ -24,6 +35,10 @@ class World {
   World(StackKind kind, const code::StackConfig& client_cfg,
         const code::StackConfig& server_cfg,
         WireParams wire_params = WireParams());
+
+  /// Same, with the full option set.
+  World(StackKind kind, const code::StackConfig& client_cfg,
+        const code::StackConfig& server_cfg, const WorldOptions& options);
 
   /// Open the connection / register services and start the first request;
   /// `target_roundtrips` bounds the client's ping-pong.

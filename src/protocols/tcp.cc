@@ -105,7 +105,7 @@ Tcp::Tcp(xk::ProtoCtx& ctx, Ip& ip, TcpParams params)
     : Protocol("tcp", ctx),
       ip_(ip),
       params_(params),
-      conns_(ctx.arena, 64),
+      conns_(ctx.arena, params_.conn_buckets),
       listeners_(ctx.arena, 16),
       fn_demux_(fn("tcp_demux")),
       fn_input_(fn("tcp_input")),

@@ -73,6 +73,11 @@ struct TcpParams {
   std::uint64_t keepalive_idle_us = 0;
   std::uint64_t keepalive_intvl_us = 1'000'000;
   std::uint32_t keepalive_probes = 3;
+  /// Hash-bucket count of the connection demux map (must be a power of
+  /// two).  64 is the historical default; a sharded fleet core holding
+  /// thousands of connections sizes this up so demux chains stay O(1)
+  /// instead of devolving into 64 long lists.
+  std::size_t conn_buckets = 64;
 };
 
 class Tcp;

@@ -2,8 +2,8 @@
 // print the recovery report.
 //
 //   chaos [--script "S"] [--keepalive IDLE_US] [--syn-retries N]
-//         [--json FILE] [scheme] [connections] [packets] [zipf_s] [seed]
-//         [capacity]
+//         [--seed N] [--workers N] [--out FILE] [--json FILE]
+//         [scheme] [connections] [packets] [zipf_s] [seed] [capacity]
 //
 // `S` is a whitespace-separated chaos script, e.g.
 //   "link_down@2000 link_up@52000 crash@150000:server reboot@250000:server"
@@ -11,20 +11,20 @@
 // point).  `scheme` is one-behind | direct | lru.  --keepalive arms client
 // and server keepalive probing (interval = IDLE_US / 2, 2 probes);
 // --syn-retries bounds the reconnect storm's SYN retransmissions.
-// --json writes the l96.recovery.v1 section to FILE.
+// --out writes the l96.recovery.v1 section to FILE; --json FILE is the
+// deprecated spelling of the same thing (kept valued for existing
+// invocations — unlike the other tools, where --json is a bare flag).
 //
 // Exit status: 0 on success, 1 when a recovery invariant fails (packet
 // conservation, deliveries inside a blackout/crash window, an unrecovered
 // window), 2 on usage errors.
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
-#include <fstream>
 #include <stdexcept>
 #include <string>
-#include <vector>
 
-#include "harness/recovery.h"
+#include "harness/argparse.h"
+#include "harness/runner.h"
 
 int main(int argc, char** argv) {
   using namespace l96;
@@ -41,75 +41,99 @@ int main(int argc, char** argv) {
   spec.fleet.cache_capacity = 8;
   std::string script =
       "link_down@2000 link_up@52000 crash@150000:server reboot@250000:server";
-  std::string json_path;
 
-  const auto usage = [] {
-    std::fprintf(stderr,
-                 "usage: chaos [--script S] [--keepalive IDLE_US] "
-                 "[--syn-retries N] [--json FILE] [one-behind|direct|lru] "
-                 "[connections] [packets] [zipf_s] [seed] [capacity]\n");
-    return 2;
-  };
-
-  std::vector<char*> args;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--script") == 0) {
-      if (i + 1 >= argc) return usage();
-      script = argv[++i];
-    } else if (std::strcmp(argv[i], "--keepalive") == 0) {
-      if (i + 1 >= argc) return usage();
-      spec.keepalive_idle_us = std::strtoull(argv[++i], nullptr, 10);
-      if (spec.keepalive_idle_us == 0) return usage();
-      spec.keepalive_intvl_us = spec.keepalive_idle_us / 2;
-      spec.keepalive_probes = 2;
-    } else if (std::strcmp(argv[i], "--syn-retries") == 0) {
-      if (i + 1 >= argc) return usage();
-      spec.max_syn_rexmts =
-          static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
-    } else if (std::strcmp(argv[i], "--json") == 0) {
-      if (i + 1 >= argc) return usage();
-      json_path = argv[++i];
-    } else {
-      args.push_back(argv[i]);
-    }
-  }
-
-  if (args.size() > 0) {
-    const auto s = code::flow_cache_scheme_from_string(args[0]);
-    if (!s) return usage();
-    spec.fleet.scheme = *s;
-  }
-  if (args.size() > 1) {
-    spec.fleet.connections = std::strtoull(args[1], nullptr, 10);
-  }
-  if (args.size() > 2) spec.fleet.packets = std::strtoull(args[2], nullptr, 10);
-  if (args.size() > 3) spec.fleet.zipf_s = std::strtod(args[3], nullptr);
-  if (args.size() > 4) spec.fleet.seed = std::strtoull(args[4], nullptr, 10);
-  if (args.size() > 5) {
-    spec.fleet.cache_capacity = std::strtoull(args[5], nullptr, 10);
-  }
-  if (spec.fleet.connections == 0 || spec.fleet.packets == 0 ||
-      spec.fleet.cache_capacity == 0) {
-    return usage();
-  }
+  harness::ArgParser parser(
+      "chaos", "run one fleet row through a scripted failure timeline and "
+               "print the recovery report");
+  std::uint64_t seed = 1;
+  unsigned workers = 0;
+  std::string out_path;
+  parser.add_option("script", "S", "whitespace-separated chaos timeline",
+                    &script);
+  parser.add_option("keepalive", "IDLE_US",
+                    "arm keepalive probing (interval = IDLE_US/2, 2 probes)",
+                    [&](const std::string& v) {
+                      spec.keepalive_idle_us =
+                          std::strtoull(v.c_str(), nullptr, 10);
+                      if (spec.keepalive_idle_us == 0) return false;
+                      spec.keepalive_intvl_us = spec.keepalive_idle_us / 2;
+                      spec.keepalive_probes = 2;
+                      return true;
+                    });
+  parser.add_option("syn-retries", "N",
+                    "bound the reconnect storm's SYN retransmissions",
+                    [&](const std::string& v) {
+                      spec.max_syn_rexmts = static_cast<std::uint32_t>(
+                          std::strtoul(v.c_str(), nullptr, 10));
+                      return true;
+                    });
+  parser.add_option("seed", "N", "deterministic schedule seed", &seed);
+  parser.add_option("workers", "N",
+                    "worker threads (0 = hardware concurrency)", &workers);
+  parser.add_option("out", "FILE",
+                    "write the l96.recovery.v1 section to FILE", &out_path);
+  parser.add_option("json", "FILE", "deprecated alias of --out", &out_path);
+  parser.add_positional("scheme", "one-behind|direct|lru (default lru)",
+                        [&](const std::string& v) {
+                          const auto s = code::flow_cache_scheme_from_string(v);
+                          if (!s) return false;
+                          spec.fleet.scheme = *s;
+                          return true;
+                        });
+  parser.add_positional("connections", "fleet population (default 8)",
+                        [&](const std::string& v) {
+                          spec.fleet.connections =
+                              std::strtoull(v.c_str(), nullptr, 10);
+                          return spec.fleet.connections > 0;
+                        });
+  parser.add_positional("packets", "scheduled packets (default 128)",
+                        [&](const std::string& v) {
+                          spec.fleet.packets =
+                              std::strtoull(v.c_str(), nullptr, 10);
+                          return spec.fleet.packets > 0;
+                        });
+  parser.add_positional("zipf_s", "Zipf exponent (default 1.1)",
+                        [&](const std::string& v) {
+                          spec.fleet.zipf_s = std::strtod(v.c_str(), nullptr);
+                          return true;
+                        });
+  parser.add_positional("seed", "schedule seed (default 1)",
+                        [&](const std::string& v) {
+                          seed = std::strtoull(v.c_str(), nullptr, 10);
+                          return true;
+                        });
+  parser.add_positional("capacity", "flow-cache capacity (default 8)",
+                        [&](const std::string& v) {
+                          spec.fleet.cache_capacity =
+                              std::strtoull(v.c_str(), nullptr, 10);
+                          return spec.fleet.cache_capacity > 0;
+                        });
+  if (!parser.parse(argc, argv)) return parser.help_shown() ? 0 : 2;
+  spec.fleet.seed = seed;
   spec.fleet.label = std::string("chaos/") + code::to_string(spec.fleet.scheme);
 
   try {
     spec.chaos = net::ChaosTimeline::parse(script);
   } catch (const std::invalid_argument& e) {
-    std::fprintf(stderr, "%s\n", e.what());
-    return usage();
+    std::fprintf(stderr, "chaos: %s\n\n%s", e.what(), parser.help().c_str());
+    return 2;
   }
 
   const harness::BurstCostTable costs =
       harness::measure_burst_costs(spec.fleet.kind, spec.fleet.config, 1);
-  harness::RecoveryResult r;
+  harness::RecoveryRunSpec rs;
+  rs.common.workers = workers;
+  rs.common.out_path = out_path;
+  rs.rows = {spec};
+  rs.costs = costs;
+  harness::Outcome o;
   try {
-    r = harness::run_recovery(spec, costs);
+    o = harness::run(rs);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "chaos: %s\n", e.what());
     return 1;
   }
+  const harness::RecoveryResult& r = o.recovery.front();
 
   std::printf("%s conns=%zu packets=%llu zipf=%.2f seed=%llu cap=%zu\n",
               spec.fleet.label.c_str(), spec.fleet.connections,
@@ -154,15 +178,6 @@ int main(int argc, char** argv) {
               r.recovery.p50, r.recovery.p99, r.recovery.p999);
   std::printf("  digest=%016llx\n",
               static_cast<unsigned long long>(r.fleet.sample_digest));
-
-  if (!json_path.empty()) {
-    std::ofstream out(json_path);
-    out << harness::recovery_json(costs, {r}).dump() << '\n';
-    if (!out) {
-      std::fprintf(stderr, "chaos: cannot write %s\n", json_path.c_str());
-      return 1;
-    }
-  }
 
   // Exit-enforced invariants.
   int rc = 0;

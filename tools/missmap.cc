@@ -12,30 +12,22 @@
 //   --replay steady|cold  which replay's profile (default steady)
 //   --cache i|d           instruction or data cache (default i)
 //   --top N               rows per table (default 10)
+//   --workers N           sweep worker threads (0 = hardware concurrency)
 //   --json                emit the l96.missmap.v1 sections as JSON instead
+//   --out FILE            also write the JSON sections to FILE
 #include <cstdio>
-#include <cstring>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "harness/argparse.h"
 #include "harness/missmap.h"
 #include "harness/sweep.h"
 
 using namespace l96;
-
-namespace {
-
-int usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--stack tcpip|rpc] [--config NAME|all] "
-               "[--side client|server] [--replay steady|cold] [--cache i|d] "
-               "[--top N] [--json]\n",
-               argv0);
-  return 2;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   net::StackKind kind = net::StackKind::kTcpIp;
@@ -43,55 +35,55 @@ int main(int argc, char** argv) {
   std::string side = "client";
   std::string replay = "steady";
   std::string cache = "i";
-  std::size_t top = 10;
+  std::uint64_t top = 10;
+  unsigned workers = 0;
   bool json = false;
+  std::string out_path;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
-    auto val = [&]() -> const char* {
-      return i + 1 < argc ? argv[++i] : nullptr;
-    };
-    if (a == "--stack") {
-      const char* v = val();
-      if (v == nullptr) return usage(argv[0]);
-      kind = std::strcmp(v, "rpc") == 0 ? net::StackKind::kRpc
+  harness::ArgParser parser(
+      "missmap", "cache-miss attribution maps for the paper configurations");
+  parser.add_option("stack", "tcpip|rpc", "protocol stack (default tcpip)",
+                    [&](const std::string& v) {
+                      kind = v == "rpc" ? net::StackKind::kRpc
                                         : net::StackKind::kTcpIp;
-    } else if (a == "--config") {
-      const char* v = val();
-      if (v == nullptr) return usage(argv[0]);
-      config = v;
-    } else if (a == "--side") {
-      const char* v = val();
-      if (v == nullptr || (std::strcmp(v, "client") != 0 &&
-                           std::strcmp(v, "server") != 0)) {
-        return usage(argv[0]);
-      }
-      side = v;
-    } else if (a == "--replay") {
-      const char* v = val();
-      if (v == nullptr ||
-          (std::strcmp(v, "steady") != 0 && std::strcmp(v, "cold") != 0)) {
-        return usage(argv[0]);
-      }
-      replay = v;
-    } else if (a == "--cache") {
-      const char* v = val();
-      if (v == nullptr || (std::strcmp(v, "i") != 0 &&
-                           std::strcmp(v, "d") != 0)) {
-        return usage(argv[0]);
-      }
-      cache = v;
-    } else if (a == "--top") {
-      const char* v = val();
-      if (v == nullptr) return usage(argv[0]);
-      top = static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
-      if (top == 0) return usage(argv[0]);
-    } else if (a == "--json") {
-      json = true;
-    } else {
-      return usage(argv[0]);
-    }
-  }
+                      return true;
+                    });
+  parser.add_option("config", "NAME|all",
+                    "one of BAD/STD/OUT/CLO/PIN/ALL, or all (default STD)",
+                    &config);
+  parser.add_option("side", "client|server",
+                    "which host's replay to print (default client)",
+                    [&](const std::string& v) {
+                      if (v != "client" && v != "server") return false;
+                      side = v;
+                      return true;
+                    });
+  parser.add_option("replay", "steady|cold",
+                    "which replay's profile (default steady)",
+                    [&](const std::string& v) {
+                      if (v != "steady" && v != "cold") return false;
+                      replay = v;
+                      return true;
+                    });
+  parser.add_option("cache", "i|d", "instruction or data cache (default i)",
+                    [&](const std::string& v) {
+                      if (v != "i" && v != "d") return false;
+                      cache = v;
+                      return true;
+                    });
+  parser.add_option("top", "N", "rows per table (default 10, > 0)",
+                    [&](const std::string& v) {
+                      top = std::strtoull(v.c_str(), nullptr, 10);
+                      return top > 0;
+                    });
+  parser.add_option("workers", "N",
+                    "sweep worker threads (0 = hardware concurrency)",
+                    &workers);
+  parser.add_flag("json", "emit the l96.missmap.v1 sections as JSON instead",
+                  &json);
+  parser.add_option("out", "FILE", "also write the JSON sections to FILE",
+                    &out_path);
+  if (!parser.parse(argc, argv)) return parser.help_shown() ? 0 : 2;
 
   std::vector<code::StackConfig> cfgs;
   if (config == "all") {
@@ -117,19 +109,33 @@ int main(int argc, char** argv) {
     j.profile_misses = true;
     jobs.push_back(std::move(j));
   }
-  harness::SweepRunner runner;
+  harness::SweepRunner runner(workers);
   const auto outcomes = runner.run(jobs);
 
-  if (json) {
+  if (json || !out_path.empty()) {
     harness::Json out = harness::Json::array();
     for (const auto& o : outcomes) {
       out.push_back(harness::Json::object()
                         .set("label", o.label)
                         .set("missmap", harness::missmap_json(o.result, top)));
     }
-    out.dump(std::cout);
-    std::cout << "\n";
-    return 0;
+    if (!out_path.empty()) {
+      const std::filesystem::path p(out_path);
+      if (p.has_parent_path()) {
+        std::filesystem::create_directories(p.parent_path());
+      }
+      std::ofstream f(out_path);
+      f << out.dump() << "\n";
+      if (!f) {
+        std::fprintf(stderr, "missmap: cannot write %s\n", out_path.c_str());
+        return 1;
+      }
+    }
+    if (json) {
+      out.dump(std::cout);
+      std::cout << "\n";
+      return 0;
+    }
   }
 
   const char* stack_name = kind == net::StackKind::kRpc ? "rpc" : "tcpip";
