@@ -128,6 +128,18 @@ FlowCache::Entry* FlowCache::victim(FlowKey key) {
 
 FlowLookupResult FlowCache::lookup(const PacketClassifier& classifier,
                                    std::span<const std::uint8_t> frame) {
+  return lookup_impl(classifier, frame, nullptr);
+}
+
+FlowLookupResult FlowCache::lookup(const PacketClassifier& classifier,
+                                   std::span<const std::uint8_t> frame,
+                                   const PathResolver& resolver) {
+  return lookup_impl(classifier, frame, &resolver);
+}
+
+FlowLookupResult FlowCache::lookup_impl(const PacketClassifier& classifier,
+                                        std::span<const std::uint8_t> frame,
+                                        const PathResolver* resolver) {
   ++stats_.lookups;
   ++clock_;
   FlowLookupResult r;
@@ -171,7 +183,25 @@ FlowLookupResult FlowCache::lookup(const PacketClassifier& classifier,
   }
 
   const ClassifyScan scan = classifier.classify_scan(frame);
-  r.path_id = scan.path_id;
+  std::optional<int> bound = scan.path_id;
+  if (resolver != nullptr && scan.path_id.has_value()) {
+    const int b = (*resolver)(*key);
+    if (b < 0) {
+      // No path to bind right now (e.g. the LB pool is empty): price the
+      // scan, report no path, and leave the entry untouched so the next
+      // packet on this flow retries the resolution.
+      r.path_id = std::nullopt;
+      r.rules_examined = scan.rules_examined;
+      r.cost_us =
+          costs_.probe_us +
+          costs_.per_rule_us * static_cast<double>(scan.rules_examined);
+      stats_.rules_examined += scan.rules_examined;
+      stats_.cost_us += r.cost_us;
+      return r;
+    }
+    bound = b;
+  }
+  r.path_id = bound;
   r.rules_examined = scan.rules_examined;
   r.cost_us = costs_.probe_us +
               costs_.per_rule_us * static_cast<double>(scan.rules_examined);
@@ -180,8 +210,8 @@ FlowLookupResult FlowCache::lookup(const PacketClassifier& classifier,
 
   if (e == nullptr) e = victim(*key);
   e->key = *key;
-  e->path_id = scan.path_id.value_or(0);
-  e->has_path = scan.path_id.has_value();
+  e->path_id = bound.value_or(0);
+  e->has_path = bound.has_value();
   e->valid = true;
   e->stale = false;
   e->last_used = clock_;
@@ -190,6 +220,17 @@ FlowLookupResult FlowCache::lookup(const PacketClassifier& classifier,
 
 void FlowCache::invalidate(FlowKey key) {
   if (Entry* e = probe(key)) e->stale = true;
+}
+
+std::size_t FlowCache::invalidate_path(int path_id) {
+  std::size_t n = 0;
+  for (Entry& e : entries_) {
+    if (e.valid && !e.stale && e.has_path && e.path_id == path_id) {
+      e.stale = true;
+      ++n;
+    }
+  }
+  return n;
 }
 
 void FlowCache::clear() {

@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <span>
 #include <string_view>
@@ -116,10 +117,31 @@ class FlowCache {
   FlowLookupResult lookup(const PacketClassifier& classifier,
                           std::span<const std::uint8_t> frame);
 
+  /// Resolves a flow key to its path binding when the cached binding is
+  /// absent or stale.  The LB tier uses this to pin flows to a backend
+  /// (path_id = backend index) chosen once per flow, not per packet.
+  /// Consulted only after the classifier scan matched; a negative return
+  /// means "no path right now" and is *not* memoized, so the next packet
+  /// on the flow retries the resolution.
+  using PathResolver = std::function<int(FlowKey)>;
+
+  /// lookup() with flow pinning: a fresh hit returns the memoized
+  /// binding untouched; a miss or stale hit pays the classifier scan and
+  /// then re-binds through `resolver`.
+  FlowLookupResult lookup(const PacketClassifier& classifier,
+                          std::span<const std::uint8_t> frame,
+                          const PathResolver& resolver);
+
   /// Connection churn: mark any cached entry for `key` stale.  The entry
   /// stays resident — the next lookup on that flow *hits* it, detects the
   /// invalidation, and must take the slow path (a stale hit).
   void invalidate(FlowKey key);
+
+  /// Churn in the path itself (an LB backend leaving the pool): mark
+  /// stale every resident entry currently bound to `path_id`.  Each
+  /// affected flow takes the slow path exactly once, re-resolves, and
+  /// re-keys.  Returns how many entries were invalidated.
+  std::size_t invalidate_path(int path_id);
 
   /// Drop all entries and invalidations (not the counters).
   void clear();
@@ -147,6 +169,9 @@ class FlowCache {
 
   Entry* probe(FlowKey key);
   Entry* victim(FlowKey key);
+  FlowLookupResult lookup_impl(const PacketClassifier& classifier,
+                               std::span<const std::uint8_t> frame,
+                               const PathResolver* resolver);
 
   FlowKeySpec spec_;
   FlowCacheScheme scheme_;

@@ -82,9 +82,11 @@ code::CodeImage build_image(net::StackKind kind, const code::StackConfig& cfg,
     if (kind == net::StackKind::kTcpIp) {
       b.declare_path(proto::tcpip_output_path(reg));
       b.declare_path(proto::tcpip_input_path(reg));
-    } else {
+    } else if (kind == net::StackKind::kRpc) {
       b.declare_path(proto::rpc_output_path(reg));
       b.declare_path(proto::rpc_input_path(reg));
+    } else {
+      b.declare_path(proto::lb_forward_path(reg));
     }
   }
   return b.build();

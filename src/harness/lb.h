@@ -1,0 +1,156 @@
+// The load-balancer failover harness: price the LB tier's forwarding path
+// under live traffic and failure scripts.
+//
+// The fleet/recovery engines price an *endpoint's* receive activation;
+// this engine prices the *forwarding tier* between the client and the
+// backend pool (net/lb.h).  A cost table is measured once per (config,
+// params) from real captured LbHost activations:
+//
+//  * fast_us — the pinned fast path: conn-track hit, MAC rewrite, forward
+//    (lance_intr -> lb_classify -> lb_track -> lb_rewrite -> lb_forward
+//    -> lance_send), lowered and replayed under the config's layout
+//    exactly like an endpoint path (measure_side, kind = kLb).
+//  * slow_us — the same frame arriving on a *stale* conn-track entry
+//    (its backend was evicted): the composite's guard fails and the
+//    standalone rebind path runs, Maglev hash + table probe included,
+//    priced under the fast capture's layout profile.
+//
+// run_lb() then replays a deterministic Zipf burst schedule over an
+// LbWorld (client fleet -> LB -> N backends) while a ChaosTimeline
+// drains, crashes, and partitions backends; every client->LB frame is
+// priced as
+//
+//     wire leg in + conn-track lookup + (fast | slow) + wire leg out
+//
+// and the result reports per-phase percentiles (steady vs disrupted),
+// packet conservation under loss, per-rebuild remap counts (the Maglev
+// disruption bound bench_lb_failover enforces), and per-window
+// time-to-steer-away / time-to-restore — byte-identical for any worker
+// count (enforced by the bench).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "code/flow_cache.h"
+#include "harness/fleet.h"
+#include "harness/json.h"
+#include "net/chaos.h"
+#include "net/lb.h"
+
+namespace l96::harness {
+
+/// Single-position pricing for the LB tier's forwarding path, measured
+/// once per (config, params) by measure_lb_costs().
+struct LbCostTable {
+  double controller_us = 0;  ///< one controller+wire traversal (min frame)
+  double fast_us = 0;        ///< pinned conn-track hit -> rewrite -> forward
+  double slow_us = 0;        ///< stale rebind: hash + Maglev probe + rebind
+  std::string config_name;
+  std::uint64_t params_key = 0;  ///< machine_params_key() of the params
+};
+
+/// Measure an LbCostTable for `cfg`: warm an LbWorld's ping-pong flow,
+/// capture one pinned-hit forwarding activation (fast), invalidate the
+/// conn track so the next frame records the stale rebind (slow), and
+/// price both with measure_side under kind = kLb — the slow activation
+/// replays under the fast capture's layout profile, so with path
+/// inlining it pays the standalone cold-segment placements.
+LbCostTable measure_lb_costs(const code::StackConfig& cfg,
+                             const MachineParams& params =
+                                 MachineParams::defaults());
+
+/// One failover row: a connection fleet steered across a backend pool
+/// while a failure script runs.
+struct LbSpec {
+  std::string label;
+  /// Stack configuration for all three tiers; must have path_inlining on
+  /// (the slow-path fallback is what failover prices).
+  code::StackConfig config;
+  std::size_t backends = 4;
+  std::size_t connections = 8;
+  std::uint64_t packets = 256;  ///< scheduled client->backend packets
+  std::size_t batch = 1;        ///< packets per burst (one flow draw each)
+  double zipf_s = 1.1;
+  std::uint64_t seed = 1;
+  code::FlowCacheScheme track_scheme = code::FlowCacheScheme::kLru;
+  std::size_t track_capacity = 1024;
+  code::FlowCacheCosts track_costs{};
+  std::size_t maglev_table_size = net::MaglevTable::kDefaultTableSize;
+  net::LbHealthParams health{};
+  /// Backend-targeted failure script (drain/undrain, crash/reboot,
+  /// backend-link blackouts), anchored at schedule time zero.
+  net::ChaosTimeline chaos;
+  MachineParams params = MachineParams::defaults();
+};
+
+/// Per-disruption-window steering verdict, derived from the LB's rebuild
+/// records: how long after the fault began did the pool stop offering
+/// the target backend, and how long after it ended was it restored.
+struct LbSteer {
+  net::ChaosWindow window;
+  std::uint64_t start_abs_us = 0;
+  std::uint64_t end_abs_us = 0;
+  std::uint64_t samples_in_window = 0;
+  bool steered_away = false;  ///< a rebuild removed the target backend
+  double tta_us = -1;         ///< rebuild time - window start (detection)
+  bool restored = false;      ///< a rebuild restored it after window end
+  double ttr_us = -1;         ///< rebuild time - window end
+};
+
+struct LbResult {
+  LbSpec spec;  ///< echoed for reporting
+
+  // Packet accounting.  Conservation under chaos (bench-enforced):
+  //   spec.packets == scheduled_sampled + lost_packets
+  //   packets_sampled == scheduled_sampled + handshake_sampled
+  std::uint64_t packets_sampled = 0;    ///< client->LB frames priced
+  std::uint64_t scheduled_sampled = 0;  ///< of which: scheduled data
+  std::uint64_t handshake_sampled = 0;  ///< of which: handshake/repair
+  /// Scheduled packets whose connection died with the byte undelivered
+  /// (crash failover); a drain-only script must lose zero (bench).
+  std::uint64_t lost_packets = 0;
+  std::uint64_t reconnects = 0;
+
+  // LB-tier counters (harvested from the LbHost).
+  std::uint64_t forwards = 0;
+  std::uint64_t slow_forwards = 0;
+  std::uint64_t returns_forwarded = 0;
+  std::uint64_t drops_no_backend = 0;
+  std::uint64_t dark_forwards = 0;
+  std::uint64_t health_probes = 0;
+  std::vector<net::LbRebuild> rebuilds;
+  code::FlowCacheStats track;  ///< conn-track hit/miss/stale counters
+
+  // Client/backend-side fallout.
+  std::uint64_t client_retransmits = 0;
+  std::uint64_t client_syn_retransmits = 0;
+  std::uint64_t rst_sent = 0;        ///< sum over backend incarnations alive
+  std::uint64_t frames_to_dead = 0;  ///< frames that hit a crashed backend
+  std::uint64_t blackout_drops = 0;  ///< frames a dark backend link ate
+  std::uint64_t purged_events = 0;
+  std::uint32_t backend_incarnations = 0;  ///< sum over the pool
+
+  // Latency: every priced client->LB frame, split steady vs disrupted
+  // (inside a failure window or its repair tail).
+  LatencyPercentiles latency;
+  LatencyPercentiles steady;
+  LatencyPercentiles disrupted;
+  std::uint64_t steady_samples = 0;
+  std::uint64_t disrupted_samples = 0;
+
+  std::vector<LbSteer> windows;
+  double sim_us = 0;
+  std::uint64_t sample_digest = 0;  ///< FNV-1a over the per-frame samples
+};
+
+/// Run one failover row.  Throws std::runtime_error (naming the row) when
+/// the world stalls, and std::invalid_argument when the spec is malformed
+/// or the cost table does not match its config/params.
+LbResult run_lb(const LbSpec& spec, const LbCostTable& costs);
+
+/// The rows + shared costs as a schema-versioned section (`l96.lb.v1`).
+Json lb_json(const LbCostTable& costs, const std::vector<LbResult>& rows);
+
+}  // namespace l96::harness

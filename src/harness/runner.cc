@@ -118,6 +118,18 @@ Outcome run(const RecoveryRunSpec& spec) {
   return o;
 }
 
+Outcome run(const LbRunSpec& spec) {
+  Outcome o;
+  o.lb.resize(spec.rows.size());
+  o.workers_used = run_indexed_jobs(
+      spec.rows.size(), spec.common.workers,
+      [&](std::size_t i) { o.lb[i] = run_lb(spec.rows[i], spec.costs); });
+  o.section = lb_json(spec.costs, o.lb);
+  o.schema = schema_of(o.section);
+  o.out_path = write_out(spec.common, o.section);
+  return o;
+}
+
 Outcome run(const SoakRunSpec& spec) {
   Outcome o;
   o.soak.resize(spec.rows.size());

@@ -29,6 +29,7 @@
 
 #include "harness/fleet.h"
 #include "harness/json.h"
+#include "harness/lb.h"
 #include "harness/recovery.h"
 #include "harness/shard.h"
 #include "harness/soak.h"
@@ -104,6 +105,20 @@ struct RecoveryRunSpec {
   }
 };
 
+struct LbRunSpec {
+  RunnerSpec common;
+  std::vector<LbSpec> rows;
+  LbCostTable costs;
+
+  LbSpec row_defaults() const {
+    LbSpec s;
+    s.seed = common.seed;
+    s.batch = common.batch;
+    s.params = common.params;
+    return s;
+  }
+};
+
 struct SoakRunSpec {
   RunnerSpec common;
   std::vector<SoakSpec> rows;
@@ -137,6 +152,7 @@ struct Outcome {
   std::vector<FleetResult> fleet;
   std::vector<ShardResult> shard;
   std::vector<RecoveryResult> recovery;
+  std::vector<LbResult> lb;
   std::vector<SoakReport> soak;
   std::vector<ThroughputResult> stream;
 };
@@ -144,6 +160,7 @@ struct Outcome {
 Outcome run(const FleetRunSpec& spec);
 Outcome run(const ShardRunSpec& spec);
 Outcome run(const RecoveryRunSpec& spec);
+Outcome run(const LbRunSpec& spec);
 Outcome run(const SoakRunSpec& spec);
 Outcome run(const StreamRunSpec& spec);
 

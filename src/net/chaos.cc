@@ -1,8 +1,11 @@
 #include "net/chaos.h"
 
 #include <algorithm>
+#include <map>
 #include <sstream>
 #include <stdexcept>
+
+#include "net/lb.h"
 
 namespace l96::net {
 
@@ -12,6 +15,8 @@ const char* to_string(ChaosKind k) {
     case ChaosKind::kLinkUp: return "link_up";
     case ChaosKind::kHostCrash: return "crash";
     case ChaosKind::kHostReboot: return "reboot";
+    case ChaosKind::kDrain: return "drain";
+    case ChaosKind::kUndrain: return "undrain";
   }
   return "?";
 }
@@ -21,6 +26,8 @@ const char* to_string(ChaosTarget t) {
     case ChaosTarget::kWire: return "wire";
     case ChaosTarget::kClient: return "client";
     case ChaosTarget::kServer: return "server";
+    case ChaosTarget::kBackend: return "backend";
+    case ChaosTarget::kBackendLink: return "backend";  // token form reuses it
   }
   return "?";
 }
@@ -29,6 +36,8 @@ ChaosTimeline ChaosTimeline::parse(std::string_view script) {
   ChaosTimeline tl;
   std::istringstream in{std::string(script)};
   std::string tok;
+  std::uint64_t last_at = 0;
+  bool first = true;
   while (in >> tok) {
     const auto at_pos = tok.find('@');
     if (at_pos == std::string::npos) {
@@ -37,6 +46,7 @@ ChaosTimeline ChaosTimeline::parse(std::string_view script) {
     const std::string verb = tok.substr(0, at_pos);
     std::string when = tok.substr(at_pos + 1);
     ChaosTarget target = ChaosTarget::kWire;
+    std::uint16_t index = 0;
     const auto colon = when.find(':');
     if (colon != std::string::npos) {
       const std::string who = when.substr(colon + 1);
@@ -45,8 +55,23 @@ ChaosTimeline ChaosTimeline::parse(std::string_view script) {
         target = ChaosTarget::kClient;
       } else if (who == "server") {
         target = ChaosTarget::kServer;
+      } else if (who.rfind("backend", 0) == 0 && who.size() > 7) {
+        const std::string num = who.substr(7);
+        try {
+          std::size_t used = 0;
+          const unsigned long v = std::stoul(num, &used);
+          if (used != num.size() || v > 0xFFFF) {
+            throw std::invalid_argument(num);
+          }
+          index = static_cast<std::uint16_t>(v);
+        } catch (const std::exception&) {
+          throw std::invalid_argument("chaos: bad backend index in \"" + tok +
+                                      "\"");
+        }
+        target = ChaosTarget::kBackend;
       } else {
-        throw std::invalid_argument("chaos: unknown host \"" + who + "\"");
+        throw std::invalid_argument("chaos: unknown host \"" + who +
+                                    "\" in \"" + tok + "\"");
       }
     }
 
@@ -59,18 +84,36 @@ ChaosTimeline ChaosTimeline::parse(std::string_view script) {
       kind = ChaosKind::kHostCrash;
     } else if (verb == "reboot") {
       kind = ChaosKind::kHostReboot;
+    } else if (verb == "drain") {
+      kind = ChaosKind::kDrain;
+    } else if (verb == "undrain") {
+      kind = ChaosKind::kUndrain;
     } else {
-      throw std::invalid_argument("chaos: unknown verb \"" + verb + "\"");
+      throw std::invalid_argument("chaos: unknown verb \"" + verb +
+                                  "\" in \"" + tok + "\"");
     }
 
     const bool host_verb =
         kind == ChaosKind::kHostCrash || kind == ChaosKind::kHostReboot;
+    const bool drain_verb =
+        kind == ChaosKind::kDrain || kind == ChaosKind::kUndrain;
     if (host_verb && target == ChaosTarget::kWire) {
       throw std::invalid_argument(
-          "chaos: " + verb + " needs a :client or :server target");
+          "chaos: " + verb + " needs a :client, :server or :backendN target");
     }
-    if (!host_verb && target != ChaosTarget::kWire) {
-      throw std::invalid_argument("chaos: " + verb + " takes no target");
+    if (drain_verb && target != ChaosTarget::kBackend) {
+      throw std::invalid_argument("chaos: " + verb +
+                                  " needs a :backendN target in \"" + tok +
+                                  "\"");
+    }
+    if (!host_verb && !drain_verb) {
+      // Link verbs: bare (the client-side wire) or :backendN (that
+      // backend's LB-side wire); never :client / :server.
+      if (target == ChaosTarget::kClient || target == ChaosTarget::kServer) {
+        throw std::invalid_argument("chaos: " + verb + " takes no host, only "
+                                    ":backendN, in \"" + tok + "\"");
+      }
+      if (target == ChaosTarget::kBackend) target = ChaosTarget::kBackendLink;
     }
 
     std::uint64_t at_us = 0;
@@ -79,18 +122,25 @@ ChaosTimeline ChaosTimeline::parse(std::string_view script) {
       at_us = std::stoull(when, &used);
       if (used != when.size()) throw std::invalid_argument(when);
     } catch (const std::exception&) {
-      throw std::invalid_argument("chaos: bad time \"" + when + "\"");
+      throw std::invalid_argument("chaos: bad time \"" + when + "\" in \"" +
+                                  tok + "\"");
     }
+    if (!first && at_us < last_at) {
+      throw std::invalid_argument("chaos: time goes backwards at \"" + tok +
+                                  "\"");
+    }
+    first = false;
+    last_at = at_us;
 
-    tl.add(at_us, kind, target);
+    tl.add(at_us, kind, target, index);
   }
   tl.validate();
   return tl;
 }
 
 ChaosTimeline& ChaosTimeline::add(std::uint64_t at_us, ChaosKind kind,
-                                  ChaosTarget target) {
-  events_.push_back(ChaosEvent{at_us, kind, target});
+                                  ChaosTarget target, std::uint16_t index) {
+  events_.push_back(ChaosEvent{at_us, kind, target, index});
   return *this;
 }
 
@@ -104,37 +154,80 @@ void ChaosTimeline::validate() const {
   bool link_down = false;
   bool client_dead = false;
   bool server_dead = false;
+  std::map<std::uint16_t, bool> blink_down;    // backend-link blackouts
+  std::map<std::uint16_t, bool> backend_dead;  // backend host crashes
+  std::map<std::uint16_t, bool> drained;       // administrative drains
   for (const ChaosEvent& e : events_) {
     switch (e.kind) {
-      case ChaosKind::kLinkDown:
-        if (link_down) throw std::invalid_argument("chaos: double link_down");
-        link_down = true;
+      case ChaosKind::kLinkDown: {
+        bool& down = e.target == ChaosTarget::kBackendLink
+                         ? blink_down[e.index]
+                         : link_down;
+        if (down) throw std::invalid_argument("chaos: double link_down");
+        down = true;
         break;
-      case ChaosKind::kLinkUp:
-        if (!link_down) {
+      }
+      case ChaosKind::kLinkUp: {
+        bool& down = e.target == ChaosTarget::kBackendLink
+                         ? blink_down[e.index]
+                         : link_down;
+        if (!down) {
           throw std::invalid_argument("chaos: link_up without link_down");
         }
-        link_down = false;
+        down = false;
         break;
+      }
       case ChaosKind::kHostCrash: {
-        bool& dead =
-            e.target == ChaosTarget::kClient ? client_dead : server_dead;
+        bool& dead = e.target == ChaosTarget::kBackend ? backend_dead[e.index]
+                     : e.target == ChaosTarget::kClient ? client_dead
+                                                        : server_dead;
         if (dead) throw std::invalid_argument("chaos: double crash");
         dead = true;
         break;
       }
       case ChaosKind::kHostReboot: {
-        bool& dead =
-            e.target == ChaosTarget::kClient ? client_dead : server_dead;
+        bool& dead = e.target == ChaosTarget::kBackend ? backend_dead[e.index]
+                     : e.target == ChaosTarget::kClient ? client_dead
+                                                        : server_dead;
         if (!dead) throw std::invalid_argument("chaos: reboot without crash");
         dead = false;
+        break;
+      }
+      case ChaosKind::kDrain: {
+        bool& d = drained[e.index];
+        if (d) throw std::invalid_argument("chaos: double drain");
+        d = true;
+        break;
+      }
+      case ChaosKind::kUndrain: {
+        bool& d = drained[e.index];
+        if (!d) throw std::invalid_argument("chaos: undrain without drain");
+        d = false;
         break;
       }
     }
   }
   if (link_down) throw std::invalid_argument("chaos: link never comes back");
+  for (const auto& [idx, down] : blink_down) {
+    if (down) {
+      throw std::invalid_argument("chaos: backend" + std::to_string(idx) +
+                                  " link never comes back");
+    }
+  }
   if (client_dead || server_dead) {
     throw std::invalid_argument("chaos: host never reboots");
+  }
+  for (const auto& [idx, dead] : backend_dead) {
+    if (dead) {
+      throw std::invalid_argument("chaos: backend" + std::to_string(idx) +
+                                  " never reboots");
+    }
+  }
+  for (const auto& [idx, d] : drained) {
+    if (d) {
+      throw std::invalid_argument("chaos: backend" + std::to_string(idx) +
+                                  " never undrains");
+    }
   }
 }
 
@@ -143,22 +236,39 @@ std::vector<ChaosWindow> ChaosTimeline::windows() const {
   std::uint64_t link_start = 0;
   std::uint64_t client_start = 0;
   std::uint64_t server_start = 0;
+  std::map<std::uint16_t, std::uint64_t> blink_start;
+  std::map<std::uint16_t, std::uint64_t> backend_start;
+  std::map<std::uint16_t, std::uint64_t> drain_start;
   for (const ChaosEvent& e : events_) {
     switch (e.kind) {
       case ChaosKind::kLinkDown:
-        link_start = e.at_us;
+        (e.target == ChaosTarget::kBackendLink ? blink_start[e.index]
+                                               : link_start) = e.at_us;
         break;
       case ChaosKind::kLinkUp:
-        out.push_back({link_start, e.at_us, false, ChaosTarget::kWire});
+        out.push_back({e.target == ChaosTarget::kBackendLink
+                           ? blink_start[e.index]
+                           : link_start,
+                       e.at_us, false, false, e.target, e.index});
         break;
       case ChaosKind::kHostCrash:
-        (e.target == ChaosTarget::kClient ? client_start : server_start) =
-            e.at_us;
+        (e.target == ChaosTarget::kBackend ? backend_start[e.index]
+         : e.target == ChaosTarget::kClient ? client_start
+                                            : server_start) = e.at_us;
         break;
       case ChaosKind::kHostReboot:
-        out.push_back({e.target == ChaosTarget::kClient ? client_start
-                                                        : server_start,
-                       e.at_us, true, e.target});
+        out.push_back({e.target == ChaosTarget::kBackend
+                           ? backend_start[e.index]
+                       : e.target == ChaosTarget::kClient ? client_start
+                                                          : server_start,
+                       e.at_us, true, false, e.target, e.index});
+        break;
+      case ChaosKind::kDrain:
+        drain_start[e.index] = e.at_us;
+        break;
+      case ChaosKind::kUndrain:
+        out.push_back({drain_start[e.index], e.at_us, false, true,
+                       ChaosTarget::kBackend, e.index});
         break;
     }
   }
@@ -169,9 +279,34 @@ std::vector<ChaosWindow> ChaosTimeline::windows() const {
   return out;
 }
 
+namespace {
+
+[[noreturn]] void throw_no_such_target(const ChaosEvent& e,
+                                       const std::string& why) {
+  throw std::invalid_argument("chaos: target \"" +
+                              std::string(to_string(e.target)) +
+                              (e.target == ChaosTarget::kBackend ||
+                                       e.target == ChaosTarget::kBackendLink
+                                   ? std::to_string(e.index)
+                                   : std::string()) +
+                              "\" " + why);
+}
+
+}  // namespace
+
 void ChaosTimeline::install(World& world, std::uint64_t base_us) const {
   validate();
   for (const ChaosEvent& e : events_) {
+    // Target existence is checked against *this* world at install time: a
+    // two-host world has no backends and no LB pool to drain.
+    if (e.target == ChaosTarget::kBackend ||
+        e.target == ChaosTarget::kBackendLink) {
+      throw_no_such_target(e, "does not exist in this world (no backends)");
+    }
+    if (e.kind == ChaosKind::kDrain || e.kind == ChaosKind::kUndrain) {
+      throw std::invalid_argument(
+          "chaos: drain targets an LB pool; this world has none");
+    }
     Host* host = e.target == ChaosTarget::kClient ? &world.client()
                                                   : &world.server();
     Wire* wire = &world.wire();
@@ -185,6 +320,56 @@ void ChaosTimeline::install(World& world, std::uint64_t base_us) const {
             case ChaosKind::kLinkUp: wire->link_up(); break;
             case ChaosKind::kHostCrash: host->crash(); break;
             case ChaosKind::kHostReboot: host->reboot(); break;
+            case ChaosKind::kDrain:
+            case ChaosKind::kUndrain: break;  // rejected above
+          }
+        },
+        xk::EventManager::kInfraOwner);
+  }
+}
+
+void ChaosTimeline::install(LbWorld& world, std::uint64_t base_us) const {
+  validate();
+  for (const ChaosEvent& e : events_) {
+    if ((e.target == ChaosTarget::kBackend ||
+         e.target == ChaosTarget::kBackendLink) &&
+        e.index >= world.backend_count()) {
+      throw_no_such_target(
+          e, "does not exist in this world (" +
+                 std::to_string(world.backend_count()) + " backends)");
+    }
+    if (e.target == ChaosTarget::kClient || e.target == ChaosTarget::kServer) {
+      throw_no_such_target(
+          e, "does not exist in this world (targets are :backendN)");
+    }
+    world.events().schedule_at(
+        base_us + e.at_us,
+        [&world, e] {
+          switch (e.kind) {
+            case ChaosKind::kLinkDown:
+              (e.target == ChaosTarget::kBackendLink
+                   ? world.backend_wire(e.index)
+                   : world.client_wire())
+                  .link_down();
+              break;
+            case ChaosKind::kLinkUp:
+              (e.target == ChaosTarget::kBackendLink
+                   ? world.backend_wire(e.index)
+                   : world.client_wire())
+                  .link_up();
+              break;
+            case ChaosKind::kHostCrash:
+              world.backend(e.index).crash();
+              break;
+            case ChaosKind::kHostReboot:
+              world.backend(e.index).reboot();
+              break;
+            case ChaosKind::kDrain:
+              world.lb().drain(e.index);
+              break;
+            case ChaosKind::kUndrain:
+              world.lb().undrain(e.index);
+              break;
           }
         },
         xk::EventManager::kInfraOwner);
@@ -198,7 +383,13 @@ std::string ChaosTimeline::str() const {
     out += to_string(e.kind);
     out += '@';
     out += std::to_string(e.at_us);
-    if (e.kind == ChaosKind::kHostCrash || e.kind == ChaosKind::kHostReboot) {
+    const bool backend = e.target == ChaosTarget::kBackend ||
+                         e.target == ChaosTarget::kBackendLink;
+    if (backend) {
+      out += ":backend";
+      out += std::to_string(e.index);
+    } else if (e.kind == ChaosKind::kHostCrash ||
+               e.kind == ChaosKind::kHostReboot) {
       out += ':';
       out += to_string(e.target);
     }

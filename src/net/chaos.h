@@ -25,14 +25,24 @@
 
 namespace l96::net {
 
+class LbWorld;
+
 enum class ChaosKind : std::uint8_t {
   kLinkDown,
   kLinkUp,
   kHostCrash,
   kHostReboot,
+  kDrain,    ///< administratively remove a backend from the LB pool
+  kUndrain,  ///< restore a drained backend to the LB pool
 };
 
-enum class ChaosTarget : std::uint8_t { kWire, kClient, kServer };
+enum class ChaosTarget : std::uint8_t {
+  kWire,
+  kClient,
+  kServer,
+  kBackend,      ///< backend host `index` in an LB world
+  kBackendLink,  ///< the LB <-> backend `index` wire in an LB world
+};
 
 const char* to_string(ChaosKind k);
 const char* to_string(ChaosTarget t);
@@ -41,17 +51,20 @@ struct ChaosEvent {
   std::uint64_t at_us = 0;  ///< relative to the install base time
   ChaosKind kind = ChaosKind::kLinkDown;
   ChaosTarget target = ChaosTarget::kWire;
+  std::uint16_t index = 0;  ///< backend index (kBackend / kBackendLink)
 
   friend bool operator==(const ChaosEvent&, const ChaosEvent&) = default;
 };
 
 /// A disruption window derived from the script: [start_us, end_us) during
-/// which the fault is in force (link down, or host dead).
+/// which the fault is in force (link down, host dead, or backend drained).
 struct ChaosWindow {
   std::uint64_t start_us = 0;
   std::uint64_t end_us = 0;
   bool crash = false;  ///< host crash/reboot window (else link blackout)
+  bool drain = false;  ///< administrative drain window (never both)
   ChaosTarget target = ChaosTarget::kWire;
+  std::uint16_t index = 0;  ///< backend index (kBackend / kBackendLink)
 };
 
 class ChaosTimeline {
@@ -60,13 +73,18 @@ class ChaosTimeline {
 
   /// Parse the compact script form: whitespace-separated entries
   ///   link_down@T  link_up@T  crash@T:client|server  reboot@T:client|server
+  /// plus, for LB worlds (backend index N counted from 0):
+  ///   crash@T:backendN  reboot@T:backendN    (backend host failure)
+  ///   link_down@T:backendN  link_up@T:backendN  (LB<->backend wire)
+  ///   drain@T:backendN  undrain@T:backendN   (administrative pool removal)
   /// with T in virtual microseconds relative to the install base.
-  /// Throws std::invalid_argument on malformed input.
+  /// Throws std::invalid_argument on malformed input, always naming the
+  /// offending token; timestamps must be non-decreasing in script order.
   static ChaosTimeline parse(std::string_view script);
 
   /// Append one event (kept sorted by validate()).
-  ChaosTimeline& add(std::uint64_t at_us, ChaosKind kind,
-                     ChaosTarget target);
+  ChaosTimeline& add(std::uint64_t at_us, ChaosKind kind, ChaosTarget target,
+                     std::uint16_t index = 0);
 
   /// Check the script is coherent: events sorted by time, every link_down
   /// eventually matched by a link_up (and vice versa, starting up), every
@@ -79,8 +97,16 @@ class ChaosTimeline {
 
   /// Schedule every event onto the world's event manager at
   /// `base_us + at_us`, as infrastructure events (owner 0) so they survive
-  /// the very crashes they cause.
+  /// the very crashes they cause.  Throws std::invalid_argument when the
+  /// script names a target this world does not have (backend events in a
+  /// two-host world).
   void install(World& world, std::uint64_t base_us) const;
+
+  /// Same, onto a three-tier LB world: backend targets are checked
+  /// against the world's actual pool size at install time, and
+  /// client/server host events are rejected (the LB world's client is
+  /// load, not a failure domain).
+  void install(LbWorld& world, std::uint64_t base_us) const;
 
   const std::vector<ChaosEvent>& events() const noexcept { return events_; }
   bool empty() const noexcept { return events_.empty(); }

@@ -34,7 +34,7 @@ code::PacketClassifier make_classifier(StackKind kind) {
 Host::Host(std::string name, StackKind kind, const code::StackConfig& cfg,
            HostAddress self, HostAddress peer, bool is_client,
            xk::EventManager& events, Wire& wire, int wire_port,
-           std::size_t tcp_conn_buckets)
+           std::size_t tcp_conn_buckets, std::uint32_t event_owner)
     : name_(std::move(name)),
       kind_(kind),
       cfg_(cfg),
@@ -42,12 +42,19 @@ Host::Host(std::string name, StackKind kind, const code::StackConfig& cfg,
       peer_(peer),
       is_client_(is_client),
       // Failure domain: wire port 0 -> owner 1, port 1 -> owner 2 (owner 0
-      // is infrastructure and survives every crash).
-      port_(events, static_cast<std::uint32_t>(wire_port) + 1),
+      // is infrastructure and survives every crash); multi-host worlds
+      // override via event_owner.
+      port_(events, event_owner != 0
+                        ? event_owner
+                        : static_cast<std::uint32_t>(wire_port) + 1),
       wire_(wire),
       wire_port_(wire_port),
       tcp_conn_buckets_(tcp_conn_buckets),
       classifier_(make_classifier(kind)) {
+  if (kind_ == StackKind::kLb) {
+    throw std::invalid_argument(
+        "Host: kLb is the forwarding tier; build a net::LbHost instead");
+  }
   proto::register_common_code(registry_, cfg_);
   if (kind_ == StackKind::kTcpIp) {
     proto::register_tcpip_code(registry_, cfg_);

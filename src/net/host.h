@@ -38,7 +38,7 @@
 
 namespace l96::net {
 
-enum class StackKind { kTcpIp, kRpc };
+enum class StackKind { kTcpIp, kRpc, kLb };
 
 struct HostAddress {
   std::uint32_t ip = 0;
@@ -50,11 +50,16 @@ class Host {
  public:
   /// `tcp_conn_buckets` sizes the TCP demux map (power of two; ignored on
   /// RPC hosts) — shard-local fleets with thousands of connections pass a
-  /// larger table so per-frame demux stays O(1).
+  /// larger table so per-frame demux stays O(1).  `event_owner` overrides
+  /// the default wire_port+1 failure-domain owner tag: multi-host worlds
+  /// (the LB tier's backends all sit at wire port 1 of their own wires on
+  /// one shared EventManager) pass distinct owners so crashing one host
+  /// never purges another's timers.  kLb is not a Host stack — LbHost
+  /// (net/lb.h) builds the forwarding tier; passing it here throws.
   Host(std::string name, StackKind kind, const code::StackConfig& cfg,
        HostAddress self, HostAddress peer, bool is_client,
        xk::EventManager& events, Wire& wire, int wire_port,
-       std::size_t tcp_conn_buckets = 64);
+       std::size_t tcp_conn_buckets = 64, std::uint32_t event_owner = 0);
   /// Detaches the flow-cache invalidation hook before members destruct:
   /// ~Tcp() tears down live connections, and the hook must not touch the
   /// already-destroyed cache (flow_cache_ is declared after tcp_).

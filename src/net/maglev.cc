@@ -1,0 +1,98 @@
+#include "net/maglev.h"
+
+#include <stdexcept>
+
+namespace l96::net {
+
+std::uint64_t MaglevTable::mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+bool MaglevTable::is_prime(std::size_t n) {
+  if (n < 2) return false;
+  for (std::size_t d = 2; d * d <= n; ++d) {
+    if (n % d == 0) return false;
+  }
+  return true;
+}
+
+std::size_t MaglevTable::next_prime(std::size_t n) {
+  if (n <= 2) return 2;
+  for (std::size_t c = n;; ++c) {
+    if (is_prime(c)) return c;
+  }
+}
+
+MaglevTable::MaglevTable(std::size_t backends, std::size_t table_size,
+                         std::uint64_t salt)
+    : backends_(backends) {
+  if (backends == 0) {
+    throw std::invalid_argument("maglev: pool must have at least one backend");
+  }
+  if (!is_prime(table_size)) {
+    throw std::invalid_argument("maglev: table size must be prime");
+  }
+  if (table_size < backends) {
+    throw std::invalid_argument("maglev: table smaller than the pool");
+  }
+  entries_.assign(table_size, -1);
+  offset_.resize(backends);
+  skip_.resize(backends);
+  for (std::size_t i = 0; i < backends; ++i) {
+    const std::uint64_t h = mix64(salt ^ mix64(static_cast<std::uint64_t>(i)));
+    offset_[i] = h % table_size;
+    // skip in [1, M-1]: coprime with a prime M, so each backend's
+    // preference list visits every entry exactly once.
+    skip_[i] = mix64(h) % (table_size - 1) + 1;
+  }
+  rebuild(std::vector<bool>(backends, true));
+  rebuilds_ = 0;  // the initial population is not a pool change
+}
+
+std::size_t MaglevTable::rebuild(const std::vector<bool>& alive) {
+  if (alive.size() != backends_) {
+    throw std::invalid_argument("maglev: alive mask size != pool size");
+  }
+  const std::size_t m = entries_.size();
+  pool_size_ = 0;
+  for (bool a : alive) pool_size_ += a ? 1u : 0u;
+
+  std::vector<int> table(m, -1);
+  if (pool_size_ != 0) {
+    std::vector<std::uint64_t> next(backends_, 0);
+    std::size_t filled = 0;
+    while (filled < m) {
+      for (std::size_t i = 0; i < backends_ && filled < m; ++i) {
+        if (!alive[i]) continue;
+        std::size_t c =
+            static_cast<std::size_t>((offset_[i] + next[i] * skip_[i]) % m);
+        while (table[c] != -1) {
+          ++next[i];
+          c = static_cast<std::size_t>((offset_[i] + next[i] * skip_[i]) % m);
+        }
+        table[c] = static_cast<int>(i);
+        ++next[i];
+        ++filled;
+      }
+    }
+  }
+
+  std::size_t remapped = 0;
+  for (std::size_t j = 0; j < m; ++j) {
+    if (entries_[j] != table[j]) ++remapped;
+  }
+  entries_ = std::move(table);
+  ++rebuilds_;
+  return remapped;
+}
+
+std::size_t MaglevTable::owned_by(std::size_t b) const {
+  std::size_t n = 0;
+  for (int e : entries_) n += (e == static_cast<int>(b)) ? 1u : 0u;
+  return n;
+}
+
+}  // namespace l96::net

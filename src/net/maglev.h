@@ -1,0 +1,82 @@
+// Maglev consistent-hash table (Eisenbud et al., NSDI 2016) for the
+// load-balancer tier.
+//
+// Each backend owns a deterministic permutation of the (prime-sized)
+// lookup table, derived from an (offset, skip) pair hashed from its
+// index and a salt.  Population walks the permutations round-robin over
+// the alive pool until every table entry is claimed, so live backends
+// split the table near-evenly and a pool change disturbs only the
+// entries whose owner actually changed: removing one of N backends
+// remaps the ~M/N entries it owned plus a small disruption tail from
+// permutation collisions.  rebuild() returns that remap count exactly,
+// which is what the failover harness prices.
+//
+// Everything here is a pure function of (backends, table_size, salt,
+// alive set): no wall clock, no global RNG, byte-identical across runs
+// and worker counts per the repo's determinism contract.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace l96::net {
+
+class MaglevTable {
+ public:
+  /// Default table size: prime, and > 100x any pool size used in the
+  /// harness so per-backend shares stay within a few percent of even.
+  static constexpr std::size_t kDefaultTableSize = 251;
+
+  /// Builds the table with every backend alive.  Throws
+  /// std::invalid_argument unless 0 < backends <= table_size and
+  /// table_size is prime (primality is what guarantees every skip value
+  /// generates the full permutation).
+  explicit MaglevTable(std::size_t backends,
+                       std::size_t table_size = kDefaultTableSize,
+                       std::uint64_t salt = 0);
+
+  static bool is_prime(std::size_t n);
+  /// Smallest prime >= n (n <= 2 yields 2).
+  static std::size_t next_prime(std::size_t n);
+  /// The 64-bit finalizer used for permutation seeds; exposed so callers
+  /// hash flow keys through the same deterministic mix.
+  static std::uint64_t mix64(std::uint64_t x);
+
+  /// Repopulates the table for the given alive set (size must equal
+  /// backends()) and returns how many entries changed owner vs the
+  /// previous table.  An all-dead pool yields an empty table (every
+  /// lookup returns -1) and counts every previously-owned entry as
+  /// remapped.
+  std::size_t rebuild(const std::vector<bool>& alive);
+
+  /// Backend index owning this hash, or -1 when the pool is empty.
+  int lookup(std::uint64_t hash) const {
+    return pool_size_ == 0
+               ? -1
+               : entries_[static_cast<std::size_t>(hash % entries_.size())];
+  }
+
+  std::size_t table_size() const { return entries_.size(); }
+  std::size_t backends() const { return backends_; }
+  /// Alive backends as of the last rebuild.
+  std::size_t pool_size() const { return pool_size_; }
+  /// Pool-change rebuilds since construction (the initial population is
+  /// not counted).
+  std::uint64_t rebuilds() const { return rebuilds_; }
+  /// Entry j holds the backend owning hashes == j mod table_size (-1 =
+  /// unowned, only when the pool is empty).
+  const std::vector<int>& entries() const { return entries_; }
+  /// Table entries owned by backend b right now.
+  std::size_t owned_by(std::size_t b) const;
+
+ private:
+  std::size_t backends_;
+  std::size_t pool_size_ = 0;
+  std::uint64_t rebuilds_ = 0;
+  std::vector<int> entries_;
+  std::vector<std::uint64_t> offset_;  ///< per-backend permutation start
+  std::vector<std::uint64_t> skip_;    ///< per-backend permutation stride
+};
+
+}  // namespace l96::net

@@ -534,6 +534,83 @@ void register_rpc_code(CodeRegistry& reg, const StackConfig& cfg) {
   (void)cfg;
 }
 
+void register_lb_code(CodeRegistry& reg, const StackConfig& cfg) {
+  // The forwarding tier reuses the driver/library descriptors from
+  // register_common_code; only the LB-specific functions live here.
+  // Counts follow the same calibration style as the endpoint stacks: a
+  // forwarding hop is far cheaper than full TCP input, dominated by the
+  // classify/track probes.
+  {
+    FnBuilder f("lb_classify", FnKind::kPath);
+    f.prologue(6).epilogue(5);
+    [[maybe_unused]] auto b0 = f.block("parse", u16(cfg.minor_opts ? 30 : 38),
+                                       BlockClass::kMainline,
+                                       BO{.stack_reads = 2});
+    [[maybe_unused]] auto b1 = f.block("bad_frame", 26, kErr);
+    [[maybe_unused]] auto b2 =
+        f.block("fields", 24, BlockClass::kMainline, BO{.stack_writes = 1});
+    assert(b0 == blk::kLbClsParse && b1 == blk::kLbClsBadFrame &&
+           b2 == blk::kLbClsFields);
+    f.add_to(reg);
+  }
+  {
+    // Flow-tuple hash: a short mix, mul-heavy unless division is avoided.
+    FnBuilder f("lb_hash", FnKind::kPath);
+    f.prologue(4).epilogue(3).leaf();
+    [[maybe_unused]] auto b0 =
+        f.block("main", u16(cfg.avoid_int_division ? 22 : 30),
+                BlockClass::kMainline, BO{.imuls = 3});
+    assert(b0 == blk::kLbHashMain);
+    f.add_to(reg);
+  }
+  {
+    // Maglev table lookup: called only on a conn-track miss or stale hit.
+    FnBuilder f("lb_maglev", FnKind::kPath);
+    f.prologue(5).epilogue(4);
+    [[maybe_unused]] auto b0 = f.block("probe", 18, BlockClass::kMainline,
+                                       BO{.stack_reads = 1});
+    [[maybe_unused]] auto b1 = f.block("empty_pool", 20, kErr);
+    [[maybe_unused]] auto b2 = f.block("entry", u16(cfg.minor_opts ? 14 : 20));
+    assert(b0 == blk::kLbMaglevProbe && b1 == blk::kLbMaglevEmptyPool &&
+           b2 == blk::kLbMaglevEntry);
+    f.add_to(reg);
+  }
+  {
+    // Connection tracking: the per-flow pin that keeps established flows
+    // on their backend across rebuilds.
+    FnBuilder f("lb_track", FnKind::kPath);
+    f.prologue(5).epilogue(4);
+    [[maybe_unused]] auto b0 = f.block("probe", 26, BlockClass::kMainline,
+                                       BO{.stack_reads = 1, .calls = 1});
+    [[maybe_unused]] auto b1 = f.block("stale", 34, kErr);
+    [[maybe_unused]] auto b2 =
+        f.block("bind", 16, BlockClass::kMainline, BO{.stack_writes = 1});
+    assert(b0 == blk::kLbTrackProbe && b1 == blk::kLbTrackStale &&
+           b2 == blk::kLbTrackBind);
+    f.add_to(reg);
+  }
+  {
+    // DSR rewrite: only the Ethernet destination MAC changes, no IP/TCP
+    // checksum fixup.
+    FnBuilder f("lb_rewrite", FnKind::kPath);
+    f.prologue(4).epilogue(3).leaf();
+    [[maybe_unused]] auto b0 = f.block("mac", u16(cfg.minor_opts ? 12 : 18),
+                                       BlockClass::kMainline,
+                                       BO{.stack_writes = 1});
+    assert(b0 == blk::kLbRewriteMac);
+    f.add_to(reg);
+  }
+  {
+    FnBuilder f("lb_forward", FnKind::kPath);
+    f.prologue(5).epilogue(4);
+    [[maybe_unused]] auto b0 = f.block("tx", 20, BlockClass::kMainline,
+                                       BO{.stack_reads = 1, .calls = 1});
+    [[maybe_unused]] auto b1 = f.block("link_down", 28, kErr);
+    assert(b0 == blk::kLbForwardTx && b1 == blk::kLbForwardLinkDown);
+    f.add_to(reg);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Path specs (Section 3.3)
 // ---------------------------------------------------------------------------
@@ -570,6 +647,17 @@ code::PathSpec rpc_input_path(const code::CodeRegistry& reg) {
           {reg.require("lance_intr"), reg.require("eth_demux"),
            reg.require("blast_demux"), reg.require("bid_demux"),
            reg.require("chan_demux")}};
+}
+
+code::PathSpec lb_forward_path(const code::CodeRegistry& reg) {
+  // The forwarding fast path: a pinned flow with a fresh conn-track hit
+  // never consults the Maglev table, so lb_hash / lb_maglev stay
+  // standalone (they run inside the slow/rebind bracket, like any other
+  // cold path).
+  return {"lb_forward",
+          {reg.require("lance_intr"), reg.require("lb_classify"),
+           reg.require("lb_track"), reg.require("lb_rewrite"),
+           reg.require("lb_forward"), reg.require("lance_send")}};
 }
 
 // ---------------------------------------------------------------------------

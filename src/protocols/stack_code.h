@@ -177,6 +177,29 @@ enum BlastDemux : code::BlockId {
   kBlastDemuxReass,  // cold loop
 };
 
+// --- LB forwarding tier ----------------------------------------------------
+enum LbClassify : code::BlockId {
+  kLbClsParse = 0,
+  kLbClsBadFrame,  // error: not an inbound TCP/IPv4 frame
+  kLbClsFields,
+};
+enum LbHash : code::BlockId { kLbHashMain = 0 };
+enum LbMaglev : code::BlockId {
+  kLbMaglevProbe = 0,
+  kLbMaglevEmptyPool,  // error: no alive backend to steer to
+  kLbMaglevEntry,
+};
+enum LbTrack : code::BlockId {
+  kLbTrackProbe = 0,
+  kLbTrackStale,  // error: conn-track binding invalidated by a pool change
+  kLbTrackBind,
+};
+enum LbRewrite : code::BlockId { kLbRewriteMac = 0 };
+enum LbForward : code::BlockId {
+  kLbForwardTx = 0,
+  kLbForwardLinkDown,  // error: backend leg dark at transmit time
+};
+
 }  // namespace blk
 
 // ---------------------------------------------------------------------------
@@ -188,12 +211,18 @@ void register_common_code(code::CodeRegistry& reg,
 void register_tcpip_code(code::CodeRegistry& reg,
                          const code::StackConfig& cfg);
 void register_rpc_code(code::CodeRegistry& reg, const code::StackConfig& cfg);
+/// The LB forwarding tier: classify -> conn-track -> rewrite -> forward,
+/// with the Maglev hash+lookup called only on a track miss (so the miss
+/// cost lands in the slow/rebind activation, like any other cold path).
+void register_lb_code(code::CodeRegistry& reg, const code::StackConfig& cfg);
 
 /// Path specs for path-inlining (members must already be registered).
 code::PathSpec tcpip_output_path(const code::CodeRegistry& reg);
 code::PathSpec tcpip_input_path(const code::CodeRegistry& reg);
 code::PathSpec rpc_output_path(const code::CodeRegistry& reg);
 code::PathSpec rpc_input_path(const code::CodeRegistry& reg);
+/// The LB fast forwarding composite (pinned flow, fresh conn-track hit).
+code::PathSpec lb_forward_path(const code::CodeRegistry& reg);
 
 /// Flow-key field specs for the classifier flow cache (code/flow_cache.h):
 /// which raw-frame fields identify a flow on each stack.

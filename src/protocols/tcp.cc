@@ -666,7 +666,17 @@ void Tcp::output(TcpConn& c, bool force_ack) {
 
   const bool want_update = window_update_due(c);
 
-  if (len > 0 && c.state_ == TcpState::kEstablished) {
+  // Data may be flushed in every state that still owns a send stream, not
+  // just kEstablished: kCloseWait (the peer closed first, our direction
+  // stays open) and the FIN-pending states while buffered bytes remain
+  // untransmitted.  The FIN below waits for all_data_sent, so refusing to
+  // flush here would deadlock a close() with a non-empty send buffer.
+  const bool can_send_data =
+      c.state_ == TcpState::kEstablished ||
+      c.state_ == TcpState::kCloseWait ||
+      c.state_ == TcpState::kFinWait1 || c.state_ == TcpState::kClosing ||
+      c.state_ == TcpState::kLastAck;
+  if (len > 0 && can_send_data) {
     cancel_persist(c);
     std::vector<std::uint8_t> data(c.sndbuf_.begin() + offset,
                                    c.sndbuf_.begin() + offset + len);

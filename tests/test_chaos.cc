@@ -62,6 +62,118 @@ TEST(ChaosScript, RejectsMalformedScripts) {
   EXPECT_THROW(ChaosTimeline::parse("link_down"), std::invalid_argument);
 }
 
+TEST(ChaosScript, ParsesBackendTargetsAndDrains) {
+  const ChaosTimeline tl = ChaosTimeline::parse(
+      "drain@1000:backend2 link_down@2000:backend0 link_up@3000:backend0 "
+      "crash@4000:backend1 reboot@5000:backend1 undrain@6000:backend2");
+  EXPECT_EQ(tl.str(),
+            "drain@1000:backend2 link_down@2000:backend0 "
+            "link_up@3000:backend0 crash@4000:backend1 reboot@5000:backend1 "
+            "undrain@6000:backend2");
+  const auto ws = tl.windows();
+  ASSERT_EQ(ws.size(), 3u);
+  // Drain window: administrative, not a crash.
+  EXPECT_EQ(ws[0].start_us, 1'000u);
+  EXPECT_EQ(ws[0].end_us, 6'000u);
+  EXPECT_TRUE(ws[0].drain);
+  EXPECT_FALSE(ws[0].crash);
+  EXPECT_EQ(ws[0].index, 2u);
+  // Backend-link blackout.
+  EXPECT_EQ(ws[1].start_us, 2'000u);
+  EXPECT_EQ(ws[1].target, ChaosTarget::kBackendLink);
+  EXPECT_EQ(ws[1].index, 0u);
+  EXPECT_FALSE(ws[1].crash);
+  // Backend host crash.
+  EXPECT_EQ(ws[2].start_us, 4'000u);
+  EXPECT_TRUE(ws[2].crash);
+  EXPECT_EQ(ws[2].target, ChaosTarget::kBackend);
+  EXPECT_EQ(ws[2].index, 1u);
+}
+
+// The hardening contract: every parse rejection names the offending
+// token, so a bad script in a CLI flag is diagnosable from the message
+// alone.
+void expect_parse_error_naming(const std::string& script,
+                               const std::string& token) {
+  try {
+    ChaosTimeline::parse(script);
+    FAIL() << "parse accepted: " << script;
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(token), std::string::npos)
+        << "message \"" << e.what() << "\" does not name \"" << token << "\"";
+  }
+}
+
+TEST(ChaosScript, RejectionsNameTheOffendingToken) {
+  // Unknown event kinds.
+  expect_parse_error_naming("explode@1000", "explode");
+  expect_parse_error_naming("link_down@1000 melt@2000 link_up@3000", "melt");
+  // Non-monotone timestamps: the token that steps backwards is named.
+  expect_parse_error_naming("link_down@5000 link_up@1000", "link_up@1000");
+  expect_parse_error_naming(
+      "drain@3000:backend0 crash@2000:server reboot@4000:server "
+      "undrain@5000:backend0",
+      "crash@2000:server");
+  // Unknown hosts and malformed backend indices.
+  expect_parse_error_naming("crash@1:router reboot@2:router", "router");
+  expect_parse_error_naming("crash@1:backendX reboot@2:backendX",
+                            "crash@1:backendX");
+  expect_parse_error_naming("crash@1:backend reboot@2:backend",
+                            "backend");
+  // Bad times name both the time and the token.
+  expect_parse_error_naming("crash@abc:server reboot@2000:server",
+                            "crash@abc:server");
+}
+
+TEST(ChaosScript, RejectsMalformedBackendScripts) {
+  // Drain verbs require a :backendN target...
+  EXPECT_THROW(ChaosTimeline::parse("drain@1000:server undrain@2000:server"),
+               std::invalid_argument);
+  EXPECT_THROW(ChaosTimeline::parse("drain@1000 undrain@2000"),
+               std::invalid_argument);
+  // ... and pair up per index, like crash/reboot and link_down/link_up.
+  EXPECT_THROW(ChaosTimeline::parse("drain@1000:backend0"),
+               std::invalid_argument);
+  EXPECT_THROW(ChaosTimeline::parse("undrain@1000:backend0"),
+               std::invalid_argument);
+  EXPECT_THROW(ChaosTimeline::parse(
+                   "drain@1000:backend0 undrain@2000:backend1 "
+                   "drain@3000:backend1 undrain@4000:backend0"),
+               std::invalid_argument);
+  EXPECT_THROW(ChaosTimeline::parse("link_down@1000:backend0"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      ChaosTimeline::parse("crash@1000:backend0 reboot@2000:backend1"),
+      std::invalid_argument);
+  // Link verbs never take a plain host.
+  EXPECT_THROW(ChaosTimeline::parse("link_down@1000:client link_up@2000"),
+               std::invalid_argument);
+}
+
+TEST(ChaosScript, InstallRejectsTargetsAbsentFromThisWorld) {
+  // A two-host world has no backends and no LB pool: installing a script
+  // that names them must fail at install time, naming the target.
+  net::World w(net::StackKind::kTcpIp, code::StackConfig::Std(),
+               code::StackConfig::Std());
+  const ChaosTimeline crash_tl =
+      ChaosTimeline::parse("crash@1000:backend0 reboot@2000:backend0");
+  try {
+    crash_tl.install(w, 0);
+    FAIL() << "install accepted a backend target in a two-host world";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("backend0"), std::string::npos);
+  }
+  const ChaosTimeline drain_tl =
+      ChaosTimeline::parse("drain@1000:backend0 undrain@2000:backend0");
+  EXPECT_THROW(drain_tl.install(w, 0), std::invalid_argument);
+  EXPECT_THROW(
+      ChaosTimeline::parse("link_down@1000:backend1 link_up@2000:backend1")
+          .install(w, 0),
+      std::invalid_argument);
+  // Nothing was scheduled by the failed installs.
+  EXPECT_EQ(w.events().pending(), 0u);
+}
+
 TEST(Blackout, SwallowsFramesAndStaysConserved) {
   net::World w(net::StackKind::kTcpIp, code::StackConfig::Std(),
                code::StackConfig::Std());

@@ -255,6 +255,85 @@ TEST(FlowCache, ServerCrashFlushesTheCacheAgainstTheDeadIncarnation) {
   EXPECT_GT(after.hits, before.hits);      // then the flow re-warmed
 }
 
+TEST(FlowCache, LbRemapStaleHitsExactlyOnceThenRekeys) {
+  // The LB-remap scenario: flows are pinned to a backend through the
+  // resolver; when a backend leaves the pool, invalidate_path() marks its
+  // flows stale and each one must take the slow path exactly once, pick
+  // up the new binding, and hit fresh from then on.
+  auto classifier = test_classifier();
+  FlowCache cache(test_spec(), FlowCacheScheme::kLru, /*capacity=*/8);
+
+  int backend_of_flow = 3;  // what the "Maglev table" currently says
+  std::uint64_t resolutions = 0;
+  const FlowCache::PathResolver resolver = [&](code::FlowKey) {
+    ++resolutions;
+    return backend_of_flow;
+  };
+
+  // Warm two flows onto backend 3 and one onto backend 5.
+  ASSERT_EQ(cache.lookup(classifier, flow_frame(0xA), resolver).path_id, 3);
+  ASSERT_EQ(cache.lookup(classifier, flow_frame(0xB), resolver).path_id, 3);
+  backend_of_flow = 5;
+  ASSERT_EQ(cache.lookup(classifier, flow_frame(0xC), resolver).path_id, 5);
+  EXPECT_EQ(resolutions, 3u);  // resolved once per flow, not per packet
+
+  // Steady state: fresh hits return the pinned binding, resolver silent.
+  for (int i = 0; i < 10; ++i) {
+    const auto r = cache.lookup(classifier, flow_frame(0xA), resolver);
+    EXPECT_TRUE(r.cache_hit);
+    EXPECT_FALSE(r.stale);
+    EXPECT_EQ(r.path_id, 3);
+  }
+  EXPECT_EQ(resolutions, 3u);
+
+  // Backend 3 leaves the pool: exactly its two flows invalidate.
+  backend_of_flow = 7;  // survivors; the rebuilt table steers here now
+  EXPECT_EQ(cache.invalidate_path(3), 2u);
+  EXPECT_EQ(cache.invalidate_path(3), 0u);  // idempotent
+
+  const auto stale_a = cache.lookup(classifier, flow_frame(0xA), resolver);
+  EXPECT_TRUE(stale_a.cache_hit);
+  EXPECT_TRUE(stale_a.stale);     // slow path, exactly this packet
+  EXPECT_EQ(stale_a.path_id, 7);  // rebound through the resolver
+  EXPECT_EQ(resolutions, 4u);
+
+  const auto fresh_a = cache.lookup(classifier, flow_frame(0xA), resolver);
+  EXPECT_TRUE(fresh_a.cache_hit);
+  EXPECT_FALSE(fresh_a.stale);  // re-keyed: the stale hit happened once
+  EXPECT_EQ(fresh_a.path_id, 7);
+  EXPECT_EQ(resolutions, 4u);
+
+  // The unrelated flow on backend 5 never noticed the remap.
+  const auto r_c = cache.lookup(classifier, flow_frame(0xC), resolver);
+  EXPECT_TRUE(r_c.cache_hit);
+  EXPECT_FALSE(r_c.stale);
+  EXPECT_EQ(r_c.path_id, 5);
+  EXPECT_EQ(cache.stats().stale_hits, 1u);  // 0xB hasn't sent yet
+}
+
+TEST(FlowCache, ResolverEmptyPoolIsNotMemoized) {
+  auto classifier = test_classifier();
+  FlowCache cache(test_spec(), FlowCacheScheme::kLru, 4);
+  int backend = -1;  // pool empty
+  const FlowCache::PathResolver resolver = [&](code::FlowKey) {
+    return backend;
+  };
+
+  const auto r1 = cache.lookup(classifier, flow_frame(0xA), resolver);
+  EXPECT_FALSE(r1.path_id.has_value());  // no backend to bind
+  EXPECT_GT(r1.rules_examined, 0u);      // the scan still ran (and priced)
+
+  // Nothing was memoized: once the pool recovers, the same flow misses
+  // again and binds to the restored backend instead of a cached "none".
+  backend = 2;
+  const auto r2 = cache.lookup(classifier, flow_frame(0xA), resolver);
+  EXPECT_FALSE(r2.cache_hit);
+  EXPECT_EQ(r2.path_id, 2);
+  const auto r3 = cache.lookup(classifier, flow_frame(0xA), resolver);
+  EXPECT_TRUE(r3.cache_hit);
+  EXPECT_EQ(r3.path_id, 2);
+}
+
 TEST(FlowCache, RejectsZeroCapacityAndParsesSchemeNames) {
   EXPECT_THROW(FlowCache(test_spec(), FlowCacheScheme::kLru, 0),
                std::invalid_argument);

@@ -1,0 +1,136 @@
+// Tests for the Maglev consistent-hash table (net/maglev.h): prime-size
+// validation, even population over the alive pool, deterministic
+// rebuilds, the minimal-disruption property on single-backend loss, and
+// the remap count the failover harness prices.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "net/maglev.h"
+
+namespace l96 {
+namespace {
+
+using net::MaglevTable;
+
+TEST(Maglev, PrimalityHelpers) {
+  EXPECT_FALSE(MaglevTable::is_prime(0));
+  EXPECT_FALSE(MaglevTable::is_prime(1));
+  EXPECT_TRUE(MaglevTable::is_prime(2));
+  EXPECT_TRUE(MaglevTable::is_prime(251));
+  EXPECT_FALSE(MaglevTable::is_prime(252));
+  EXPECT_EQ(MaglevTable::next_prime(0), 2u);
+  EXPECT_EQ(MaglevTable::next_prime(100), 101u);
+  EXPECT_EQ(MaglevTable::next_prime(251), 251u);
+  EXPECT_EQ(MaglevTable::next_prime(252), 257u);
+}
+
+TEST(Maglev, RejectsBadShapes) {
+  EXPECT_THROW(MaglevTable(0), std::invalid_argument);
+  EXPECT_THROW(MaglevTable(4, 250), std::invalid_argument);  // not prime
+  EXPECT_THROW(MaglevTable(8, 7), std::invalid_argument);    // pool > table
+  MaglevTable t(4);
+  EXPECT_THROW(t.rebuild(std::vector<bool>(3, true)), std::invalid_argument);
+}
+
+TEST(Maglev, PopulatesEveryEntryNearEvenly) {
+  const std::size_t n = 8;
+  MaglevTable t(n);
+  EXPECT_EQ(t.table_size(), MaglevTable::kDefaultTableSize);
+  EXPECT_EQ(t.pool_size(), n);
+  EXPECT_EQ(t.rebuilds(), 0u);
+
+  std::size_t total = 0;
+  for (std::size_t b = 0; b < n; ++b) {
+    const std::size_t owned = t.owned_by(b);
+    total += owned;
+    // Maglev's round-robin population keeps shares within a couple of
+    // entries of M/N.
+    EXPECT_GE(owned, t.table_size() / n - 2);
+    EXPECT_LE(owned, t.table_size() / n + 2);
+  }
+  EXPECT_EQ(total, t.table_size());  // no entry unowned
+  for (int e : t.entries()) {
+    ASSERT_GE(e, 0);
+    ASSERT_LT(e, static_cast<int>(n));
+  }
+}
+
+TEST(Maglev, DeterministicAcrossInstances) {
+  MaglevTable a(6, 131, /*salt=*/42);
+  MaglevTable b(6, 131, /*salt=*/42);
+  EXPECT_EQ(a.entries(), b.entries());
+  MaglevTable c(6, 131, /*salt=*/43);
+  EXPECT_NE(a.entries(), c.entries());  // salt actually feeds the hash
+}
+
+TEST(Maglev, SingleRemovalRemapsOnlyAboutOneNth) {
+  const std::size_t n = 8;
+  MaglevTable t(n);
+  const std::vector<int> before = t.entries();
+  const std::size_t owned = t.owned_by(3);
+
+  std::vector<bool> alive(n, true);
+  alive[3] = false;
+  const std::size_t remapped = t.rebuild(alive);
+  EXPECT_EQ(t.rebuilds(), 1u);
+  EXPECT_EQ(t.pool_size(), n - 1);
+
+  // Every entry the dead backend owned must move...
+  EXPECT_GE(remapped, owned);
+  // ...and the disruption tail beyond that stays small (Maglev's bound:
+  // collisions in the survivors' permutations, well under half the
+  // table at M/N >= 30).
+  EXPECT_LE(remapped, owned + t.table_size() / 2);
+  // Survivors only in the new table.
+  for (int e : t.entries()) EXPECT_NE(e, 3);
+  // Entries that kept their owner really are byte-identical.
+  std::size_t kept = 0;
+  for (std::size_t j = 0; j < t.table_size(); ++j) {
+    kept += (t.entries()[j] == before[j]) ? 1u : 0u;
+  }
+  EXPECT_EQ(kept + remapped, t.table_size());
+}
+
+TEST(Maglev, RestoreReturnsToTheOriginalTable) {
+  const std::size_t n = 5;
+  MaglevTable t(n, 131);
+  const std::vector<int> original = t.entries();
+
+  std::vector<bool> alive(n, true);
+  alive[2] = false;
+  const std::size_t lost = t.rebuild(alive);
+  alive[2] = true;
+  const std::size_t regained = t.rebuild(alive);
+
+  // Population is a pure function of the alive set, so restoring the
+  // pool restores the exact original table and the remap counts match.
+  EXPECT_EQ(t.entries(), original);
+  EXPECT_EQ(lost, regained);
+  EXPECT_EQ(t.rebuilds(), 2u);
+}
+
+TEST(Maglev, EmptyPoolYieldsNoOwnerAndRecovers) {
+  MaglevTable t(3, 31);
+  const std::size_t remapped = t.rebuild(std::vector<bool>(3, false));
+  EXPECT_EQ(remapped, t.table_size());  // every entry lost its owner
+  EXPECT_EQ(t.pool_size(), 0u);
+  EXPECT_EQ(t.lookup(12345), -1);
+
+  t.rebuild(std::vector<bool>(3, true));
+  EXPECT_EQ(t.pool_size(), 3u);
+  EXPECT_GE(t.lookup(12345), 0);
+}
+
+TEST(Maglev, LookupIsStableForPinnedHashes) {
+  MaglevTable t(8);
+  for (std::uint64_t h = 0; h < 64; ++h) {
+    const std::uint64_t mixed = MaglevTable::mix64(h);
+    const int b = t.lookup(mixed);
+    EXPECT_EQ(b, t.entries()[mixed % t.table_size()]);
+  }
+}
+
+}  // namespace
+}  // namespace l96

@@ -44,6 +44,14 @@ TEST(SectionManifestTest, FindSectionMatchesManifest) {
   EXPECT_EQ(find_section("nonexistent", 1), nullptr);
 }
 
+TEST(SectionManifestTest, LbFailoverSectionIsRegistered) {
+  const auto* lb = find_section("lb", 1);
+  ASSERT_NE(lb, nullptr);
+  EXPECT_EQ(lb->producer, "harness::lb_json");
+  const Json section = emit_section("lb", 1);
+  EXPECT_EQ(section.dump(), "{\"schema\":\"l96.lb.v1\"}");
+}
+
 TEST(SectionSchemaTest, FormatsAndValidates) {
   EXPECT_EQ(section_schema("fleet", 2), "l96.fleet.v2");
   EXPECT_EQ(section_schema("shard", 1), "l96.shard.v1");

@@ -178,5 +178,93 @@ TEST_F(TcpWorld, WindowUpdateThresholdBothModes) {
               0.12 * exact);
 }
 
+TEST_F(TcpWorld, RetransmitBackoffFollowsExponentialSchedule) {
+  // Pin the retransmission backoff schedule in virtual time: with the
+  // default TcpParams (rto 200ms, cap 3.2s) an unanswered segment must
+  // retransmit at exactly 200/400/800/1600/3200/3200 ms intervals —
+  // doubling per timeout, clamped at max_rto_us.
+  world.start(1000);
+  ASSERT_TRUE(world.run_until_roundtrips(3));
+  ASSERT_TRUE(world.run_until(
+      [&] { return client_conn()->bytes_unacked() == 0; }, 5'000'000));
+  world.run_until([] { return false; }, 100'000);  // drain stray ACKs
+
+  world.server().crash();  // every segment now goes unanswered
+
+  proto::TcpConn* c = client_conn();
+  const std::uint64_t base = c->retransmits();
+  const std::uint8_t payload[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  const std::uint64_t t0 = world.events().now();
+  c->send(payload);
+
+  const std::uint64_t expected_deltas[] = {200'000,   400'000,   800'000,
+                                           1'600'000, 3'200'000, 3'200'000};
+  std::uint64_t prev = t0;
+  std::uint64_t k = 0;
+  for (const std::uint64_t want : expected_deltas) {
+    ++k;
+    ASSERT_TRUE(world.run_until(
+        [c, base, k] { return c->retransmits() >= base + k; }, 10'000'000));
+    EXPECT_EQ(world.events().now() - prev, want) << "retransmission " << k;
+    prev = world.events().now();
+  }
+  EXPECT_EQ(c->state(), proto::TcpState::kEstablished);
+}
+
+namespace closewait {
+
+class Sink final : public proto::TcpUpper {
+ public:
+  void tcp_receive(proto::TcpConn&, xk::Message& m) override {
+    bytes += m.length();
+  }
+  std::uint64_t bytes = 0;
+};
+
+}  // namespace closewait
+
+TEST_F(TcpWorld, CloseWaitStillFlushesBufferedData) {
+  // A half-closed connection owns its send stream: after the peer's FIN
+  // puts us in kCloseWait, send() must still transmit (the old output()
+  // gate only flushed data in kEstablished, deadlocking this case — the
+  // FIN path waits for all_data_sent, which never came).
+  world.start(1);
+  closewait::Sink client_sink;
+  closewait::Sink server_sink;
+  world.server().tcp()->listen(9000, &server_sink);
+  proto::TcpConn* cc = world.client().tcp()->connect(
+      world.server().address().ip, 12'000, 9000, &client_sink);
+  ASSERT_TRUE(world.run_until(
+      [cc] { return cc->state() == proto::TcpState::kEstablished; },
+      5'000'000));
+
+  // Server closes first: client lands in kCloseWait, server in kFinWait2.
+  proto::TcpConn* sc = nullptr;
+  for (auto* c : stcp().connections()) {
+    if (c->remote_port() == 12'000) sc = c;
+  }
+  ASSERT_NE(sc, nullptr);
+  // The client observes kEstablished one half-RTT before the server does;
+  // close() from kSynRcvd would be a no-op.
+  ASSERT_TRUE(world.run_until(
+      [sc] { return sc->state() == proto::TcpState::kEstablished; },
+      5'000'000));
+  sc->close();
+  ASSERT_TRUE(world.run_until(
+      [cc] { return cc->state() == proto::TcpState::kCloseWait; },
+      5'000'000));
+
+  // The half-open direction still delivers.
+  const std::uint8_t payload[16] = {};
+  cc->send(payload);
+  ASSERT_TRUE(world.run_until(
+      [&server_sink] { return server_sink.bytes >= 16; }, 5'000'000));
+
+  // And the orderly close completes from kCloseWait through kLastAck.
+  cc->close();
+  ASSERT_TRUE(world.run_until(
+      [cc] { return cc->state() == proto::TcpState::kClosed; }, 5'000'000));
+}
+
 }  // namespace
 }  // namespace l96
