@@ -13,9 +13,21 @@
 // Two path-inlined sides at overhead `ov` must therefore shift each
 // sampled roundtrip by exactly 2*ov relative to the ov=0 row (and CLO
 // rows, with no inlined side, by exactly 0); any drift exits nonzero.
+//
+// Exactly-one-model pin: the flat knob swept here and the flow-cache cost
+// model (FlowCacheCosts, measured by harness/classify.h) are mutually
+// exclusive ways to price the same classification — charging both would
+// double-count it.  The repo enforces the split at the entry points:
+// run_fleet and measure_classifier_costs reject any MachineParams with a
+// nonzero classifier_overhead_us.  This bench owns the flat knob, so it
+// also pins the rejection: both calls must throw, or the exit goes
+// nonzero.
 #include <cmath>
 #include <cstdio>
+#include <stdexcept>
 
+#include "harness/classify.h"
+#include "harness/fleet.h"
 #include "harness/sweep.h"
 #include "harness/tables.h"
 
@@ -88,6 +100,49 @@ int main() {
            pin.te_us < clo.te_us ? "yes" : "no"});
   }
   t.print();
+
+  // Exactly-one-model pin: with the flat knob set, the FlowCacheCosts
+  // pricing paths must refuse to run.
+  {
+    harness::MachineParams flat;
+    flat.classifier_overhead_us = 1.0;
+
+    bool fleet_threw = false;
+    try {
+      harness::FleetSpec spec;
+      spec.config = code::StackConfig::All();
+      spec.params = flat;
+      const harness::BurstCostTable costs = harness::measure_burst_costs(
+          spec.kind, spec.config, 1, spec.params);
+      harness::run_fleet(spec, costs);
+    } catch (const std::invalid_argument&) {
+      fleet_threw = true;
+    }
+    if (!fleet_threw) {
+      std::fprintf(stderr,
+                   "FAIL: run_fleet accepted a nonzero "
+                   "classifier_overhead_us — classification would be "
+                   "charged by both models\n");
+      ++audit_failures;
+    }
+
+    bool measure_threw = false;
+    try {
+      harness::ClassifierCostSpec cs;
+      cs.cfg = code::StackConfig::All();
+      cs.params = flat;
+      harness::measure_classifier_costs(cs);
+    } catch (const std::invalid_argument&) {
+      measure_threw = true;
+    }
+    if (!measure_threw) {
+      std::fprintf(stderr,
+                   "FAIL: measure_classifier_costs accepted a nonzero "
+                   "classifier_overhead_us — the measured coefficients "
+                   "would stack on the flat knob\n");
+      ++audit_failures;
+    }
+  }
 
   harness::write_sweep_metrics("ablation_classifier", runner, jobs, outcomes);
   return audit_failures == 0 ? 0 : 1;

@@ -1,9 +1,39 @@
 #include "code/classifier.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 
 namespace l96::code {
+
+namespace {
+
+std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+constexpr std::uint64_t kFnvSeed = 1469598103934665603ULL;
+
+std::uint64_t pack_template(const ClassifierRule& r) {
+  return (static_cast<std::uint64_t>(r.offset) << 40) |
+         (static_cast<std::uint64_t>(r.size) << 32) |
+         static_cast<std::uint64_t>(r.mask);
+}
+
+/// splitmix64 finalizer — spreads bucket keys over the modeled slot array
+/// so the d-trace addresses don't all alias one cache set.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
 
 void PacketClassifier::add_path(std::string name, int path_id,
                                 std::vector<ClassifierRule> rules) {
@@ -14,14 +44,39 @@ void PacketClassifier::add_path(std::string name, int path_id,
           std::to_string(r.size) + " is not 1, 2 or 4");
     }
   }
-  for (const PathEntry& p : paths_) {
-    if (p.id == path_id) {
-      throw std::invalid_argument(
-          "PacketClassifier::add_path('" + name + "'): path id " +
-          std::to_string(path_id) + " already registered as '" + p.name +
-          "'");
-    }
+  if (const auto it = by_id_.find(path_id); it != by_id_.end()) {
+    throw std::invalid_argument(
+        "PacketClassifier::add_path('" + name + "'): path id " +
+        std::to_string(path_id) + " already registered as '" +
+        paths_[it->second].name + "'");
   }
+
+  const auto idx = static_cast<std::uint32_t>(paths_.size());
+
+  // Tuple index: find or create the signature's tuple, then file this
+  // path's masked rule values under it.
+  std::vector<std::uint64_t> signature;
+  signature.reserve(rules.size());
+  for (const ClassifierRule& r : rules) signature.push_back(pack_template(r));
+  auto [sit, created] =
+      tuple_of_signature_.try_emplace(std::move(signature), tuples_.size());
+  if (created) {
+    Tuple t;
+    t.templates = rules;  // values carried but unused (schema only)
+    t.first_path = idx;
+    for (const ClassifierRule& r : rules) {
+      t.max_extent = std::max<std::uint16_t>(
+          t.max_extent, static_cast<std::uint16_t>(r.offset + r.size));
+    }
+    tuples_.push_back(std::move(t));
+  }
+  std::uint64_t key = kFnvSeed;
+  for (const ClassifierRule& r : rules) {
+    key = fnv1a_u64(key, r.value & r.mask);
+  }
+  tuples_[sit->second].buckets[key].push_back(idx);
+
+  by_id_.emplace(path_id, paths_.size());
   paths_.push_back({std::move(name), path_id, std::move(rules)});
 }
 
@@ -35,36 +90,117 @@ bool PacketClassifier::rule_matches(const ClassifierRule& r,
   return (v & r.mask) == (r.value & r.mask);
 }
 
+bool PacketClassifier::verify_path(std::uint32_t idx,
+                                   std::span<const std::uint8_t> frame,
+                                   std::size_t& examined) const {
+  for (const ClassifierRule& r : paths_[idx].rules) {
+    ++examined;
+    if (!rule_matches(r, frame)) return false;
+  }
+  return true;
+}
+
+std::optional<std::uint64_t> PacketClassifier::tuple_key(
+    const Tuple& t, std::span<const std::uint8_t> frame) {
+  if (t.max_extent > frame.size()) return std::nullopt;
+  std::uint64_t key = kFnvSeed;
+  for (const ClassifierRule& r : t.templates) {
+    std::uint32_t v = 0;
+    for (std::uint8_t i = 0; i < r.size; ++i) {
+      v = (v << 8) | frame[r.offset + i];
+    }
+    key = fnv1a_u64(key, v & r.mask);
+  }
+  return key;
+}
+
+std::uint64_t PacketClassifier::table_addr(std::uint32_t tuple,
+                                           std::uint64_t key) noexcept {
+  const std::uint64_t slot = mix64(key) % kTableSlots;
+  return kTableBase + tuple * kTableTupleStride + slot * 32;
+}
+
+bool PacketClassifier::tuple_active() const noexcept {
+  switch (engine_) {
+    case Engine::kLinear: return false;
+    case Engine::kTuple: return true;
+    case Engine::kAuto: break;
+  }
+  if (paths_.size() < kAutoTupleMinPaths) return false;
+  // Degenerate signature set: probing one table per path IS a linear scan.
+  return tuples_.size() * kAutoDegenerateFactor <= paths_.size();
+}
+
 std::optional<int> PacketClassifier::classify(
     std::span<const std::uint8_t> frame) const {
   return classify_scan(frame).path_id;
 }
 
 ClassifyScan PacketClassifier::classify_scan(
+    std::span<const std::uint8_t> frame, ClassifyProbeLog* log) const {
+  return tuple_active() ? classify_scan_tuple(frame, log)
+                        : classify_scan_linear(frame);
+}
+
+ClassifyScan PacketClassifier::classify_scan_linear(
     std::span<const std::uint8_t> frame) const {
   ClassifyScan scan;
-  for (const PathEntry& p : paths_) {
-    bool ok = true;
-    for (const ClassifierRule& r : p.rules) {
-      ++scan.rules_examined;
-      if (!rule_matches(r, frame)) {
-        ok = false;
-        break;
-      }
-    }
-    if (ok) {
-      scan.path_id = p.id;
+  for (std::uint32_t i = 0; i < paths_.size(); ++i) {
+    if (verify_path(i, frame, scan.rules_examined)) {
+      scan.path_id = paths_[i].id;
       return scan;
     }
   }
   return scan;
 }
 
-const std::string* PacketClassifier::path_name(int path_id) const {
-  for (const PathEntry& p : paths_) {
-    if (p.id == path_id) return &p.name;
+ClassifyScan PacketClassifier::classify_scan_tuple(
+    std::span<const std::uint8_t> frame, ClassifyProbeLog* log) const {
+  ClassifyScan scan;
+  scan.tuple_engine = true;
+  // A tuple's priority is its earliest path's registration index, and
+  // tuples are created at that path — so creation order is ascending best
+  // priority and the loop can stop as soon as the best possible priority
+  // of the remaining tuples is worse than the match in hand.
+  std::uint32_t best = 0;
+  bool have_best = false;
+  for (std::size_t t = 0; t < tuples_.size(); ++t) {
+    const Tuple& tuple = tuples_[t];
+    if (have_best && tuple.first_path > best) break;
+    const std::optional<std::uint64_t> key = tuple_key(tuple, frame);
+    ++scan.tuples_probed;
+    ClassifyProbe probe;
+    probe.tuple = static_cast<std::uint32_t>(t);
+    if (key.has_value()) {
+      probe.key = *key;
+      if (const auto bit = tuple.buckets.find(*key);
+          bit != tuple.buckets.end()) {
+        for (std::uint32_t idx : bit->second) {
+          if (have_best && idx > best) break;
+          ++scan.candidates_verified;
+          ++probe.candidates;
+          const std::size_t before = scan.rules_examined;
+          const bool ok = verify_path(idx, frame, scan.rules_examined);
+          probe.rules += static_cast<std::uint16_t>(
+              scan.rules_examined - before);
+          if (ok) {
+            best = idx;
+            have_best = true;
+            probe.matched = true;
+            break;  // bucket entries ascend; no better match in here
+          }
+        }
+      }
+    }
+    if (log != nullptr) log->probes.push_back(probe);
   }
-  return nullptr;
+  if (have_best) scan.path_id = paths_[best].id;
+  return scan;
+}
+
+const std::string* PacketClassifier::path_name(int path_id) const {
+  const auto it = by_id_.find(path_id);
+  return it != by_id_.end() ? &paths_[it->second].name : nullptr;
 }
 
 }  // namespace l96::code

@@ -26,6 +26,23 @@ std::uint64_t fold_field(FlowKey key, std::uint32_t value,
   return (key << (8 * size)) | masked;
 }
 
+/// Copy a scan's work counters into the lookup result and price it:
+/// probe_us once, then per_rule_us for every rule the deciding engine
+/// actually examined (the tuple engine examines fewer — the cost model
+/// follows the engine, not the rule-table size).
+void apply_scan(FlowLookupResult& r, const ClassifyScan& scan,
+                const FlowCacheCosts& costs) {
+  r.scanned = true;
+  r.scan_matched = scan.path_id.has_value();
+  r.path_id = scan.path_id;
+  r.rules_examined = scan.rules_examined;
+  r.tuples_probed = scan.tuples_probed;
+  r.candidates_verified = scan.candidates_verified;
+  r.tuple_engine = scan.tuple_engine;
+  r.cost_us = costs.probe_us +
+              costs.per_rule_us * static_cast<double>(scan.rules_examined);
+}
+
 }  // namespace
 
 std::optional<FlowKey> FlowKeySpec::key_of(
@@ -142,17 +159,16 @@ FlowLookupResult FlowCache::lookup_impl(const PacketClassifier& classifier,
                                         const PathResolver* resolver) {
   ++stats_.lookups;
   ++clock_;
+  if (probe_log_ != nullptr) probe_log_->clear();
   FlowLookupResult r;
 
   const std::optional<FlowKey> key = spec_.key_of(frame);
   if (!key.has_value()) {
     // No key: classify directly, nothing to memoize.
     ++stats_.unkeyed;
-    const ClassifyScan scan = classifier.classify_scan(frame);
-    r.path_id = scan.path_id;
-    r.rules_examined = scan.rules_examined;
-    r.cost_us = costs_.probe_us +
-                costs_.per_rule_us * static_cast<double>(scan.rules_examined);
+    const ClassifyScan scan = classifier.classify_scan(frame, probe_log_);
+    apply_scan(r, scan, costs_);
+    if (!scan.path_id.has_value()) ++stats_.unmatched_scans;
     stats_.rules_examined += scan.rules_examined;
     stats_.cost_us += r.cost_us;
     return r;
@@ -182,7 +198,7 @@ FlowLookupResult FlowCache::lookup_impl(const PacketClassifier& classifier,
     ++stats_.misses;
   }
 
-  const ClassifyScan scan = classifier.classify_scan(frame);
+  const ClassifyScan scan = classifier.classify_scan(frame, probe_log_);
   std::optional<int> bound = scan.path_id;
   if (resolver != nullptr && scan.path_id.has_value()) {
     const int b = (*resolver)(*key);
@@ -190,21 +206,18 @@ FlowLookupResult FlowCache::lookup_impl(const PacketClassifier& classifier,
       // No path to bind right now (e.g. the LB pool is empty): price the
       // scan, report no path, and leave the entry untouched so the next
       // packet on this flow retries the resolution.
+      apply_scan(r, scan, costs_);
       r.path_id = std::nullopt;
-      r.rules_examined = scan.rules_examined;
-      r.cost_us =
-          costs_.probe_us +
-          costs_.per_rule_us * static_cast<double>(scan.rules_examined);
+      ++stats_.unmatched_scans;
       stats_.rules_examined += scan.rules_examined;
       stats_.cost_us += r.cost_us;
       return r;
     }
     bound = b;
   }
+  apply_scan(r, scan, costs_);
   r.path_id = bound;
-  r.rules_examined = scan.rules_examined;
-  r.cost_us = costs_.probe_us +
-              costs_.per_rule_us * static_cast<double>(scan.rules_examined);
+  if (!scan.path_id.has_value()) ++stats_.unmatched_scans;
   stats_.rules_examined += scan.rules_examined;
   stats_.cost_us += r.cost_us;
 

@@ -73,17 +73,36 @@ std::optional<FlowCacheScheme> flow_cache_scheme_from_string(
 
 /// Per-lookup cost model, in microseconds (replaces the bare classifier's
 /// flat overhead_us when a FlowCache is installed).
+///
+/// Exactly one of two provenances fills the coefficients:
+///  * analytic — the historical hand-set defaults below (Jain-style
+///    constants; fine for scheme comparisons at a handful of rules);
+///  * measured — harness::measure_classifier_costs replays the traced
+///    cache probe and classification activations through the simulated
+///    memory hierarchy under the row's StackConfig and fits
+///    hit_us / probe_us / per_rule_us from the results, so a thousands-of-
+///    rules row prices its lookups from the caches the paper models, not
+///    from constants.  `measured` records the provenance; the lookup
+///    formula (hit -> hit_us, miss -> probe_us + per_rule_us * rules) is
+///    identical either way.
 struct FlowCacheCosts {
   double hit_us = 0.2;       ///< cache hit: probe + guard check
   double probe_us = 0.2;     ///< paid on every miss before the scan starts
-  double per_rule_us = 0.4;  ///< linear scan, per rule examined
+  double per_rule_us = 0.4;  ///< scan cost per rule the engine examined
+  bool measured = false;     ///< coefficients came from simulated replays
 };
 
 struct FlowLookupResult {
   std::optional<int> path_id;
   bool cache_hit = false;
   bool stale = false;  ///< hit on an entry invalidated by connection churn
+  bool scanned = false;  ///< the classifier ran (miss / stale / unkeyed)
+  bool scan_matched = false;  ///< the scan itself found a path (path_id may
+                              ///< differ after resolver re-binding)
   std::size_t rules_examined = 0;
+  std::size_t tuples_probed = 0;        ///< tuple engine probes (scan only)
+  std::size_t candidates_verified = 0;  ///< tuple engine bucket entries
+  bool tuple_engine = false;            ///< engine that decided the scan
   double cost_us = 0;
 };
 
@@ -94,6 +113,14 @@ struct FlowCacheStats {
   std::uint64_t stale_hits = 0;  ///< key present but invalidated; full scan
   std::uint64_t unkeyed = 0;     ///< frame too short for the key spec
   std::uint64_t rules_examined = 0;
+  /// Full scans that ended with no matching path.  Keyed no-match scans
+  /// ARE memoized (the entry stores a nullopt binding, so repeat frames on
+  /// the flow hit at hit_us — DEC-TR-592's cache works for negative
+  /// destinations too); this counter makes the residual unmatched work
+  /// visible:
+  /// unkeyed frames and resolver-declined rebinds re-scan every time by
+  /// design, and a churn-invalidated negative entry re-scans once.
+  std::uint64_t unmatched_scans = 0;
   double cost_us = 0;            ///< total modeled classification cost
 
   double hit_ratio() const noexcept {
@@ -157,6 +184,12 @@ class FlowCache {
   /// analytic conflict pairs).
   std::size_t slot_of(FlowKey key) const noexcept;
 
+  /// Attach a probe log the classifier fills on every scan this cache
+  /// triggers (cleared at the start of each lookup); a capturing Host
+  /// reads it to emit the lookup's code-model trace.  Pass nullptr to
+  /// detach.
+  void set_probe_log(ClassifyProbeLog* log) noexcept { probe_log_ = log; }
+
  private:
   struct Entry {
     FlowKey key = 0;
@@ -179,6 +212,7 @@ class FlowCache {
   std::vector<Entry> entries_;
   std::uint64_t clock_ = 0;
   FlowCacheStats stats_;
+  ClassifyProbeLog* probe_log_ = nullptr;
 };
 
 }  // namespace l96::code

@@ -363,6 +363,9 @@ CoreRunResult run_fleet_core_tcp(const FleetSpec& spec,
   net::World world(net::StackKind::kTcpIp, spec.config, spec.config, options);
   world.server().enable_flow_cache(spec.scheme, spec.cache_capacity,
                                    spec.cache_costs);
+  if (spec.rules > 0) {
+    world.server().install_scaled_classifier(spec.rules, spec.rule_seed);
+  }
 
   FleetSink sink;
   FleetSource source;
@@ -507,6 +510,9 @@ CoreRunResult run_fleet_core_rpc(const FleetSpec& spec,
   net::World world(net::StackKind::kRpc, spec.config, spec.config);
   world.server().enable_flow_cache(spec.scheme, spec.cache_capacity,
                                    spec.cache_costs);
+  if (spec.rules > 0) {
+    world.server().install_scaled_classifier(spec.rules, spec.rule_seed);
+  }
 
   for (std::size_t j = 0; j < owned.size(); ++j) {
     world.server().mselect()->register_service(
@@ -611,6 +617,17 @@ void validate_fleet_spec(const FleetSpec& spec, const BurstCostTable& costs) {
     throw std::invalid_argument(
         "run_fleet: connections and packets must be > 0");
   }
+  if (spec.params.classifier_overhead_us != 0.0) {
+    // Exactly one classification cost model per measurement: fleet rows
+    // price every lookup through FlowCacheCosts (hit_us / probe_us /
+    // per_rule_us); the flat analytic classifier_overhead_us knob belongs
+    // to the single-roundtrip te formulas (combine_sides).  Accepting both
+    // here would charge classification twice per packet.
+    throw std::invalid_argument(
+        "run_fleet: classifier_overhead_us must be 0 for fleet rows — "
+        "classification is priced via FlowCacheCosts, not the flat "
+        "analytic knob");
+  }
   check_costs(spec, costs);
 }
 
@@ -678,6 +695,13 @@ Json fleet_json(const BurstCostTable& costs,
         .set("zipf_s", s.zipf_s)
         .set("seed", s.seed)
         .set("cache_capacity", static_cast<std::uint64_t>(s.cache_capacity))
+        .set("rules", static_cast<std::uint64_t>(s.rules))
+        .set("rule_seed", s.rule_seed)
+        .set("cache_costs", Json::object()
+                                .set("measured", s.cache_costs.measured)
+                                .set("hit_us", s.cache_costs.hit_us)
+                                .set("probe_us", s.cache_costs.probe_us)
+                                .set("per_rule_us", s.cache_costs.per_rule_us))
         .set("churn_every", s.churn_every)
         .set("packets_sampled", r.packets_sampled)
         .set("scheduled_sampled", r.scheduled_sampled)
@@ -692,6 +716,7 @@ Json fleet_json(const BurstCostTable& costs,
                           .set("misses", r.cache.misses)
                           .set("stale_hits", r.cache.stale_hits)
                           .set("unkeyed", r.cache.unkeyed)
+                          .set("unmatched_scans", r.cache.unmatched_scans)
                           .set("rules_examined", r.cache.rules_examined)
                           .set("hit_ratio", r.cache.hit_ratio())
                           .set("stale_ratio", r.cache.stale_ratio())

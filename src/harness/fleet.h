@@ -134,6 +134,12 @@ struct FleetSpec {
   code::FlowCacheScheme scheme = code::FlowCacheScheme::kLru;
   std::size_t cache_capacity = 8;
   code::FlowCacheCosts cache_costs{};
+  /// Decoy classifier paths installed ahead of the real fast path on the
+  /// server (protocols/rulegen.h) — the production-scale rule table whose
+  /// scan cost the flow cache is supposed to amortize.  0 keeps the default
+  /// hand-written classifier (and the historical numbers) byte for byte.
+  std::size_t rules = 0;
+  std::uint64_t rule_seed = 1;
   /// Every `churn_every` scheduled packets, close and reopen the hottest
   /// connection (TCP/IP only) between bursts: the demux unbind invalidates
   /// its flow and the reopened flow's next frame is a stale hit.  0

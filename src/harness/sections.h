@@ -23,6 +23,7 @@ struct SectionInfo {
 inline constexpr SectionInfo kSectionManifest[] = {
     {"sweep", 1, "harness::write_sweep_metrics"},
     {"fleet", 2, "harness::fleet_json"},
+    {"classifier", 1, "bench_classifier_scale"},
     {"missmap", 1, "harness::missmap_json"},
     {"recovery", 1, "harness::recovery_json"},
     {"burst", 1, "bench_burst_amortization"},

@@ -2,31 +2,23 @@
 
 #include <stdexcept>
 
+#include "protocols/rulegen.h"
 #include "protocols/stack_code.h"
 
 namespace l96::net {
 
 namespace {
 
-// Classifier rules for the inbound fast path (offsets into the raw frame).
-// TCP/IP: ethertype IPv4, version/IHL 0x45, not fragmented, protocol TCP.
-// RPC: ethertype BLAST, single-fragment data message, not a NACK.
+proto::RuleSetKind rule_set_kind(StackKind kind) {
+  return kind == StackKind::kTcpIp ? proto::RuleSetKind::kTcpIp
+                                   : proto::RuleSetKind::kRpc;
+}
+
+// Classifier rules for the inbound fast path: the canonical per-stack rule
+// list lives in protocols/rulegen.h (shared with the scaled-rule-set
+// generator so the real path can never drift between the two).
 code::PacketClassifier make_classifier(StackKind kind) {
-  code::PacketClassifier c;
-  if (kind == StackKind::kTcpIp) {
-    c.add_path("tcpip_in", 1,
-               {{.offset = 12, .size = 2, .mask = 0xFFFF, .value = 0x0800},
-                {.offset = 14, .size = 1, .mask = 0xFF, .value = 0x45},
-                {.offset = 20, .size = 2, .mask = 0x3FFF, .value = 0x0000},
-                {.offset = 23, .size = 1, .mask = 0xFF, .value = 0x06}});
-  } else {
-    c.add_path("rpc_in", 2,
-               {{.offset = 12, .size = 2, .mask = 0xFFFF, .value = 0x88B5},
-                // single fragment (nfrags == 1), flags without the NACK bit
-                {.offset = 20, .size = 2, .mask = 0xFFFF, .value = 0x0001},
-                {.offset = 26, .size = 2, .mask = 0x0001, .value = 0x0000}});
-  }
-  return c;
+  return proto::build_scaled_classifier(rule_set_kind(kind), 0, 0);
 }
 
 }  // namespace
@@ -185,7 +177,19 @@ void Host::enable_flow_cache(code::FlowCacheScheme scheme,
       kind_ == StackKind::kTcpIp ? proto::tcpip_flow_key_spec()
                                  : proto::rpc_flow_key_spec(),
       scheme, capacity, costs);
+  if (scaled_classifier_) flow_cache_->set_probe_log(&probe_log_);
   wire_flow_cache_hook();
+}
+
+void Host::install_scaled_classifier(std::size_t decoy_rules,
+                                     std::uint64_t seed) {
+  classifier_ =
+      proto::build_scaled_classifier(rule_set_kind(kind_), decoy_rules, seed);
+  if (!scaled_classifier_) {
+    proto::register_classifier_code(registry_, cfg_);
+    scaled_classifier_ = true;
+  }
+  if (flow_cache_ != nullptr) flow_cache_->set_probe_log(&probe_log_);
 }
 
 void Host::wire_flow_cache_hook() {
@@ -227,6 +231,23 @@ void Host::deliver(std::vector<std::uint8_t> frame) {
     code::FlowLookupResult lr;
     if (flow_cache_ != nullptr) {
       lr = flow_cache_->lookup(classifier_, frame);
+      if (capturing && scaled_classifier_) {
+        // The lookup's own code: cache probe + (on a miss) the scan the
+        // probe log describes.  Emitted before the protocol activation,
+        // exactly where the classifier runs.
+        std::optional<std::uint64_t> entry_addr;
+        if (const auto key = flow_cache_->key_spec().key_of(frame)) {
+          entry_addr = proto::flow_cache_entry_addr(flow_cache_->slot_of(*key));
+        }
+        proto::trace_classification(recorder_, registry_, lr, probe_log_,
+                                    entry_addr);
+      }
+    } else if (capturing && scaled_classifier_) {
+      probe_log_.clear();
+      const code::ClassifyScan scan =
+          classifier_.classify_scan(frame, &probe_log_);
+      lr.path_id = scan.path_id;
+      proto::trace_classifier_scan(recorder_, registry_, scan, probe_log_);
     } else {
       lr.path_id = classifier_.classify(frame);
     }

@@ -611,6 +611,157 @@ void register_lb_code(CodeRegistry& reg, const StackConfig& cfg) {
   }
 }
 
+void register_classifier_code(CodeRegistry& reg, const StackConfig& cfg) {
+  // The scaled classifier's compiled shape.  Counts follow the endpoint
+  // calibration style: the cache probe and a single tuple probe are each a
+  // few dozen instructions; per-rule verification is a short compare
+  // ladder.  What makes classification expensive at scale is not any one
+  // block but how many of them run — and where their tables land in the
+  // simulated caches.
+  {
+    // Flow-cache front end (code/flow_cache.h): probe, guard, memoize.
+    FnBuilder f("classify_cache", FnKind::kPath);
+    f.prologue(5).epilogue(4);
+    [[maybe_unused]] auto b0 = f.block("probe", 24, BlockClass::kMainline,
+                                       BO{.stack_reads = 1});
+    [[maybe_unused]] auto b1 = f.block("hit", u16(cfg.minor_opts ? 10 : 14));
+    [[maybe_unused]] auto b2 = f.block("miss", 12, kErr, BO{.calls = 1});
+    [[maybe_unused]] auto b3 = f.block("stale", 30, kErr, BO{.calls = 1});
+    assert(b0 == blk::kClsCacheProbe && b1 == blk::kClsCacheHit &&
+           b2 == blk::kClsCacheMiss && b3 == blk::kClsCacheStale);
+    f.add_to(reg);
+  }
+  {
+    // Scan driver: engine selection + the no-match epilogue.
+    FnBuilder f("classify_lookup", FnKind::kPath);
+    f.prologue(6).epilogue(5);
+    [[maybe_unused]] auto b0 = f.block("setup", 18, BlockClass::kMainline,
+                                       BO{.stack_writes = 1, .calls = 2});
+    [[maybe_unused]] auto b1 = f.block("no_match", 16, kErr);
+    assert(b0 == blk::kClsLookupSetup && b1 == blk::kClsLookupMiss);
+    f.add_to(reg);
+  }
+  {
+    // Tuple key hash: extract the tuple's masked fields, FNV-mix them.
+    FnBuilder f("classify_hash", FnKind::kPath);
+    f.prologue(4).epilogue(3).leaf();
+    [[maybe_unused]] auto b0 = f.block("fields", u16(cfg.minor_opts ? 18 : 24),
+                                       BlockClass::kMainline,
+                                       BO{.stack_reads = 1});
+    [[maybe_unused]] auto b1 = f.block("mix", 16, BlockClass::kMainline,
+                                       BO{.imuls = 3});
+    assert(b0 == blk::kClsHashFields && b1 == blk::kClsHashMix);
+    f.add_to(reg);
+  }
+  {
+    // One hash-table probe (the bucket load lands in the tuple table at
+    // PacketClassifier::table_addr — real d-cache traffic, not a constant).
+    FnBuilder f("classify_probe", FnKind::kPath);
+    f.prologue(4).epilogue(3);
+    [[maybe_unused]] auto b0 = f.block("bucket", 20, BlockClass::kMainline,
+                                       BO{.stack_reads = 1});
+    [[maybe_unused]] auto b1 = f.block("empty", 8, kErr);
+    assert(b0 == blk::kClsProbeBucket && b1 == blk::kClsProbeEmpty);
+    f.add_to(reg);
+  }
+  {
+    // Candidate verification: the rule compare ladder, shared by both
+    // engines' exact-match step.
+    FnBuilder f("classify_verify", FnKind::kPath);
+    f.prologue(4).epilogue(3);
+    [[maybe_unused]] auto b0 = f.block("rule", 12, BlockClass::kMainline,
+                                       BO{.stack_reads = 1});
+    [[maybe_unused]] auto b1 = f.block("reject", 10, kErr);
+    assert(b0 == blk::kClsVerifyRule && b1 == blk::kClsVerifyReject);
+    f.add_to(reg);
+  }
+  {
+    // Legacy linear scan: every registered path tried in priority order.
+    FnBuilder f("classify_linear", FnKind::kPath);
+    f.prologue(5).epilogue(4);
+    [[maybe_unused]] auto b0 = f.block("rule", u16(cfg.minor_opts ? 10 : 12),
+                                       BlockClass::kMainline,
+                                       BO{.stack_reads = 1});
+    [[maybe_unused]] auto b1 = f.block("all_missed", 14, kErr);
+    assert(b0 == blk::kClsLinearRule && b1 == blk::kClsLinearMiss);
+    f.add_to(reg);
+  }
+}
+
+void trace_classifier_scan(code::Recorder& rec, const code::CodeRegistry& reg,
+                           const code::ClassifyScan& scan,
+                           const code::ClassifyProbeLog& log) {
+  const code::FnId lookup = reg.require("classify_lookup");
+  code::TracedCall tc(rec, lookup);
+  rec.block(lookup, blk::kClsLookupSetup);
+  if (scan.tuple_engine) {
+    const code::FnId hash = reg.require("classify_hash");
+    const code::FnId probe_fn = reg.require("classify_probe");
+    const code::FnId verify = reg.require("classify_verify");
+    for (const code::ClassifyProbe& p : log.probes) {
+      {
+        code::TracedCall h(rec, hash);
+        rec.block(hash, blk::kClsHashFields);
+        rec.block(hash, blk::kClsHashMix);
+      }
+      {
+        code::TracedCall pr(rec, probe_fn);
+        rec.block(probe_fn, blk::kClsProbeBucket);
+        rec.load(code::PacketClassifier::table_addr(p.tuple, p.key), 32);
+        if (p.candidates == 0) rec.block(probe_fn, blk::kClsProbeEmpty);
+      }
+      if (p.candidates > 0) {
+        code::TracedCall v(rec, verify);
+        for (std::uint16_t i = 0; i < p.rules; ++i) {
+          rec.block(verify, blk::kClsVerifyRule);
+        }
+        const std::uint16_t rejected =
+            static_cast<std::uint16_t>(p.candidates - (p.matched ? 1 : 0));
+        for (std::uint16_t i = 0; i < rejected; ++i) {
+          rec.block(verify, blk::kClsVerifyReject);
+        }
+      }
+    }
+  } else {
+    const code::FnId lin = reg.require("classify_linear");
+    code::TracedCall l(rec, lin);
+    for (std::size_t i = 0; i < scan.rules_examined; ++i) {
+      rec.block(lin, blk::kClsLinearRule);
+    }
+    if (!scan.path_id.has_value()) rec.block(lin, blk::kClsLinearMiss);
+  }
+  if (!scan.path_id.has_value()) rec.block(lookup, blk::kClsLookupMiss);
+}
+
+void trace_classification(code::Recorder& rec, const code::CodeRegistry& reg,
+                          const code::FlowLookupResult& lr,
+                          const code::ClassifyProbeLog& log,
+                          std::optional<std::uint64_t> cache_entry_addr) {
+  code::ClassifyScan scan;
+  if (lr.scan_matched) scan.path_id = 0;  // only has_value() matters here
+  scan.rules_examined = lr.rules_examined;
+  scan.tuples_probed = lr.tuples_probed;
+  scan.candidates_verified = lr.candidates_verified;
+  scan.tuple_engine = lr.tuple_engine;
+
+  if (!cache_entry_addr.has_value()) {
+    // Unkeyed frame: the cache was bypassed, only the scan ran.
+    if (lr.scanned) trace_classifier_scan(rec, reg, scan, log);
+    return;
+  }
+  const code::FnId cache = reg.require("classify_cache");
+  code::TracedCall tc(rec, cache);
+  rec.block(cache, blk::kClsCacheProbe);
+  rec.load(*cache_entry_addr, 16);
+  if (lr.cache_hit && !lr.stale) {
+    rec.block(cache, blk::kClsCacheHit);
+    return;
+  }
+  rec.block(cache, lr.stale ? blk::kClsCacheStale : blk::kClsCacheMiss);
+  if (lr.scanned) trace_classifier_scan(rec, reg, scan, log);
+  rec.store(*cache_entry_addr, 16);  // memoize (or refresh) the binding
+}
+
 // ---------------------------------------------------------------------------
 // Path specs (Section 3.3)
 // ---------------------------------------------------------------------------

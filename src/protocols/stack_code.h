@@ -12,9 +12,13 @@
 // counts live only in stack_code.cc.
 #pragma once
 
+#include <cstddef>
+#include <optional>
+
 #include "code/config.h"
 #include "code/flow_cache.h"
 #include "code/model.h"
+#include "code/trace.h"
 
 namespace l96::proto {
 
@@ -200,6 +204,35 @@ enum LbForward : code::BlockId {
   kLbForwardLinkDown,  // error: backend leg dark at transmit time
 };
 
+// --- Packet classifier (tuple-space lookup at scale) -----------------------
+// The scaled classifier's own code: the flow-cache front end plus the
+// tuple-space lookup (code/classifier.h).  Function names are prefixed
+// "classify_" so CodeImage::export_regions yields per-function owners a
+// MissProfiler report can aggregate into one `classify` owner group.
+enum ClsCache : code::BlockId {
+  kClsCacheProbe = 0,
+  kClsCacheHit,
+  kClsCacheMiss,   // error: binding absent, full classification runs
+  kClsCacheStale,  // error: churn-invalidated binding (slow-path packet)
+};
+enum ClsLookup : code::BlockId {
+  kClsLookupSetup = 0,
+  kClsLookupMiss,  // error: no path matched the frame
+};
+enum ClsHash : code::BlockId { kClsHashFields = 0, kClsHashMix };
+enum ClsProbe : code::BlockId {
+  kClsProbeBucket = 0,
+  kClsProbeEmpty,  // error: bucket empty, probe moves to the next tuple
+};
+enum ClsVerify : code::BlockId {
+  kClsVerifyRule = 0,
+  kClsVerifyReject,  // error: candidate failed rule verification
+};
+enum ClsLinear : code::BlockId {
+  kClsLinearRule = 0,
+  kClsLinearMiss,  // error: every path tried, none matched
+};
+
 }  // namespace blk
 
 // ---------------------------------------------------------------------------
@@ -215,6 +248,41 @@ void register_rpc_code(code::CodeRegistry& reg, const code::StackConfig& cfg);
 /// with the Maglev hash+lookup called only on a track miss (so the miss
 /// cost lands in the slow/rebind activation, like any other cold path).
 void register_lb_code(code::CodeRegistry& reg, const code::StackConfig& cfg);
+/// The scaled packet classifier: flow-cache probe, tuple-space hash/probe/
+/// verify, and the legacy linear scan — registered only when a host runs a
+/// scaled rule set (net::Host::install_scaled_classifier), so default
+/// images and their measured numbers are unchanged.
+void register_classifier_code(code::CodeRegistry& reg,
+                              const code::StackConfig& cfg);
+
+/// Simulated base address of the flow-cache entry array (distinct from the
+/// message arena, the conflict-data base, and the classifier's tuple
+/// tables at code::PacketClassifier::kTableBase).
+inline constexpr std::uint64_t kFlowCacheBase = 0x2400'0000ULL;
+/// Simulated address of flow-cache slot `slot` (32-byte entries).
+inline constexpr std::uint64_t flow_cache_entry_addr(std::size_t slot) {
+  return kFlowCacheBase + 32ull * slot;
+}
+
+/// Emit the code-model event stream of one classifier scan: the tuple
+/// engine's hash/probe/verify calls driven by the recorded probe log, or
+/// the linear engine's per-rule blocks.  The registry must have
+/// register_classifier_code applied.
+void trace_classifier_scan(code::Recorder& rec, const code::CodeRegistry& reg,
+                           const code::ClassifyScan& scan,
+                           const code::ClassifyProbeLog& log);
+
+/// Emit the event stream of one full flow-cache lookup (classify_cache
+/// probe at `cache_entry_addr`, then — on a miss or stale hit — the scan
+/// via trace_classifier_scan and the memoizing store).  `lr` is the
+/// lookup's result; the probe log must come from the same lookup's scan
+/// (empty for a linear-engine scan or a fresh hit).  A nullopt address
+/// means the frame was unkeyed: no cache probe ran, only the bare scan is
+/// emitted.
+void trace_classification(code::Recorder& rec, const code::CodeRegistry& reg,
+                          const code::FlowLookupResult& lr,
+                          const code::ClassifyProbeLog& log,
+                          std::optional<std::uint64_t> cache_entry_addr);
 
 /// Path specs for path-inlining (members must already be registered).
 code::PathSpec tcpip_output_path(const code::CodeRegistry& reg);

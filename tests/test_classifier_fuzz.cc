@@ -1,0 +1,198 @@
+// Differential fuzz: the tuple-space engine must reproduce the linear
+// scan's classification decision on every frame, for every rule set.
+//
+// The linear scan is the specification — first registered full match wins.
+// The tuple engine reorganizes the same rules into per-signature hash
+// tables, so any bug in signature packing, bucket hashing, priority-ordered
+// probing, or candidate verification shows up as a decision mismatch on
+// *some* frame.  These tests hammer the equivalence with seeded random rule
+// sets (overlapping masks, shared and private signatures, shadowed
+// priorities) and adversarial frames (mutants of matching frames,
+// truncations through every rule boundary, pure noise).
+//
+// Only the decision (path_id) is compared, not rules_examined: a frame
+// that fully matches a later path whose tuple has better priority
+// legitimately pays that path's rules under the tuple engine even though
+// the linear scan stopped at the earlier match (see code/classifier.h).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "code/classifier.h"
+#include "harness/classify.h"
+#include "protocols/rulegen.h"
+
+namespace l96 {
+namespace {
+
+// Local deterministic stream (xorshift64*), independent of libc rand.
+struct Rng {
+  std::uint64_t s;
+  explicit Rng(std::uint64_t seed) : s(seed ? seed : 1) {}
+  std::uint64_t next() {
+    s ^= s >> 12;
+    s ^= s << 25;
+    s ^= s >> 27;
+    return s * 0x2545F4914F6CDD1DULL;
+  }
+  std::uint32_t below(std::uint32_t n) {
+    return static_cast<std::uint32_t>(next() % n);
+  }
+};
+
+// A random rule set over a small field universe so masks overlap and many
+// paths share signatures, with a sprinkle of private-signature paths.
+code::PacketClassifier random_classifier(Rng& rng, std::size_t paths) {
+  static constexpr struct {
+    std::uint16_t offset;
+    std::uint8_t size;
+  } kFields[] = {{0, 1}, {1, 2}, {4, 4}, {9, 1}, {12, 2}};
+  static constexpr std::uint32_t kMasks1[] = {0xFF, 0xF0, 0x0F, 0x81};
+  static constexpr std::uint32_t kMasks2[] = {0xFFFF, 0xFF00, 0x00FF, 0x0FF0};
+  static constexpr std::uint32_t kMasks4[] = {0xFFFFFFFFu, 0xFFFF0000u,
+                                              0x00FF00FFu, 0x000000FFu};
+  code::PacketClassifier c;
+  for (std::size_t p = 0; p < paths; ++p) {
+    std::vector<code::ClassifierRule> rules;
+    const std::size_t nrules = 1 + rng.below(3);
+    for (std::size_t r = 0; r < nrules; ++r) {
+      const auto& fld = kFields[rng.below(std::size(kFields))];
+      std::uint32_t mask = 0;
+      switch (fld.size) {
+        case 1: mask = kMasks1[rng.below(4)]; break;
+        case 2: mask = kMasks2[rng.below(4)]; break;
+        default: mask = kMasks4[rng.below(4)]; break;
+      }
+      rules.push_back({.offset = fld.offset,
+                       .size = fld.size,
+                       .mask = mask,
+                       .value = static_cast<std::uint32_t>(rng.next()) & mask});
+    }
+    c.add_path("fuzz_" + std::to_string(p), static_cast<int>(p + 1),
+               std::move(rules));
+  }
+  return c;
+}
+
+std::vector<std::uint8_t> random_frame(Rng& rng, std::size_t len) {
+  std::vector<std::uint8_t> f(len);
+  for (auto& b : f) b = static_cast<std::uint8_t>(rng.next());
+  return f;
+}
+
+void expect_engines_agree(const code::PacketClassifier& c,
+                          const std::vector<std::uint8_t>& f,
+                          const char* what) {
+  const auto lin = c.classify_scan_linear(f);
+  const auto tup = c.classify_scan_tuple(f);
+  ASSERT_EQ(lin.path_id, tup.path_id)
+      << what << ": linear says "
+      << (lin.path_id ? std::to_string(*lin.path_id) : "nomatch")
+      << ", tuple says "
+      << (tup.path_id ? std::to_string(*tup.path_id) : "nomatch")
+      << " on a " << f.size() << "-byte frame";
+  // classify_scan() must agree with whichever engine is active.
+  EXPECT_EQ(c.classify_scan(f).path_id, lin.path_id);
+}
+
+TEST(ClassifierFuzz, RandomRuleSetsRandomFrames) {
+  Rng rng(0xC1A551F1E5ULL);
+  for (int set = 0; set < 12; ++set) {
+    const std::size_t paths = 4 + rng.below(60);
+    const auto c = random_classifier(rng, paths);
+    for (int i = 0; i < 150; ++i) {
+      // Short frames stress the out-of-bounds rejection: lengths from 0
+      // through just past the largest field extent (offset 12 + size 2).
+      const std::size_t len = rng.below(18);
+      expect_engines_agree(c, random_frame(rng, len), "random");
+    }
+  }
+}
+
+TEST(ClassifierFuzz, ScaledRuleSetsMutantFrames) {
+  // Generated production-scale sets, probed with single-byte mutants of
+  // the canonical matching frame — each mutant flips exactly one byte, so
+  // it exercises near-miss verification (partial template matches) where
+  // the two engines are most likely to diverge.
+  for (const auto kind :
+       {proto::RuleSetKind::kTcpIp, proto::RuleSetKind::kRpc}) {
+    const auto base = harness::classifier_match_frame(
+        kind == proto::RuleSetKind::kTcpIp ? net::StackKind::kTcpIp
+                                           : net::StackKind::kRpc);
+    for (const std::size_t decoys : {8u, 64u, 512u}) {
+      Rng rng(0xBEEF0000ULL + decoys + (kind == proto::RuleSetKind::kRpc));
+      const auto c = proto::build_scaled_classifier(kind, decoys, 1);
+      expect_engines_agree(c, base, "canonical match");
+      expect_engines_agree(c, harness::classifier_nomatch_frame(),
+                           "canonical nomatch");
+      for (int i = 0; i < 200; ++i) {
+        auto f = base;
+        f[rng.below(static_cast<std::uint32_t>(f.size()))] ^=
+            static_cast<std::uint8_t>(1 + rng.below(255));
+        expect_engines_agree(c, f, "mutant");
+      }
+      // Truncations through every length, including mid-field cuts.
+      for (std::size_t len = 0; len <= base.size(); ++len) {
+        expect_engines_agree(
+            c, std::vector<std::uint8_t>(base.begin(), base.begin() + len),
+            "truncation");
+      }
+    }
+  }
+}
+
+TEST(ClassifierFuzz, ShadowedPrioritiesAgree) {
+  // Rule sets where broad masks shadow narrow ones and vice versa, in both
+  // registration orders: first-registered-wins must hold under both
+  // engines even when several paths fully match the same frame.
+  Rng rng(0x5AD0ED);
+  for (int trial = 0; trial < 40; ++trial) {
+    code::PacketClassifier c;
+    const std::uint8_t v = static_cast<std::uint8_t>(rng.next());
+    // Three layers matching overlapping value sets at the same offset,
+    // registered in a random order.
+    struct Layer {
+      std::uint32_t mask;
+      const char* name;
+    } layers[] = {{0xFF, "exact"}, {0xF0, "high"}, {0x0F, "low"}};
+    int order[3] = {0, 1, 2};
+    for (int i = 2; i > 0; --i) std::swap(order[i], order[rng.below(i + 1)]);
+    for (int i = 0; i < 3; ++i) {
+      const auto& l = layers[order[i]];
+      c.add_path(l.name, i + 1,
+                 {{.offset = 0, .size = 1, .mask = l.mask,
+                   .value = v & l.mask}});
+    }
+    for (int i = 0; i < 64; ++i) {
+      expect_engines_agree(c, random_frame(rng, 1 + rng.below(3)),
+                           "shadowed");
+    }
+    expect_engines_agree(c, {v}, "shadowed-exact");
+  }
+}
+
+TEST(ClassifierFuzz, DecisionsAreDeterministic) {
+  // Same seed, two independently built classifiers and frame streams:
+  // identical decisions and identical work counters.
+  for (int round = 0; round < 2; ++round) {
+    Rng ra(42), rb(42);
+    const auto ca = random_classifier(ra, 48);
+    const auto cb = random_classifier(rb, 48);
+    for (int i = 0; i < 100; ++i) {
+      const auto fa = random_frame(ra, 16);
+      const auto fb = random_frame(rb, 16);
+      ASSERT_EQ(fa, fb);
+      const auto sa = ca.classify_scan_tuple(fa);
+      const auto sb = cb.classify_scan_tuple(fb);
+      EXPECT_EQ(sa.path_id, sb.path_id);
+      EXPECT_EQ(sa.rules_examined, sb.rules_examined);
+      EXPECT_EQ(sa.tuples_probed, sb.tuples_probed);
+      EXPECT_EQ(sa.candidates_verified, sb.candidates_verified);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace l96

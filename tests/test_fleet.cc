@@ -353,6 +353,58 @@ TEST(FleetTest, RejectsNonInlinedConfigAndEmptySchedules) {
   EXPECT_THROW(harness::run_fleet(spec, tcp_table()), std::invalid_argument);
 }
 
+TEST(FleetTest, ScaledRuleSetRowRunsAndStaysDeterministic) {
+  // A fleet row with a production-scale rule table: the server swaps its
+  // classifier for the generated one (decoys never match fleet traffic,
+  // so the functional results — hits, conservation — are those of the
+  // default classifier), and the digest is worker-count independent.
+  FleetSpec spec = small_spec();
+  spec.rules = 128;
+  spec.rule_seed = 3;
+  spec.cache_costs = code::FlowCacheCosts{.hit_us = 0.1,
+                                          .probe_us = 0.4,
+                                          .per_rule_us = 0.02,
+                                          .measured = true};
+  FleetRunner serial(1), parallel(2);
+  const auto r1 = serial.run({spec}, tcp_table());
+  const auto r2 = parallel.run({spec}, tcp_table());
+  ASSERT_EQ(r1.size(), 1u);
+  EXPECT_EQ(r1[0].sample_digest, r2[0].sample_digest);
+  EXPECT_GT(r1[0].cache.hits, 0u);
+  // Every fleet frame matches the real fast path and carries a full key:
+  // no scan may end unmatched at any rule-table scale.
+  EXPECT_EQ(r1[0].cache.unmatched_scans, 0u);
+  EXPECT_EQ(r1[0].spec.rules, 128u);
+
+  // The 129-path set activates the tuple engine, and fleet traffic never
+  // lands in a decoy bucket — so every miss scan verifies exactly the
+  // real path's rules, the same count the default one-path classifier
+  // examines.  Scan work stays flat as the rule table grows; a linear
+  // scan would have waded through all 128 decoys per miss.
+  FleetSpec plain = spec;
+  plain.rules = 0;
+  const auto p = serial.run({plain}, tcp_table());
+  EXPECT_EQ(r1[0].cache.rules_examined, p[0].cache.rules_examined);
+  EXPECT_EQ(r1[0].cache.misses, p[0].cache.misses);
+  EXPECT_EQ(r1[0].cache.hits, p[0].cache.hits)
+      << "decoys must never match fleet traffic";
+}
+
+TEST(FleetTest, RejectsFlatClassifierOverheadKnob) {
+  // Exactly one classification cost model: fleet rows price lookups via
+  // FlowCacheCosts, so the flat analytic knob must be rejected up front.
+  FleetSpec spec = small_spec();
+  spec.params.classifier_overhead_us = 1.0;
+  try {
+    harness::run_fleet(spec, tcp_table());
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("classifier_overhead_us"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(FleetTest, FleetJsonSectionIsSchemaVersioned) {
   const auto r = harness::run_fleet(small_spec(), tcp_table());
   const harness::Json section = harness::fleet_json(tcp_table(), {r});

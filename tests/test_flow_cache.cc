@@ -334,6 +334,63 @@ TEST(FlowCache, ResolverEmptyPoolIsNotMemoized) {
   EXPECT_EQ(r3.path_id, 2);
 }
 
+TEST(FlowCache, NegativeScansAreMemoizedAndCounted) {
+  // A keyed frame matching no path is scanned once, then the nullopt
+  // binding is served from the cache like any other — the DEC-TR-592
+  // cache works for negative destinations too.  unmatched_scans counts
+  // only the scans that actually ran and found nothing.
+  auto classifier = test_classifier();
+  FlowCache cache(test_spec(), FlowCacheScheme::kLru, 4);
+  const std::vector<std::uint8_t> odd = {0xA, 0x00};  // byte1 matches no rule
+
+  auto r = cache.lookup(classifier, odd);
+  EXPECT_FALSE(r.cache_hit);
+  EXPECT_TRUE(r.scanned);
+  EXPECT_FALSE(r.scan_matched);
+  EXPECT_EQ(r.path_id, std::nullopt);
+  EXPECT_EQ(cache.stats().unmatched_scans, 1u);
+
+  r = cache.lookup(classifier, odd);
+  EXPECT_TRUE(r.cache_hit);
+  EXPECT_FALSE(r.scanned);  // memoized: no re-scan of the rule table
+  EXPECT_EQ(r.path_id, std::nullopt);
+  EXPECT_EQ(cache.stats().unmatched_scans, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+
+  // Churn invalidation forces exactly one re-scan of the negative entry,
+  // after which the refreshed binding serves hits again.
+  cache.invalidate(test_spec().key_of(odd).value());
+  r = cache.lookup(classifier, odd);
+  EXPECT_TRUE(r.stale);
+  EXPECT_TRUE(r.scanned);
+  EXPECT_EQ(cache.stats().unmatched_scans, 2u);
+  r = cache.lookup(classifier, odd);
+  EXPECT_TRUE(r.cache_hit);
+  EXPECT_FALSE(r.stale);
+  EXPECT_EQ(cache.stats().unmatched_scans, 2u);
+
+  // Matching traffic never touches the counter.
+  cache.lookup(classifier, flow_frame(0xB));
+  cache.lookup(classifier, flow_frame(0xB));
+  EXPECT_EQ(cache.stats().unmatched_scans, 2u);
+}
+
+TEST(FlowCache, UnkeyedUnmatchedFramesRescanEveryTime) {
+  // Frames too short for the key spec bypass the cache by design: every
+  // lookup is a fresh scan, and every no-match scan counts.
+  auto classifier = test_classifier();
+  FlowCache cache({{{.offset = 5, .size = 2}}}, FlowCacheScheme::kLru, 4);
+  const std::vector<std::uint8_t> shorty = {0xA, 0x00};
+  for (int i = 0; i < 3; ++i) {
+    const auto r = cache.lookup(classifier, shorty);
+    EXPECT_FALSE(r.cache_hit);
+    EXPECT_TRUE(r.scanned);
+    EXPECT_FALSE(r.scan_matched);
+  }
+  EXPECT_EQ(cache.stats().unkeyed, 3u);
+  EXPECT_EQ(cache.stats().unmatched_scans, 3u);
+}
+
 TEST(FlowCache, RejectsZeroCapacityAndParsesSchemeNames) {
   EXPECT_THROW(FlowCache(test_spec(), FlowCacheScheme::kLru, 0),
                std::invalid_argument);

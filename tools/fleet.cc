@@ -1,6 +1,7 @@
 // Fleet CLI: run one flow-cache fleet row and print its stats + digest.
 //
 //   fleet [--burst N] [--cores N] [--steering hash|least] [--arrival-us X]
+//         [--rules N] [--rule-seed N]
 //         [--seed N] [--workers N] [--json] [--out FILE]
 //         [tcp|rpc] [scheme] [connections] [packets] [zipf_s]
 //         [seed] [capacity] [churn_every]
@@ -15,6 +16,13 @@
 // the amortized cost of the cache residue their predecessors left behind.
 // The default (no flag) is batch 1 — every packet is an independent
 // first-in-burst activation, byte-identical to the pre-burst engine.
+//
+// `--rules N` grows the server's classifier to N decoy paths ahead of the
+// real fast path (protocols/rulegen.h; --rule-seed picks the generated
+// set) and replaces the analytic flow-cache cost constants with measured
+// coefficients: the classification code is registered in the code model
+// and its hit / match / no-match activations are replayed through the
+// simulated caches (harness/classify.h) before the row runs.
 //
 // `--cores N` shards the fleet across N simulated cores (RSS flow
 // steering, per-core machine models — see harness/shard.h); --steering
@@ -32,6 +40,7 @@
 #include <string>
 
 #include "harness/argparse.h"
+#include "harness/classify.h"
 #include "harness/runner.h"
 
 int main(int argc, char** argv) {
@@ -72,6 +81,18 @@ int main(int argc, char** argv) {
                     "open-loop arrival spacing for the queueing view "
                     "(sharded runs; 0 = closed loop)",
                     &shard.arrival_us);
+  parser.add_option("rules", "N",
+                    "decoy classifier paths on the server; measured "
+                    "flow-cache costs (default 0 = analytic)",
+                    [&](const std::string& v) {
+                      spec.rules = std::strtoull(v.c_str(), nullptr, 10);
+                      return true;
+                    });
+  parser.add_option("rule-seed", "N", "rule-generator seed (default 1)",
+                    [&](const std::string& v) {
+                      spec.rule_seed = std::strtoull(v.c_str(), nullptr, 10);
+                      return true;
+                    });
   parser.add_positional("stack", "tcp|rpc (default tcp)",
                         [&](const std::string& v) {
                           if (v == "rpc") {
@@ -140,6 +161,24 @@ int main(int argc, char** argv) {
   const std::size_t positions = std::min<std::size_t>(spec.batch, 8);
   const harness::BurstCostTable costs =
       harness::measure_burst_costs(spec.kind, spec.config, positions);
+
+  if (spec.rules > 0) {
+    harness::ClassifierCostSpec cs;
+    cs.kind = spec.kind;
+    cs.cfg = spec.config;
+    cs.rules = spec.rules;
+    cs.rule_seed = spec.rule_seed;
+    const harness::ClassifierCostMeasurement m =
+        harness::measure_classifier_costs(cs);
+    spec.cache_costs = m.costs;
+    std::fprintf(stderr,
+                 "fleet: measured classifier costs for %zu rules "
+                 "(%zu tuples, %s engine): hit=%.3fus probe=%.3fus "
+                 "per_rule=%.4fus\n",
+                 spec.rules, m.num_tuples,
+                 m.tuple_engine ? "tuple" : "linear", m.costs.hit_us,
+                 m.costs.probe_us, m.costs.per_rule_us);
+  }
 
   if (shard.cores == 1 && shard.arrival_us == 0) {
     harness::FleetRunSpec rs;
